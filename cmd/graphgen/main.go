@@ -1,0 +1,92 @@
+// Command graphgen emits the repository's generator graphs as a plain
+// edge list ("u v weight" per line, preceded by a "n <count>" header) —
+// handy for inspecting workloads or feeding them to other tools.
+//
+// Usage:
+//
+//	graphgen -kind grid -n 64
+//	graphgen -kind geometric -n 256 -seed 7 > net.txt
+//
+// Kinds: grid, grid-holes, geometric, path, exp-path, exp-star, ring,
+// random-tree, fractal, lower-bound.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"compactrouting/internal/graph"
+	"compactrouting/internal/lowerbound"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "geometric", "graph family")
+		n    = flag.Int("n", 256, "target size")
+		seed = flag.Int64("seed", 1, "random seed")
+		base = flag.Float64("base", 4, "weight base for exponential families")
+		hole = flag.Float64("holes", 0.25, "hole probability for grid-holes")
+		p    = flag.Int("p", 4, "lower-bound tree doublings")
+		q    = flag.Int("q", 2, "lower-bound tree weights per doubling")
+	)
+	flag.Parse()
+	g, err := build(*kind, *n, *seed, *base, *hole, *p, *q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "n %d\n", g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Neighbors(u) {
+			if u < e.To {
+				fmt.Fprintf(w, "%d %d %g\n", u, e.To, e.Weight)
+			}
+		}
+	}
+}
+
+func build(kind string, n int, seed int64, base, hole float64, p, q int) (*graph.Graph, error) {
+	switch kind {
+	case "grid":
+		side := int(math.Ceil(math.Sqrt(float64(n))))
+		return graph.Grid(side, side)
+	case "grid-holes":
+		side := int(math.Ceil(math.Sqrt(float64(n))))
+		g, _, err := graph.GridWithHoles(side, side, hole, seed)
+		return g, err
+	case "geometric":
+		radius := 1.8 * math.Sqrt(math.Log(float64(n))/float64(n))
+		g, _, err := graph.RandomGeometric(n, radius, seed)
+		return g, err
+	case "path":
+		return graph.Path(n, 1)
+	case "exp-path":
+		return graph.ExponentialPath(n, base)
+	case "exp-star":
+		return graph.ExponentialStar(n, 3, base)
+	case "ring":
+		return graph.Ring(n)
+	case "random-tree":
+		return graph.RandomTree(n, 4, seed)
+	case "fractal":
+		branch := 4
+		levels := 1
+		for pow := branch; pow < n; pow *= branch {
+			levels++
+		}
+		return graph.Fractal(levels, branch, base)
+	case "lower-bound":
+		t, err := lowerbound.Build(lowerbound.Params{P: p, Q: q}, n)
+		if err != nil {
+			return nil, err
+		}
+		return t.G, nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}

@@ -1,0 +1,116 @@
+// Command routebench regenerates the paper's tables and figures from
+// live runs of the routing schemes (see DESIGN.md for the experiment
+// index).
+//
+// Usage:
+//
+//	routebench -exp all                     # everything, default sizes
+//	routebench -exp table1 -n 512 -eps 0.2  # one experiment, custom size
+//
+// Experiments: table1, table2, fig1, fig2, fig3, storage, epsilon, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"compactrouting/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "experiment: table1|table2|fig1|fig2|fig3|storage|epsilon|ablation|overhead|dimension|oracle|all")
+		n     = flag.Int("n", 256, "target network size")
+		eps   = flag.Float64("eps", 0.25, "stretch parameter epsilon")
+		pairs = flag.Int("pairs", 1000, "routed source-destination pairs per experiment (0 = all pairs)")
+		seed  = flag.Int64("seed", 1, "random seed for generators, namings and sampling")
+		graph = flag.String("graph", "geometric", "workload graph: geometric|grid-holes|exp-path")
+	)
+	flag.Parse()
+	if err := run(*which, *n, *eps, *pairs, *seed, *graph); err != nil {
+		fmt.Fprintln(os.Stderr, "routebench:", err)
+		os.Exit(1)
+	}
+}
+
+func buildEnv(kind string, n int, seed int64) (*exp.Env, error) {
+	switch kind {
+	case "geometric":
+		return exp.GeometricEnv(n, seed)
+	case "grid-holes":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return exp.GridHolesEnv(side, seed)
+	case "exp-path":
+		return exp.ExpPathEnv(n, 4)
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+func run(which string, n int, eps float64, pairs int, seed int64, graphKind string) error {
+	w := os.Stdout
+	needEnv := map[string]bool{"table1": true, "table2": true, "fig1": true, "fig2": true, "epsilon": true, "ablation": true, "overhead": true, "oracle": true, "all": true}
+	var env *exp.Env
+	if needEnv[which] {
+		var err error
+		env, err = buildEnv(graphKind, n, seed)
+		if err != nil {
+			return err
+		}
+	}
+	sep := func() { fmt.Fprintln(w, strings.Repeat("-", 100)) }
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			return exp.Table1(w, env, eps, pairs, seed)
+		case "table2":
+			return exp.Table2(w, env, eps, pairs, seed)
+		case "fig1":
+			return exp.Fig1(w, env, eps, pairs, seed)
+		case "fig2":
+			return exp.Fig2(w, env, eps, pairs, seed)
+		case "fig3":
+			return exp.Fig3(w, pairs, seed)
+		case "storage":
+			return exp.Storage(w, []int{32, 64, 128}, 4, seed)
+		case "epsilon":
+			return exp.Epsilon(w, env, pairs, seed)
+		case "ablation":
+			return exp.Ablation(w, env, pairs, seed)
+		case "overhead":
+			return exp.Overhead(w, env, eps, pairs, seed)
+		case "dimension":
+			return exp.Dimension(w, eps, pairs, seed)
+		case "oracle":
+			return exp.OracleSweep(w, env, pairs, seed)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+	if which == "all" {
+		for _, name := range []string{"table1", "table2", "fig1", "fig2", "fig3", "storage", "epsilon", "ablation", "overhead", "dimension", "oracle"} {
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			if name == "fig2" {
+				// Phase B of Algorithm 5 only triggers on metrics with
+				// empty annuli; rerun the anatomy on one.
+				expoEnv, err := exp.ExpPathEnv(128, 4)
+				if err != nil {
+					return err
+				}
+				if err := exp.Fig2(w, expoEnv, eps, pairs, seed); err != nil {
+					return fmt.Errorf("fig2/exp-path: %w", err)
+				}
+			}
+			sep()
+		}
+		return nil
+	}
+	return runOne(which)
+}

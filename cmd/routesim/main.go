@@ -1,0 +1,172 @@
+// Command routesim runs a routing scheme under the concurrent
+// message-passing simulator (internal/sim): every node is a goroutine,
+// every hop a message, and forwarding decisions are pure functions of
+// (local table, packet header). It reports delivery statistics and
+// cross-checks a sample against the sequential router.
+//
+// Usage:
+//
+//	routesim -n 300 -packets 2000 -scheme simple-labeled
+//
+// Schemes: simple-labeled, scale-free-labeled, name-independent,
+// scale-free-name-independent, full-table, single-tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"compactrouting/internal/baseline"
+	"compactrouting/internal/core"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/labeled"
+	"compactrouting/internal/metric"
+	"compactrouting/internal/nameind"
+	"compactrouting/internal/sim"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 300, "target network size")
+		packets = flag.Int("packets", 2000, "concurrent deliveries")
+		scheme  = flag.String("scheme", "simple-labeled", "simple-labeled|scale-free-labeled|name-independent|scale-free-name-independent|full-table|single-tree")
+		seed    = flag.Int64("seed", 1, "random seed")
+		eps     = flag.Float64("eps", 0.5, "epsilon for the labeled scheme")
+	)
+	flag.Parse()
+	if err := run(*n, *packets, *scheme, *seed, *eps); err != nil {
+		fmt.Fprintln(os.Stderr, "routesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, packets int, scheme string, seed int64, eps float64) error {
+	radius := 1.8 * math.Sqrt(math.Log(float64(n))/float64(n))
+	g, _, err := graph.RandomGeometric(n, radius, seed)
+	if err != nil {
+		return err
+	}
+	a := metric.NewAPSP(g)
+	fmt.Printf("network: n=%d m=%d, %d concurrent packets, scheme %s\n", g.N(), g.M(), packets, scheme)
+
+	pairs := core.SamplePairs(g.N(), packets, seed+1)
+	deliveries := make([]sim.Delivery, len(pairs))
+
+	var results []sim.Result
+	start := time.Now()
+	switch scheme {
+	case "simple-labeled":
+		s, err := labeled.NewSimple(g, a, eps)
+		if err != nil {
+			return err
+		}
+		for i, p := range pairs {
+			deliveries[i] = sim.Delivery{Src: p[0], Dst: s.LabelOf(p[1])}
+		}
+		results = sim.Run[labeled.SimpleHeader](g, sim.SimpleLabeledRouter{S: s}, deliveries, 0)
+	case "scale-free-labeled":
+		se := eps
+		if se > 0.25 {
+			se = 0.25
+		}
+		s, err := labeled.NewScaleFree(g, a, se)
+		if err != nil {
+			return err
+		}
+		for i, p := range pairs {
+			deliveries[i] = sim.Delivery{Src: p[0], Dst: s.LabelOf(p[1])}
+		}
+		results = sim.Run[labeled.SFHeader](g, sim.ScaleFreeLabeledRouter{S: s}, deliveries, 64*g.N())
+	case "name-independent":
+		ne := eps
+		if ne > 1.0/3 {
+			ne = 0.25
+		}
+		under, err := labeled.NewSimple(g, a, ne)
+		if err != nil {
+			return err
+		}
+		nm := nameind.RandomNaming(g.N(), seed+2)
+		s, err := nameind.NewSimple(g, a, nm, under, ne)
+		if err != nil {
+			return err
+		}
+		for i, p := range pairs {
+			deliveries[i] = sim.Delivery{Src: p[0], Dst: nm.NameOf(p[1])}
+		}
+		results = sim.Run[nameind.NIHeader](g, sim.NameIndependentRouter{S: s}, deliveries, 256*g.N())
+	case "scale-free-name-independent":
+		ne := eps
+		if ne > 0.25 {
+			ne = 0.25
+		}
+		under, err := labeled.NewScaleFree(g, a, ne)
+		if err != nil {
+			return err
+		}
+		nm := nameind.RandomNaming(g.N(), seed+2)
+		s, err := nameind.NewScaleFree(g, a, nm, under, ne)
+		if err != nil {
+			return err
+		}
+		for i, p := range pairs {
+			deliveries[i] = sim.Delivery{Src: p[0], Dst: nm.NameOf(p[1])}
+		}
+		results = sim.Run[nameind.SFNIHeader](g, sim.ScaleFreeNameIndependentRouter{S: s}, deliveries, 512*g.N())
+	case "full-table":
+		s := baseline.NewFullTable(g, a)
+		for i, p := range pairs {
+			deliveries[i] = sim.Delivery{Src: p[0], Dst: p[1]}
+		}
+		results = sim.Run[baseline.Destination](g, sim.FullTableRouter{S: s}, deliveries, 0)
+	case "single-tree":
+		s, err := baseline.NewSingleTree(g, 0)
+		if err != nil {
+			return err
+		}
+		for i, p := range pairs {
+			deliveries[i] = sim.Delivery{Src: p[0], Dst: p[1]}
+		}
+		results = sim.Run[baseline.TreeHeader](g, sim.SingleTreeRouter{S: s}, deliveries, 0)
+	default:
+		return fmt.Errorf("unknown scheme %q", scheme)
+	}
+	elapsed := time.Since(start)
+
+	var stretches []float64
+	hops, maxHdr, failures := 0, 0, 0
+	for i, res := range results {
+		if res.Err != nil {
+			failures++
+			continue
+		}
+		d := a.Dist(pairs[i][0], pairs[i][1])
+		if d > 0 {
+			stretches = append(stretches, res.Cost/d)
+		}
+		hops += len(res.Path) - 1
+		if res.MaxHeaderBits > maxHdr {
+			maxHdr = res.MaxHeaderBits
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d deliveries failed", failures)
+	}
+	sort.Float64s(stretches)
+	mean := 0.0
+	for _, s := range stretches {
+		mean += s
+	}
+	mean /= float64(len(stretches))
+	fmt.Printf("delivered %d packets over %d node-goroutines in %v (%.0f hops/ms)\n",
+		len(results), g.N(), elapsed.Round(time.Millisecond),
+		float64(hops)/float64(elapsed.Milliseconds()+1))
+	fmt.Printf("stretch: max %.3f, mean %.3f, p99 %.3f | max header %d bits\n",
+		stretches[len(stretches)-1], mean,
+		stretches[int(math.Ceil(0.99*float64(len(stretches))))-1], maxHdr)
+	return nil
+}

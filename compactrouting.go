@@ -1,0 +1,333 @@
+// Package compactrouting is a Go implementation of the compact routing
+// schemes of Konjevod, Richa and Xia for networks of low doubling
+// dimension ("Optimal-stretch name-independent compact routing in
+// doubling metrics", PODC 2006, and "Optimal scale-free compact routing
+// schemes in doubling networks", SODA 2007).
+//
+// Given a connected weighted undirected graph, the package compiles
+// per-node routing tables of polylogarithmic size and simulates packet
+// delivery where every forwarding decision is local — a function of the
+// current node's table and the packet header only. Four schemes are
+// provided:
+//
+//   - SimpleLabeled: (1+O(eps))-stretch labeled routing with
+//     ceil(log n)-bit labels; table sizes carry a log(Delta) factor.
+//   - ScaleFreeLabeled (Theorem 1.2): same guarantees with tables
+//     independent of the normalized diameter Delta.
+//   - SimpleNameIndependent (Theorem 1.4): (9+O(eps))-stretch routing
+//     to arbitrary original node names; log(Delta)-factor tables.
+//   - ScaleFreeNameIndependent (Theorem 1.1): same stretch,
+//     Delta-independent tables — asymptotically optimal stretch by the
+//     paper's Theorem 1.3 lower bound, reproduced in the experiments.
+//
+// Plus two baselines (FullTable, SingleTree) bracketing the
+// space/stretch trade-off. All table, label, and header sizes are
+// measured in bits of an actual serialization, so the experiment
+// harness (cmd/routebench) can reproduce the paper's tables.
+package compactrouting
+
+import (
+	"fmt"
+
+	"compactrouting/internal/baseline"
+	"compactrouting/internal/core"
+	"compactrouting/internal/labeled"
+	"compactrouting/internal/nameind"
+	"compactrouting/internal/oracle"
+	"compactrouting/internal/tz"
+)
+
+// Route is the trace of one simulated delivery.
+type Route struct {
+	// Src and Dst are the endpoints.
+	Src, Dst int
+	// Path is the physical walk taken (consecutive entries are edges).
+	Path []int
+	// Cost is the summed edge weight of Path.
+	Cost float64
+	// MaxHeaderBits is the largest packet header used en route.
+	MaxHeaderBits int
+	// Fallback reports whether a safety-net path was taken instead of
+	// the analyzed one (never happens within the schemes' parameter
+	// ranges on doubling networks).
+	Fallback bool
+}
+
+// Stretch returns Cost relative to the shortest-path distance.
+func (r *Route) Stretch(optimal float64) float64 {
+	if optimal == 0 {
+		return 1
+	}
+	return r.Cost / optimal
+}
+
+func fromCoreRoute(r *core.Route) *Route {
+	return &Route{
+		Src: r.Src, Dst: r.Dst, Path: r.Path, Cost: r.Cost,
+		MaxHeaderBits: r.MaxHeaderBits, Fallback: r.Fallback,
+	}
+}
+
+// Stats summarizes stretch over a set of routed pairs.
+type Stats struct {
+	Count     int
+	Max       float64
+	Mean      float64
+	P50       float64
+	P95       float64
+	P99       float64
+	MaxHeader int
+	Fallbacks int
+}
+
+func fromCoreStats(s core.StretchStats) Stats {
+	return Stats{
+		Count: s.Count, Max: s.Max, Mean: s.Mean,
+		P50: s.P50, P95: s.P95, P99: s.P99,
+		MaxHeader: s.MaxHeader, Fallbacks: s.Fallbacks,
+	}
+}
+
+// TableStats summarizes per-node routing-table sizes.
+type TableStats struct {
+	MaxBits   int
+	MeanBits  float64
+	TotalBits int
+}
+
+// Labeled is a compiled labeled routing scheme.
+type Labeled struct {
+	s core.LabeledScheme
+	n int
+	d core.DistOracle
+}
+
+// Name identifies the scheme.
+func (l *Labeled) Name() string { return l.s.SchemeName() }
+
+// Label returns v's routing label (an integer in [0, n)).
+func (l *Labeled) Label(v int) int { return l.s.LabelOf(v) }
+
+// Route delivers a packet from src to the node labeled label.
+func (l *Labeled) Route(src, label int) (*Route, error) {
+	r, err := l.s.RouteToLabel(src, label)
+	if err != nil {
+		return nil, err
+	}
+	return fromCoreRoute(r), nil
+}
+
+// TableBits returns v's routing table size in bits.
+func (l *Labeled) TableBits(v int) int { return l.s.TableBits(v) }
+
+// Tables summarizes table sizes over all nodes.
+func (l *Labeled) Tables() TableStats {
+	st := core.Tables(l.s.TableBits, l.n)
+	return TableStats{MaxBits: st.MaxBits, MeanBits: st.MeanBits, TotalBits: st.TotalBits}
+}
+
+// Evaluate routes the pairs (or all ordered pairs when pairs is nil)
+// and summarizes stretch.
+func (l *Labeled) Evaluate(pairs [][2]int) (Stats, error) {
+	if pairs == nil {
+		pairs = core.AllPairs(l.n)
+	}
+	st, err := core.EvaluateLabeled(l.s, l.d, pairs)
+	if err != nil {
+		return Stats{}, err
+	}
+	return fromCoreStats(st), nil
+}
+
+// NameIndependent is a compiled name-independent routing scheme.
+type NameIndependent struct {
+	s core.NameIndependentScheme
+	n int
+	d core.DistOracle
+}
+
+// Name identifies the scheme.
+func (s *NameIndependent) Name() string { return s.s.SchemeName() }
+
+// NameOf returns v's original name.
+func (s *NameIndependent) NameOf(v int) int { return s.s.NameOf(v) }
+
+// Route delivers a packet from src to the node with the given original
+// name.
+func (s *NameIndependent) Route(src, name int) (*Route, error) {
+	r, err := s.s.RouteToName(src, name)
+	if err != nil {
+		return nil, err
+	}
+	return fromCoreRoute(r), nil
+}
+
+// TableBits returns v's routing table size in bits.
+func (s *NameIndependent) TableBits(v int) int { return s.s.TableBits(v) }
+
+// Tables summarizes table sizes over all nodes.
+func (s *NameIndependent) Tables() TableStats {
+	st := core.Tables(s.s.TableBits, s.n)
+	return TableStats{MaxBits: st.MaxBits, MeanBits: st.MeanBits, TotalBits: st.TotalBits}
+}
+
+// Evaluate routes the pairs (or all ordered pairs when pairs is nil)
+// by destination name and summarizes stretch.
+func (s *NameIndependent) Evaluate(pairs [][2]int) (Stats, error) {
+	if pairs == nil {
+		pairs = core.AllPairs(s.n)
+	}
+	st, err := core.EvaluateNameIndependent(s.s, s.d, pairs)
+	if err != nil {
+		return Stats{}, err
+	}
+	return fromCoreStats(st), nil
+}
+
+// NewSimpleLabeled compiles the simple (1+O(eps))-stretch labeled
+// scheme (the paper's Lemma 3.1 substrate). eps must be in (0, 0.5].
+func (nw *Network) NewSimpleLabeled(eps float64) (*Labeled, error) {
+	s, err := labeled.NewSimple(nw.g, nw.apsp, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &Labeled{s: s, n: nw.g.N(), d: nw.apsp}, nil
+}
+
+// NewScaleFreeLabeled compiles the Theorem 1.2 scale-free labeled
+// scheme. eps must be in (0, 0.25].
+func (nw *Network) NewScaleFreeLabeled(eps float64) (*Labeled, error) {
+	s, err := labeled.NewScaleFree(nw.g, nw.apsp, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &Labeled{s: s, n: nw.g.N(), d: nw.apsp}, nil
+}
+
+// NewSimpleNameIndependent compiles the Theorem 1.4 scheme. names
+// assigns the arbitrary original node names — any distinct non-negative
+// integers, including sparse DHT-style identifiers; pass nil for a
+// seeded random permutation. eps must be in (0, 1/3].
+func (nw *Network) NewSimpleNameIndependent(eps float64, names []int) (*NameIndependent, error) {
+	nm, err := nw.naming(names)
+	if err != nil {
+		return nil, err
+	}
+	under, err := labeled.NewSimple(nw.g, nw.apsp, eps)
+	if err != nil {
+		return nil, err
+	}
+	s, err := nameind.NewSimple(nw.g, nw.apsp, nm, under, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &NameIndependent{s: s, n: nw.g.N(), d: nw.apsp}, nil
+}
+
+// NewScaleFreeNameIndependent compiles the Theorem 1.1 scheme — the
+// paper's headline result. eps must be in (0, 0.25].
+func (nw *Network) NewScaleFreeNameIndependent(eps float64, names []int) (*NameIndependent, error) {
+	nm, err := nw.naming(names)
+	if err != nil {
+		return nil, err
+	}
+	under, err := labeled.NewScaleFree(nw.g, nw.apsp, eps)
+	if err != nil {
+		return nil, err
+	}
+	s, err := nameind.NewScaleFree(nw.g, nw.apsp, nm, under, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &NameIndependent{s: s, n: nw.g.N(), d: nw.apsp}, nil
+}
+
+func (nw *Network) naming(names []int) (*nameind.Naming, error) {
+	if names == nil {
+		return nameind.RandomNaming(nw.g.N(), 1), nil
+	}
+	return nameind.NewNaming(names)
+}
+
+// NewFullTable compiles the stretch-1, Theta(n log n)-bits-per-node
+// baseline. It implements both models; the returned pair shares state.
+func (nw *Network) NewFullTable() (*Labeled, *NameIndependent) {
+	s := baseline.NewFullTable(nw.g, nw.apsp)
+	return &Labeled{s: s, n: nw.g.N(), d: nw.apsp},
+		&NameIndependent{s: s, n: nw.g.N(), d: nw.apsp}
+}
+
+// NewSingleTree compiles the single-spanning-tree baseline rooted at
+// root: compact tables, unbounded worst-case stretch.
+func (nw *Network) NewSingleTree(root int) (*Labeled, error) {
+	if root < 0 || root >= nw.g.N() {
+		return nil, fmt.Errorf("compactrouting: root %d out of range", root)
+	}
+	s, err := baseline.NewSingleTree(nw.g, root)
+	if err != nil {
+		return nil, err
+	}
+	return &Labeled{s: s, n: nw.g.N(), d: nw.apsp}, nil
+}
+
+// AllPairs enumerates every ordered pair of distinct nodes — the
+// exhaustive evaluation workload.
+func AllPairs(n int) [][2]int { return core.AllPairs(n) }
+
+// SamplePairs deterministically samples count ordered pairs of
+// distinct nodes.
+func SamplePairs(n, count int, seed int64) [][2]int {
+	return core.SamplePairs(n, count, seed)
+}
+
+// SparseNames draws n distinct names uniformly from [0, space) — the
+// DHT setting where node identifiers are hashes much larger than n.
+func SparseNames(n int, space, seed int64) ([]int, error) {
+	nm, err := nameind.SparseRandomNaming(n, space, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, n)
+	for v := 0; v < n; v++ {
+		out[v] = nm.NameOf(v)
+	}
+	return out, nil
+}
+
+// NewThorupZwick compiles the Thorup–Zwick stretch-3 compact routing
+// scheme for general graphs (the paper's reference [29], k=2) — the
+// general-graph comparator: stretch exactly 3 with ~O(sqrt(n log n))
+// tables, versus (1+eps) with polylog tables on doubling networks.
+func (nw *Network) NewThorupZwick(sampleFactor float64, seed int64) (*Labeled, error) {
+	s, err := tz.New(nw.g, nw.apsp, sampleFactor, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Labeled{s: s, n: nw.g.N(), d: nw.apsp}, nil
+}
+
+// DistanceOracle is a compiled Thorup–Zwick approximate distance
+// oracle (stretch 2k-1 on any graph).
+type DistanceOracle struct {
+	o *oracle.Oracle
+	n int
+}
+
+// NewDistanceOracle builds a stretch-(2k-1) distance oracle — the
+// general-graph space/stretch reference the doubling schemes escape.
+func (nw *Network) NewDistanceOracle(k int, seed int64) (*DistanceOracle, error) {
+	o, err := oracle.New(nw.apsp, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &DistanceOracle{o: o, n: nw.g.N()}, nil
+}
+
+// Query estimates d(u, v) within a factor of 2k-1.
+func (d *DistanceOracle) Query(u, v int) (float64, error) { return d.o.Query(u, v) }
+
+// StretchBound returns 2k-1.
+func (d *DistanceOracle) StretchBound() float64 { return d.o.StretchBound() }
+
+// TableBits returns v's storage in bits.
+func (d *DistanceOracle) TableBits(v int) int { return d.o.TableBits(v) }

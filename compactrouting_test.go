@@ -1,0 +1,185 @@
+package compactrouting
+
+import (
+	"testing"
+)
+
+func testNetwork(t *testing.T) *Network {
+	t.Helper()
+	nw, err := RandomGeometricNetwork(90, 0.2, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestNewNetworkFromEdges(t *testing.T) {
+	nw, err := NewNetwork(3, []EdgeSpec{{0, 1, 1}, {1, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 3 || nw.M() != 2 {
+		t.Fatalf("N=%d M=%d", nw.N(), nw.M())
+	}
+	if nw.Dist(0, 2) != 3 {
+		t.Fatalf("Dist = %v", nw.Dist(0, 2))
+	}
+	if nw.Diameter() != 3 || nw.NormalizedDiameter() != 3 {
+		t.Fatalf("diam=%v norm=%v", nw.Diameter(), nw.NormalizedDiameter())
+	}
+	if _, err := NewNetwork(3, []EdgeSpec{{0, 1, 1}}); err == nil {
+		t.Fatal("disconnected network accepted")
+	}
+	if _, err := NewNetwork(2, []EdgeSpec{{0, 1, -1}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestFacadeAllSchemes(t *testing.T) {
+	nw := testNetwork(t)
+	pairs := SamplePairs(nw.N(), 150, 5)
+
+	sl, err := nw.NewSimpleLabeled(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := nw.NewScaleFreeLabeled(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := nw.NewSimpleNameIndependent(0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := nw.NewScaleFreeNameIndependent(0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftL, ftN := nw.NewFullTable()
+	st, err := nw.NewSingleTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, l := range []*Labeled{sl, fl, ftL, st} {
+		stats, err := l.Evaluate(pairs)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name(), err)
+		}
+		if stats.Count != len(pairs) || stats.Max < 1-1e-9 {
+			t.Fatalf("%s: stats %+v", l.Name(), stats)
+		}
+		tb := l.Tables()
+		if tb.MaxBits <= 0 || tb.TotalBits < tb.MaxBits {
+			t.Fatalf("%s: tables %+v", l.Name(), tb)
+		}
+	}
+	for _, s := range []*NameIndependent{sn, fn, ftN} {
+		stats, err := s.Evaluate(pairs)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if stats.Count != len(pairs) {
+			t.Fatalf("%s: stats %+v", s.Name(), stats)
+		}
+	}
+	// Full table routes at stretch 1.
+	stats, err := ftL.Evaluate(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Max > 1+1e-9 {
+		t.Fatalf("full table stretch %v", stats.Max)
+	}
+}
+
+func TestFacadeRouteEndpoints(t *testing.T) {
+	nw := testNetwork(t)
+	fn, err := nw.NewScaleFreeNameIndependent(0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := fn.Route(3, fn.NameOf(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Src != 3 || r.Dst != 17 || len(r.Path) < 1 {
+		t.Fatalf("route %+v", r)
+	}
+	if r.Stretch(nw.Dist(3, 17)) < 1-1e-9 {
+		t.Fatal("stretch below 1")
+	}
+}
+
+func TestFacadeExplicitNaming(t *testing.T) {
+	nw, err := PathNetwork(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]int, 16)
+	for i := range names {
+		names[i] = 15 - i
+	}
+	sn, err := nw.NewSimpleNameIndependent(0.25, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.NameOf(0) != 15 {
+		t.Fatalf("NameOf(0) = %d", sn.NameOf(0))
+	}
+	r, err := sn.Route(0, 15) // name 15 = node 0 itself
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 0 {
+		t.Fatalf("self route cost %v", r.Cost)
+	}
+	if _, err := nw.NewSimpleNameIndependent(0.25, []int{1, 1}); err == nil {
+		t.Fatal("bad naming accepted")
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	nw := testNetwork(t)
+	if err := nw.Validate([][2]int{{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate([][2]int{{0, nw.N()}}); err == nil {
+		t.Fatal("bad pair accepted")
+	}
+	if _, err := nw.NewSingleTree(-1); err == nil {
+		t.Fatal("bad root accepted")
+	}
+}
+
+func TestDoublingDimensionEstimate(t *testing.T) {
+	nw, err := GridNetwork(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := nw.DoublingDimension(100, 1)
+	if alpha <= 0 || alpha > 5 {
+		t.Fatalf("grid doubling estimate %v", alpha)
+	}
+}
+
+func TestScaleFreeTablesSmallerOnHugeDelta(t *testing.T) {
+	// End-to-end restatement of the scale-free claim through the
+	// public API.
+	expo, err := ExponentialPathNetwork(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simple, err := expo.NewSimpleLabeled(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := expo.NewScaleFreeLabeled(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Tables().MaxBits >= simple.Tables().MaxBits {
+		t.Fatalf("scale-free tables (%d) not smaller than simple (%d) at Delta=4^62",
+			free.Tables().MaxBits, simple.Tables().MaxBits)
+	}
+}

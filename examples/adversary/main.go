@@ -1,0 +1,66 @@
+// Adversary: explore the search game behind the stretch-9 lower bound
+// (Theorem 1.3).
+//
+// A target name hides at the end of one of many weighted branches off a
+// common root. Routing tables are too small to say where (the paper's
+// congruent-namings argument), so any scheme must physically probe
+// branches, and probing weight b costs a 2b round trip while revealing
+// the target's location only among branches of weight <= b. This
+// program prints the exact optimal strategy for the paper's weight grid
+// and shows why its worst-case stretch converges to 9.
+package main
+
+import (
+	"fmt"
+
+	"compactrouting/internal/lowerbound"
+)
+
+func main() {
+	p := lowerbound.Params{P: 10, Q: 4}
+	weights := p.Weights()
+	fmt.Printf("the game: %d branches with weights w_{i,j} = 2^i(q+j), p=%d, q=%d\n",
+		len(weights), p.P, p.Q)
+	fmt.Printf("first weights: %.0f %.0f %.0f %.0f ... last: %.0f\n\n",
+		weights[0], weights[1], weights[2], weights[3], weights[len(weights)-1])
+
+	opt, probes, err := lowerbound.OptimalStretch(weights)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimal strategy probes %d of %d branches:\n  ", len(probes), len(weights))
+	for _, idx := range probes {
+		fmt.Printf("%.0f ", weights[idx])
+	}
+	fmt.Printf("\n(≈ doubling: each probe roughly twice the last — the base-2 geometric escalation)\n")
+	fmt.Printf("worst-case stretch of the optimal strategy: %.4f\n", opt)
+	fmt.Printf("the discrete-grid limit 1+8q/(q+1) at q=%d: %.4f\n\n", p.Q, 1+8*float64(p.Q)/float64(p.Q+1))
+
+	fmt.Println("why 9: sup stretch of a pure base-b geometric strategy is 1 + 2b²/(b−1):")
+	for _, b := range []float64{1.5, 1.8, 2.0, 2.2, 3.0} {
+		marker := ""
+		if b == 2.0 {
+			marker = "   <- minimum: the 9 of Theorems 1.1 and 1.3"
+		}
+		fmt.Printf("  b=%.1f: %.4f%s\n", b, lowerbound.GeometricRatio(b), marker)
+	}
+
+	fmt.Println("\nthe paper's parameterization drives the limit to 9 - eps:")
+	for _, eps := range []float64{4.0, 2.0, 1.0, 0.5} {
+		pp, err := lowerbound.PaperParams(eps)
+		if err != nil {
+			panic(err)
+		}
+		limit := 1 + 8*float64(pp.Q)/float64(pp.Q+1)
+		fmt.Printf("  eps=%.1f: p=%d q=%d  ->  limit %.4f (>= 9-eps = %.4f)\n",
+			eps, pp.P, pp.Q, limit, 9-eps)
+	}
+
+	fmt.Println("\nand the matching counterexample graph exists: G(p=4, q=2, n=512)")
+	tr, err := lowerbound.Build(lowerbound.Params{P: 4, Q: 2}, 512)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("built: %d nodes, %d branches, root edges %v...\n",
+		tr.G.N(), len(tr.Sizes), tr.Params.BranchWeight(0, 0))
+}

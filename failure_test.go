@@ -1,0 +1,140 @@
+package compactrouting
+
+// Failure-injection tests at the public API: every malformed input
+// must surface as an error, never a panic or a wrong delivery.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBadSourcesError(t *testing.T) {
+	nw, err := RandomGeometricNetwork(60, 0.25, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := nw.NewSimpleLabeled(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := nw.NewScaleFreeLabeled(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftL, ftN := nw.NewFullTable()
+	st, err := nw.NewSingleTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []*Labeled{sl, fl, ftL, st} {
+		for _, src := range []int{-1, nw.N(), 1 << 20} {
+			if _, err := l.Route(src, 0); err == nil {
+				t.Errorf("%s: source %d accepted", l.Name(), src)
+			}
+		}
+		for _, dst := range []int{-1, nw.N()} {
+			if _, err := l.Route(0, dst); err == nil {
+				t.Errorf("%s: label %d accepted", l.Name(), dst)
+			}
+		}
+	}
+	sn, err := nw.NewSimpleNameIndependent(0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := nw.NewScaleFreeNameIndependent(0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*NameIndependent{sn, fn, ftN} {
+		for _, src := range []int{-1, nw.N()} {
+			if _, err := s.Route(src, s.NameOf(0)); err == nil {
+				t.Errorf("%s: source %d accepted", s.Name(), src)
+			}
+		}
+		if _, err := s.Route(0, -7); err == nil {
+			t.Errorf("%s: negative name accepted", s.Name())
+		}
+	}
+	// Unknown sparse name.
+	if _, err := fn.Route(0, 1<<30); err == nil ||
+		!strings.Contains(err.Error(), "unknown name") {
+		t.Errorf("unknown name: err = %v", err)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	nw, err := RandomGeometricNetwork(40, 0.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.NewSimpleLabeled(0.9); err == nil {
+		t.Error("simple labeled eps=0.9 accepted")
+	}
+	if _, err := nw.NewScaleFreeLabeled(0.3); err == nil {
+		t.Error("scale-free labeled eps=0.3 accepted")
+	}
+	if _, err := nw.NewSimpleNameIndependent(0.5, nil); err == nil {
+		t.Error("simple nameind eps=0.5 accepted")
+	}
+	if _, err := nw.NewScaleFreeNameIndependent(0.3, nil); err == nil {
+		t.Error("scale-free nameind eps=0.3 accepted")
+	}
+	// Naming with duplicates / negatives / wrong length.
+	if _, err := nw.NewSimpleNameIndependent(0.25, make([]int, nw.N())); err == nil {
+		t.Error("all-zero naming accepted")
+	}
+	if _, err := nw.NewSimpleNameIndependent(0.25, []int{1, 2, 3}); err == nil {
+		t.Error("short naming accepted")
+	}
+	neg := make([]int, nw.N())
+	for i := range neg {
+		neg[i] = i
+	}
+	neg[3] = -1
+	if _, err := nw.NewSimpleNameIndependent(0.25, neg); err == nil {
+		t.Error("negative name accepted")
+	}
+}
+
+func TestSparseNamesHelper(t *testing.T) {
+	names, err := SparseNames(100, 1<<40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, name := range names {
+		if name < 0 || seen[name] {
+			t.Fatalf("bad sparse name %d", name)
+		}
+		seen[name] = true
+	}
+	if _, err := SparseNames(100, 10, 1); err == nil {
+		t.Fatal("tiny space accepted")
+	}
+}
+
+func TestSelfRoutesAcrossSchemes(t *testing.T) {
+	nw, err := GridWithHolesNetwork(8, 8, 0.2, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := nw.NewScaleFreeLabeled(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := nw.NewScaleFreeNameIndependent(0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < nw.N(); v++ {
+		r, err := fl.Route(v, fl.Label(v))
+		if err != nil || r.Cost != 0 {
+			t.Fatalf("labeled self route at %d: %v, cost %v", v, err, r.Cost)
+		}
+		r, err = fn.Route(v, fn.NameOf(v))
+		if err != nil || r.Cost != 0 {
+			t.Fatalf("nameind self route at %d: %v, cost %v", v, err, r.Cost)
+		}
+	}
+}

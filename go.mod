@@ -1,0 +1,3 @@
+module compactrouting
+
+go 1.22

@@ -1,0 +1,144 @@
+package compactrouting
+
+// Cross-scheme integration tests at the public API: every scheme on
+// every workload family, delivery and stretch invariants, and a
+// larger-scale run guarded by -short.
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// workloads returns one small network per generator family.
+func workloads(t *testing.T) map[string]*Network {
+	t.Helper()
+	out := map[string]*Network{}
+	var err error
+	if out["grid"], err = GridNetwork(8, 8); err != nil {
+		t.Fatal(err)
+	}
+	if out["grid-holes"], err = GridWithHolesNetwork(10, 10, 0.25, 2); err != nil {
+		t.Fatal(err)
+	}
+	if out["geometric"], err = RandomGeometricNetwork(100, 0.25, 3); err != nil {
+		t.Fatal(err)
+	}
+	if out["ring"], err = RingNetwork(48); err != nil {
+		t.Fatal(err)
+	}
+	if out["exp-path"], err = ExponentialPathNetwork(40, 4); err != nil {
+		t.Fatal(err)
+	}
+	if out["exp-star"], err = ExponentialStarNetwork(46, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAllSchemesAllWorkloads(t *testing.T) {
+	for name, nw := range workloads(t) {
+		nw := nw
+		t.Run(name, func(t *testing.T) {
+			pairs := SamplePairs(nw.N(), 200, 9)
+			fl, err := nw.NewScaleFreeLabeled(0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sl, err := nw.NewSimpleLabeled(0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fn, err := nw.NewScaleFreeNameIndependent(0.25, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sn, err := nw.NewSimpleNameIndependent(0.25, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, l := range []*Labeled{fl, sl} {
+				st, err := l.Evaluate(pairs)
+				if err != nil {
+					t.Fatalf("%s: %v", l.Name(), err)
+				}
+				if st.Max > 3.1 { // 1+O(eps) with generous slack
+					t.Errorf("%s stretch %.3f on %s", l.Name(), st.Max, name)
+				}
+				if st.Fallbacks != 0 {
+					t.Errorf("%s used %d fallbacks on %s", l.Name(), st.Fallbacks, name)
+				}
+			}
+			for _, s := range []*NameIndependent{fn, sn} {
+				st, err := s.Evaluate(pairs)
+				if err != nil {
+					t.Fatalf("%s: %v", s.Name(), err)
+				}
+				if st.Max > 14 { // 9+O(eps) with slack for eps=0.25 constants
+					t.Errorf("%s stretch %.3f on %s", s.Name(), st.Max, name)
+				}
+			}
+		})
+	}
+}
+
+func TestQuickDeliveryInvariant(t *testing.T) {
+	// Over random seeds: the scale-free name-independent scheme always
+	// delivers to the correct node and never beats the metric.
+	f := func(seed int64, a, b uint8) bool {
+		nw, err := RandomGeometricNetwork(50+int(uint16(seed)%40), 0.3, seed)
+		if err != nil {
+			return true
+		}
+		s, err := nw.NewScaleFreeNameIndependent(0.25, nil)
+		if err != nil {
+			return false
+		}
+		u, v := int(a)%nw.N(), int(b)%nw.N()
+		r, err := s.Route(u, s.NameOf(v))
+		if err != nil {
+			return false
+		}
+		return r.Dst == v && r.Cost >= nw.Dist(u, v)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMediumScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale run skipped in -short mode")
+	}
+	nw, err := RandomGeometricNetwork(700, 0.09, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() < 500 {
+		t.Fatalf("component too small: %d", nw.N())
+	}
+	pairs := SamplePairs(nw.N(), 1500, 13)
+	fl, err := nw.NewScaleFreeLabeled(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := fl.Evaluate(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Max > 3.1 || st.Fallbacks != 0 {
+		t.Fatalf("labeled at n=%d: %+v", nw.N(), st)
+	}
+	fn, err := nw.NewScaleFreeNameIndependent(0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nst, err := fn.Evaluate(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nst.Max > 14 {
+		t.Fatalf("nameind at n=%d: %+v", nw.N(), nst)
+	}
+	t.Logf("n=%d: labeled max %.3f mean %.3f | nameind max %.3f mean %.3f, tables max %d bits",
+		nw.N(), st.Max, st.Mean, nst.Max, nst.Mean, fn.Tables().MaxBits)
+}

@@ -1,0 +1,185 @@
+package ballpack
+
+import (
+	"testing"
+
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+)
+
+func geoAPSP(t *testing.T, n int, seed int64) *metric.APSP {
+	t.Helper()
+	g, _, err := graph.RandomGeometric(n, 0.2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return metric.NewAPSP(g)
+}
+
+func TestPackingProperty1(t *testing.T) {
+	a := geoAPSP(t, 150, 1)
+	p := New(a)
+	for j := 0; j <= p.MaxJ(); j++ {
+		for _, b := range p.Balls[j] {
+			if len(b.Members) < p.Size(j) {
+				t.Fatalf("level %d ball at %d has %d members, want >= %d",
+					j, b.Center, len(b.Members), p.Size(j))
+			}
+			// Members must be exactly the metric ball.
+			for _, v := range b.Members {
+				if a.Dist(b.Center, int(v)) > b.Radius {
+					t.Fatalf("member %d outside ball (%d, %v)", v, b.Center, b.Radius)
+				}
+			}
+			if got := a.BallSize(b.Center, b.Radius); got != len(b.Members) {
+				t.Fatalf("ball (%d,%v): %d members vs metric ball size %d",
+					b.Center, b.Radius, len(b.Members), got)
+			}
+		}
+	}
+}
+
+func TestPackingDisjoint(t *testing.T) {
+	a := geoAPSP(t, 150, 2)
+	p := New(a)
+	for j := 0; j <= p.MaxJ(); j++ {
+		seen := make(map[int32]int)
+		for k, b := range p.Balls[j] {
+			for _, v := range b.Members {
+				if prev, dup := seen[v]; dup {
+					t.Fatalf("level %d: node %d in balls %d and %d", j, v, prev, k)
+				}
+				seen[v] = k
+			}
+		}
+	}
+}
+
+func TestPackingMaximal(t *testing.T) {
+	// Maximality: every candidate ball B_u(r_u(j)) intersects some
+	// selected ball (or is itself selected).
+	a := geoAPSP(t, 120, 3)
+	p := New(a)
+	for j := 0; j <= p.MaxJ(); j++ {
+		covered := make([]bool, a.N())
+		for _, b := range p.Balls[j] {
+			for _, v := range b.Members {
+				covered[v] = true
+			}
+		}
+		for u := 0; u < a.N(); u++ {
+			ru := a.RadiusOfSize(u, p.Size(j))
+			hit := false
+			for _, v := range a.Ball(u, ru) {
+				if covered[v] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				t.Fatalf("level %d: ball around %d disjoint from packing (not maximal)", j, u)
+			}
+		}
+	}
+}
+
+func TestPackingProperty2Witness(t *testing.T) {
+	a := geoAPSP(t, 150, 4)
+	p := New(a)
+	for j := 0; j <= p.MaxJ(); j++ {
+		for u := 0; u < a.N(); u++ {
+			b := p.WitnessBall(j, u)
+			ru := a.RadiusOfSize(u, p.Size(j))
+			if b.Radius > ru {
+				t.Fatalf("witness of %d at level %d has radius %v > r_u=%v",
+					u, j, b.Radius, ru)
+			}
+			if d := a.Dist(u, b.Center); d > 2*ru {
+				t.Fatalf("witness of %d at level %d at distance %v > 2*r_u=%v",
+					u, j, d, 2*ru)
+			}
+		}
+	}
+}
+
+func TestPackingLevelZeroSingletons(t *testing.T) {
+	a := geoAPSP(t, 60, 5)
+	p := New(a)
+	if len(p.Balls[0]) != a.N() {
+		t.Fatalf("level 0 has %d balls, want %d singletons", len(p.Balls[0]), a.N())
+	}
+	for _, b := range p.Balls[0] {
+		if len(b.Members) != 1 || int(b.Members[0]) != b.Center || b.Radius != 0 {
+			t.Fatalf("level 0 ball not a singleton: %+v", b)
+		}
+	}
+}
+
+func TestPackingTopLevelCount(t *testing.T) {
+	a := geoAPSP(t, 130, 6)
+	p := New(a)
+	top := p.MaxJ()
+	if 1<<top < a.N() || (top > 0 && 1<<(top-1) >= a.N()) {
+		t.Fatalf("MaxJ = %d for n = %d, want ceil(log2 n)", top, a.N())
+	}
+	if len(p.Balls[top]) != 1 {
+		t.Fatalf("top level has %d balls, want 1", len(p.Balls[top]))
+	}
+	// Level j balls have >= Size(j) members and are disjoint, so there
+	// are at most n/Size(j) of them.
+	for j := 0; j <= top; j++ {
+		if len(p.Balls[j]) > a.N()/p.Size(j) {
+			t.Fatalf("level %d has %d balls > n/size = %d",
+				j, len(p.Balls[j]), a.N()/p.Size(j))
+		}
+		if len(p.Balls[j]) == 0 {
+			t.Fatalf("level %d empty", j)
+		}
+	}
+}
+
+func TestBallContains(t *testing.T) {
+	a := geoAPSP(t, 80, 7)
+	p := New(a)
+	j := p.MaxJ() / 2
+	for _, b := range p.Balls[j] {
+		member := make(map[int]bool, len(b.Members))
+		for _, v := range b.Members {
+			member[int(v)] = true
+		}
+		for v := 0; v < a.N(); v++ {
+			if b.Contains(v) != member[v] {
+				t.Fatalf("Contains(%d) = %v, want %v", v, b.Contains(v), member[v])
+			}
+		}
+	}
+}
+
+func TestPackingGreedyOrder(t *testing.T) {
+	// Balls appear in non-decreasing radius order: the greedy invariant
+	// Property 2's proof relies on.
+	a := geoAPSP(t, 100, 8)
+	p := New(a)
+	for j := 0; j <= p.MaxJ(); j++ {
+		for k := 1; k < len(p.Balls[j]); k++ {
+			if p.Balls[j][k].Radius < p.Balls[j][k-1].Radius {
+				t.Fatalf("level %d balls out of radius order at %d", j, k)
+			}
+		}
+	}
+}
+
+func TestPackingOnGrid(t *testing.T) {
+	g, err := graph.Grid(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := metric.NewAPSP(g)
+	p := New(a)
+	if p.MaxJ() != 6 { // n = 64
+		t.Fatalf("MaxJ = %d, want 6", p.MaxJ())
+	}
+	if len(p.Balls[6]) != 1 {
+		t.Fatalf("top level should be a single ball, got %d", len(p.Balls[6]))
+	}
+}

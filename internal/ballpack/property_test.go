@@ -1,0 +1,67 @@
+package ballpack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+)
+
+// TestQuickPackingInvariants: over random graphs and levels, packing
+// balls are disjoint, at least size-many strong, and every node has a
+// Property 2 witness.
+func TestQuickPackingInvariants(t *testing.T) {
+	f := func(seed int64, jRaw uint8) bool {
+		g, _, err := graph.RandomGeometric(40+int(uint16(seed)%60), 0.3, seed)
+		if err != nil {
+			return true
+		}
+		a := metric.NewAPSP(g)
+		p := New(a)
+		j := int(jRaw) % (p.MaxJ() + 1)
+		size := p.Size(j)
+		seen := map[int32]bool{}
+		for _, b := range p.Balls[j] {
+			if len(b.Members) < size {
+				return false
+			}
+			for _, v := range b.Members {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		for u := 0; u < a.N(); u++ {
+			b := p.WitnessBall(j, u)
+			ru := a.RadiusOfSize(u, size)
+			if b.Radius > ru || a.Dist(u, b.Center) > 2*ru {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRadiusOrderAlwaysCovers: the radius-greedy selection (the
+// lemma's order) always yields full Property 2 coverage, on any graph.
+func TestQuickRadiusOrderAlwaysCovers(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		g, _, err := graph.RandomGeometric(40+int(uint16(seed)%40), 0.3, seed)
+		if err != nil {
+			return true
+		}
+		a := metric.NewAPSP(g)
+		size := 1 + int(sizeRaw)%a.N()
+		balls := BuildLevelOrdered(a, size, true)
+		ok, _, maxRatio := WitnessQuality(a, balls, size)
+		return ok == 1 && maxRatio <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

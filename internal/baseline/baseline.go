@@ -1,0 +1,150 @@
+// Package baseline implements the two trivial extremes every compact
+// routing result is measured against:
+//
+//   - FullTable: classic shortest-path routing — every node stores a
+//     next hop for all n destinations. Stretch exactly 1, Theta(n log n)
+//     bits per node: optimal paths, non-compact tables.
+//
+//   - SingleTree: route along one global shortest-path tree using the
+//     tree-routing substrate. O(log² n) bits per node, but stretch up
+//     to the tree's distortion (unbounded in the worst case): compact
+//     tables, poor paths.
+//
+// Both work as labeled AND name-independent schemes (their tables are
+// indexed by original names directly, so names are labels).
+package baseline
+
+import (
+	"fmt"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/core"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+	"compactrouting/internal/treeroute"
+)
+
+// FullTable is the stretch-1 full-routing-table scheme.
+type FullTable struct {
+	g      *graph.Graph
+	a      *metric.APSP
+	idBits int
+}
+
+var (
+	_ core.LabeledScheme         = (*FullTable)(nil)
+	_ core.NameIndependentScheme = (*FullTable)(nil)
+)
+
+// NewFullTable compiles the scheme (the APSP matrix is its table).
+func NewFullTable(g *graph.Graph, a *metric.APSP) *FullTable {
+	return &FullTable{g: g, a: a, idBits: bits.UintBits(g.N())}
+}
+
+// SchemeName implements the scheme interfaces.
+func (s *FullTable) SchemeName() string { return "baseline/full-table" }
+
+// LabelOf returns v itself: the scheme needs no designer labels.
+func (s *FullTable) LabelOf(v int) int { return v }
+
+// NameOf returns v itself (identity naming; the scheme is trivially
+// name-independent since its table covers every destination).
+func (s *FullTable) NameOf(v int) int { return v }
+
+// TableBits returns n-1 next-hop entries of ceil(log n) bits.
+func (s *FullTable) TableBits(v int) int { return (s.g.N() - 1) * s.idBits }
+
+// RouteToLabel walks the shortest path using per-node next hops.
+func (s *FullTable) RouteToLabel(src, label int) (*core.Route, error) {
+	if src < 0 || src >= s.g.N() {
+		return nil, fmt.Errorf("baseline: source %d out of range", src)
+	}
+	if label < 0 || label >= s.g.N() {
+		return nil, fmt.Errorf("baseline: destination %d out of range", label)
+	}
+	tr := core.NewTrace(s.g, src)
+	tr.Header(s.idBits)
+	for tr.At() != label {
+		if err := tr.Hop(s.a.NextHop(tr.At(), label)); err != nil {
+			return nil, err
+		}
+	}
+	return tr.Finish(label)
+}
+
+// RouteToName is RouteToLabel under the identity naming.
+func (s *FullTable) RouteToName(src, name int) (*core.Route, error) {
+	return s.RouteToLabel(src, name)
+}
+
+// SingleTree routes along one global shortest-path tree.
+type SingleTree struct {
+	g      *graph.Graph
+	scheme *treeroute.Scheme
+	idBits int
+}
+
+var (
+	_ core.LabeledScheme         = (*SingleTree)(nil)
+	_ core.NameIndependentScheme = (*SingleTree)(nil)
+)
+
+// NewSingleTree compiles the scheme over the shortest-path tree rooted
+// at root.
+func NewSingleTree(g *graph.Graph, root int) (*SingleTree, error) {
+	spt := metric.Dijkstra(g, root)
+	parent := make([]int, g.N())
+	copy(parent, spt.Parent)
+	parent[root] = -1
+	sch, err := treeroute.New(parent, root)
+	if err != nil {
+		return nil, err
+	}
+	return &SingleTree{g: g, scheme: sch, idBits: bits.UintBits(g.N())}, nil
+}
+
+// SchemeName implements the scheme interfaces.
+func (s *SingleTree) SchemeName() string { return "baseline/single-tree" }
+
+// LabelOf returns v (each node keeps the tree labels of all n nodes
+// indexed by id would defeat the point; instead the conversion from id
+// to tree label happens at the source, which stores the mapping — we
+// charge that to the source's table).
+func (s *SingleTree) LabelOf(v int) int { return v }
+
+// NameOf returns v (identity naming).
+func (s *SingleTree) NameOf(v int) int { return v }
+
+// TableBits charges each node its tree-routing table plus its own tree
+// label (sources attach the destination's label via the id->label map
+// counted below as n label entries shared across the network; per node
+// that amortizes to one label).
+func (s *SingleTree) TableBits(v int) int {
+	return s.scheme.TableBits(v) + s.scheme.LabelBits(v)
+}
+
+// RouteToLabel routes along the tree.
+func (s *SingleTree) RouteToLabel(src, label int) (*core.Route, error) {
+	if src < 0 || src >= s.g.N() {
+		return nil, fmt.Errorf("baseline: source %d out of range", src)
+	}
+	if label < 0 || label >= s.g.N() {
+		return nil, fmt.Errorf("baseline: destination %d out of range", label)
+	}
+	tr := core.NewTrace(s.g, src)
+	l := s.scheme.Label(label)
+	tr.Header(l.Bits())
+	path, err := s.scheme.Route(src, l)
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.Walk(path); err != nil {
+		return nil, err
+	}
+	return tr.Finish(label)
+}
+
+// RouteToName is RouteToLabel under the identity naming.
+func (s *SingleTree) RouteToName(src, name int) (*core.Route, error) {
+	return s.RouteToLabel(src, name)
+}

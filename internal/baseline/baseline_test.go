@@ -1,0 +1,200 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"compactrouting/internal/core"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+)
+
+func fixtures(t *testing.T) (*graph.Graph, *metric.APSP) {
+	t.Helper()
+	g, _, err := graph.RandomGeometric(100, 0.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, metric.NewAPSP(g)
+}
+
+func TestFullTableStretchExactlyOne(t *testing.T) {
+	g, a := fixtures(t)
+	s := NewFullTable(g, a)
+	stats, err := core.EvaluateLabeled(s, a, core.AllPairs(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Max > 1+1e-9 {
+		t.Fatalf("full table stretch %v != 1", stats.Max)
+	}
+	// Name-independent interface agrees.
+	nstats, err := core.EvaluateNameIndependent(s, a, core.SamplePairs(g.N(), 200, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nstats.Max > 1+1e-9 {
+		t.Fatalf("name-independent stretch %v != 1", nstats.Max)
+	}
+}
+
+func TestFullTableTableSize(t *testing.T) {
+	g, a := fixtures(t)
+	s := NewFullTable(g, a)
+	want := (g.N() - 1) * 7 // ceil(log2 100) = 7
+	if s.TableBits(0) != want {
+		t.Fatalf("TableBits = %d, want %d", s.TableBits(0), want)
+	}
+}
+
+func TestFullTableBadDestination(t *testing.T) {
+	g, a := fixtures(t)
+	s := NewFullTable(g, a)
+	if _, err := s.RouteToLabel(0, -1); err == nil {
+		t.Fatal("negative destination accepted")
+	}
+	if _, err := s.RouteToLabel(0, g.N()); err == nil {
+		t.Fatal("oversized destination accepted")
+	}
+}
+
+func TestSingleTreeDelivers(t *testing.T) {
+	g, a := fixtures(t)
+	s, err := NewSingleTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := core.EvaluateLabeled(s, a, core.AllPairs(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tree routing is optimal IN THE TREE, so stretch >= 1 always and
+	// can be large; just require delivery happened and stretch finite.
+	if stats.Max < 1-1e-9 || math.IsInf(stats.Max, 0) {
+		t.Fatalf("tree stretch %v out of range", stats.Max)
+	}
+}
+
+func TestSingleTreeCompactTables(t *testing.T) {
+	g, _ := fixtures(t)
+	s, err := NewSingleTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := NewFullTable(g, metric.NewAPSP(g))
+	st := core.Tables(s.TableBits, g.N())
+	ft := core.Tables(full.TableBits, g.N())
+	if st.MaxBits >= ft.MaxBits {
+		t.Fatalf("single-tree tables (%d) not smaller than full tables (%d)",
+			st.MaxBits, ft.MaxBits)
+	}
+}
+
+func TestSingleTreeWorstCaseStretchOnRing(t *testing.T) {
+	// On a ring, tree routing around the broken edge forces stretch up
+	// to ~n-1: the canonical compact-but-bad-stretch example.
+	g, err := graph.Ring(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := metric.NewAPSP(g)
+	s, err := NewSingleTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := core.EvaluateLabeled(s, a, core.AllPairs(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Max < 10 {
+		t.Fatalf("expected large stretch on ring, got %v", stats.Max)
+	}
+}
+
+func TestFullTableSteps(t *testing.T) {
+	g, a := fixtures(t)
+	s := NewFullTable(g, a)
+	h, err := s.PrepareHeader(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bits() <= 0 {
+		t.Fatal("empty header")
+	}
+	w := 0
+	for steps := 0; ; steps++ {
+		if steps > g.N() {
+			t.Fatal("step loop")
+		}
+		next, nh, arrived, err := s.Step(w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arrived {
+			break
+		}
+		w, h = next, nh
+	}
+	if w != 9 {
+		t.Fatalf("stepped to %d, want 9", w)
+	}
+	if _, err := s.PrepareHeader(-1); err == nil {
+		t.Fatal("bad destination accepted")
+	}
+}
+
+func TestSingleTreeSteps(t *testing.T) {
+	g, _ := fixtures(t)
+	s, err := NewSingleTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.PrepareHeader(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bits() <= 0 {
+		t.Fatal("empty header")
+	}
+	w := 17
+	for steps := 0; ; steps++ {
+		if steps > g.N() {
+			t.Fatal("step loop")
+		}
+		next, nh, arrived, err := s.Step(w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arrived {
+			break
+		}
+		w, h = next, nh
+	}
+	if w != 5 {
+		t.Fatalf("stepped to %d, want 5", w)
+	}
+	if _, err := s.PrepareHeader(g.N()); err == nil {
+		t.Fatal("bad destination accepted")
+	}
+}
+
+func TestSchemeNamesAndLabels(t *testing.T) {
+	g, a := fixtures(t)
+	ft := NewFullTable(g, a)
+	st, err := NewSingleTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.SchemeName() == "" || st.SchemeName() == "" {
+		t.Fatal("missing scheme names")
+	}
+	if ft.LabelOf(3) != 3 || ft.NameOf(3) != 3 || st.LabelOf(4) != 4 || st.NameOf(4) != 4 {
+		t.Fatal("identity labels broken")
+	}
+	if _, err := st.RouteToName(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ft.RouteToName(0, 5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package baseline
+
+import (
+	"fmt"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/treeroute"
+)
+
+// Destination is the full-table scheme's packet header: just the
+// destination id.
+type Destination int32
+
+// Bits returns the header size.
+func (d Destination) Bits() int { return bits.UvarintLen(uint64(d)) }
+
+// PrepareHeader returns the initial header for a delivery to dst.
+func (s *FullTable) PrepareHeader(dst int) (Destination, error) {
+	if dst < 0 || dst >= s.g.N() {
+		return 0, fmt.Errorf("baseline: destination %d out of range", dst)
+	}
+	return Destination(dst), nil
+}
+
+// Step performs one local full-table forwarding decision.
+func (s *FullTable) Step(node int, h Destination) (int, Destination, bool, error) {
+	if node == int(h) {
+		return 0, h, true, nil
+	}
+	return s.a.NextHop(node, int(h)), h, false, nil
+}
+
+// TreeHeader is the single-tree scheme's packet header: the
+// destination's tree-routing label.
+type TreeHeader struct {
+	L treeroute.Label
+}
+
+// Bits returns the header size.
+func (h TreeHeader) Bits() int { return h.L.Bits() }
+
+// PrepareHeader returns the initial header for a delivery to dst.
+func (s *SingleTree) PrepareHeader(dst int) (TreeHeader, error) {
+	if dst < 0 || dst >= s.g.N() {
+		return TreeHeader{}, fmt.Errorf("baseline: destination %d out of range", dst)
+	}
+	return TreeHeader{L: s.scheme.Label(dst)}, nil
+}
+
+// Step performs one local tree-routing decision.
+func (s *SingleTree) Step(node int, h TreeHeader) (int, TreeHeader, bool, error) {
+	next, arrived, err := s.scheme.NextHop(node, h.L)
+	return next, h, arrived, err
+}

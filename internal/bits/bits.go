@@ -1,0 +1,199 @@
+// Package bits provides bit-granular encoding primitives used to account
+// for the exact serialized size, in bits, of routing tables, labels, and
+// packet headers.
+//
+// Compact-routing results are stated in bits of storage per node and bits
+// per packet header. To keep those claims honest, every table and header
+// in this repository is serializable through a Writer and readable back
+// through a Reader; the experiments report Writer.Len() values rather
+// than Go in-memory sizes.
+package bits
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrOutOfData is returned by Reader methods when the underlying stream
+// has fewer bits remaining than the caller requested.
+var ErrOutOfData = errors.New("bits: read past end of stream")
+
+// Writer accumulates a bit stream. The zero value is an empty writer
+// ready for use.
+type Writer struct {
+	buf  []byte
+	nbit int // total bits written
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the accumulated stream padded with zero bits to a byte
+// boundary. The returned slice aliases the writer's internal buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(b bool) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b {
+		w.buf[w.nbit/8] |= 1 << uint(7-w.nbit%8)
+	}
+	w.nbit++
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bits: WriteBits width %d out of range", n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(v>>uint(i)&1 == 1)
+	}
+}
+
+// WriteUvarint appends v using a 7-bit-group varint (8 bits per group,
+// continuation bit first). It always writes a multiple of 8 bits.
+func (w *Writer) WriteUvarint(v uint64) {
+	for v >= 0x80 {
+		w.WriteBits(1, 1)
+		w.WriteBits(v&0x7f, 7)
+		v >>= 7
+	}
+	w.WriteBits(0, 1)
+	w.WriteBits(v, 7)
+}
+
+// WriteGamma appends v >= 1 in Elias gamma code: floor(log2 v) zero bits,
+// then the binary representation of v (which starts with a 1 bit).
+// Gamma coding uses 2*floor(log2 v)+1 bits; it is the code used for
+// light-edge port numbers in tree-routing labels, where the sum of code
+// lengths telescopes.
+func (w *Writer) WriteGamma(v uint64) {
+	if v == 0 {
+		panic("bits: WriteGamma requires v >= 1")
+	}
+	n := bits.Len64(v) // position of the highest set bit, 1-based
+	for i := 0; i < n-1; i++ {
+		w.WriteBit(false)
+	}
+	w.WriteBits(v, n)
+}
+
+// Reader consumes a bit stream produced by Writer.
+type Reader struct {
+	buf  []byte
+	pos  int // next bit to read
+	nbit int // total valid bits
+}
+
+// NewReader returns a Reader over the first nbit bits of buf.
+func NewReader(buf []byte, nbit int) *Reader {
+	return &Reader{buf: buf, nbit: nbit}
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// ReadBit consumes and returns one bit.
+func (r *Reader) ReadBit() (bool, error) {
+	if r.pos >= r.nbit {
+		return false, ErrOutOfData
+	}
+	b := r.buf[r.pos/8]>>uint(7-r.pos%8)&1 == 1
+	r.pos++
+	return b, nil
+}
+
+// ReadBits consumes n bits and returns them as the low bits of a uint64,
+// most significant first. n must be in [0, 64].
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("bits: ReadBits width %d out of range", n)
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if b {
+			v |= 1
+		}
+	}
+	return v, nil
+}
+
+// ReadUvarint consumes a varint written by WriteUvarint.
+func (r *Reader) ReadUvarint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); ; shift += 7 {
+		if shift > 63 {
+			return 0, errors.New("bits: uvarint overflows uint64")
+		}
+		cont, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		grp, err := r.ReadBits(7)
+		if err != nil {
+			return 0, err
+		}
+		v |= grp << shift
+		if !cont {
+			return v, nil
+		}
+	}
+}
+
+// ReadGamma consumes an Elias gamma code written by WriteGamma.
+func (r *Reader) ReadGamma() (uint64, error) {
+	zeros := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			break
+		}
+		zeros++
+		if zeros > 63 {
+			return 0, errors.New("bits: gamma code too long")
+		}
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<uint(zeros) | rest, nil
+}
+
+// UintBits returns the number of bits needed to store values in [0, n),
+// i.e. ceil(log2 n), with a minimum of 0 for n <= 1. It is the width used
+// for fixed-size node-id fields given an n-node graph.
+func UintBits(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// GammaLen returns the length in bits of the Elias gamma code for v >= 1.
+func GammaLen(v uint64) int {
+	return 2*bits.Len64(v) - 1
+}
+
+// UvarintLen returns the length in bits of the varint code for v.
+func UvarintLen(v uint64) int {
+	n := 8
+	for v >= 0x80 {
+		v >>= 7
+		n += 8
+	}
+	return n
+}

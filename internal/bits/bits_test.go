@@ -1,0 +1,207 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBit(t *testing.T) {
+	var w Writer
+	pattern := []bool{true, false, true, true, false, false, true, false, true}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if w.Len() != len(pattern) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(pattern))
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %v, want %v", i, got, want)
+		}
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfData {
+		t.Fatalf("read past end: err = %v, want ErrOutOfData", err)
+	}
+}
+
+func TestWriteReadBits(t *testing.T) {
+	cases := []struct {
+		v uint64
+		n int
+	}{
+		{0, 0}, {0, 1}, {1, 1}, {5, 3}, {255, 8}, {256, 9},
+		{1<<64 - 1, 64}, {1 << 63, 64}, {0xdeadbeef, 32},
+	}
+	var w Writer
+	for _, c := range cases {
+		w.WriteBits(c.v, c.n)
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for _, c := range cases {
+		got, err := r.ReadBits(c.n)
+		if err != nil {
+			t.Fatalf("ReadBits(%d): %v", c.n, err)
+		}
+		if got != c.v {
+			t.Fatalf("ReadBits(%d) = %d, want %d", c.n, got, c.v)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestWriteBitsPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteBits(_, 65) did not panic")
+		}
+	}()
+	var w Writer
+	w.WriteBits(0, 65)
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		var w Writer
+		w.WriteUvarint(v)
+		if w.Len() != UvarintLen(v) {
+			return false
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		got, err := r.ReadUvarint()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		if v == 0 {
+			v = 1
+		}
+		var w Writer
+		w.WriteGamma(v)
+		if w.Len() != GammaLen(v) {
+			return false
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		got, err := r.ReadGamma()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaKnownCodes(t *testing.T) {
+	// gamma(1) = "1", gamma(2) = "010", gamma(3) = "011", gamma(4) = "00100".
+	lens := map[uint64]int{1: 1, 2: 3, 3: 3, 4: 5, 7: 5, 8: 7}
+	for v, want := range lens {
+		if got := GammaLen(v); got != want {
+			t.Errorf("GammaLen(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestGammaZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteGamma(0) did not panic")
+		}
+	}()
+	var w Writer
+	w.WriteGamma(0)
+}
+
+func TestMixedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type op struct {
+		kind int
+		v    uint64
+		n    int
+	}
+	ops := make([]op, 500)
+	var w Writer
+	for i := range ops {
+		o := op{kind: rng.Intn(4)}
+		switch o.kind {
+		case 0:
+			o.v = uint64(rng.Intn(2))
+			w.WriteBit(o.v == 1)
+		case 1:
+			o.n = rng.Intn(65)
+			o.v = rng.Uint64()
+			if o.n < 64 {
+				o.v &= 1<<uint(o.n) - 1
+			}
+			w.WriteBits(o.v, o.n)
+		case 2:
+			o.v = rng.Uint64() >> uint(rng.Intn(64))
+			w.WriteUvarint(o.v)
+		case 3:
+			o.v = rng.Uint64()>>uint(rng.Intn(64)) | 1
+			w.WriteGamma(o.v)
+		}
+		ops[i] = o
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for i, o := range ops {
+		var got uint64
+		var err error
+		switch o.kind {
+		case 0:
+			var b bool
+			b, err = r.ReadBit()
+			if b {
+				got = 1
+			}
+		case 1:
+			got, err = r.ReadBits(o.n)
+		case 2:
+			got, err = r.ReadUvarint()
+		case 3:
+			got, err = r.ReadGamma()
+		}
+		if err != nil {
+			t.Fatalf("op %d (kind %d): %v", i, o.kind, err)
+		}
+		if got != o.v {
+			t.Fatalf("op %d (kind %d) = %d, want %d", i, o.kind, got, o.v)
+		}
+	}
+}
+
+func TestUintBits(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := UintBits(c.n); got != c.want {
+			t.Errorf("UintBits(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var w Writer
+	w.WriteUvarint(1 << 40)
+	r := NewReader(w.Bytes(), w.Len()-3)
+	if _, err := r.ReadUvarint(); err == nil {
+		t.Fatal("truncated uvarint read succeeded")
+	}
+	var w2 Writer
+	w2.WriteGamma(1 << 30)
+	r2 := NewReader(w2.Bytes(), 5)
+	if _, err := r2.ReadGamma(); err == nil {
+		t.Fatal("truncated gamma read succeeded")
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"compactrouting/internal/graph"
+)
+
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := graph.Path(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTraceHopsAndCost(t *testing.T) {
+	g := pathGraph(t, 5)
+	tr := NewTrace(g, 0)
+	if tr.At() != 0 {
+		t.Fatalf("At = %d", tr.At())
+	}
+	if err := tr.Hop(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Hop(2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cost() != 4 || tr.Steps() != 2 {
+		t.Fatalf("cost=%v steps=%d", tr.Cost(), tr.Steps())
+	}
+	if err := tr.Hop(4); err == nil {
+		t.Fatal("non-edge hop accepted")
+	}
+	r, err := tr.Finish(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Src != 0 || r.Dst != 2 || r.Cost != 4 || len(r.Path) != 3 {
+		t.Fatalf("route = %+v", r)
+	}
+}
+
+func TestTraceWalk(t *testing.T) {
+	g := pathGraph(t, 6)
+	tr := NewTrace(g, 1)
+	if err := tr.Walk([]int{1, 2, 3, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cost() != 6 {
+		t.Fatalf("cost = %v", tr.Cost())
+	}
+	if err := tr.Walk([]int{3, 4}); err == nil {
+		t.Fatal("walk from wrong node accepted")
+	}
+	if err := tr.Walk(nil); err == nil {
+		t.Fatal("empty walk accepted")
+	}
+}
+
+func TestTraceFinishWrongNode(t *testing.T) {
+	g := pathGraph(t, 3)
+	tr := NewTrace(g, 0)
+	if _, err := tr.Finish(2); err == nil {
+		t.Fatal("finish at wrong node accepted")
+	}
+}
+
+func TestTraceHeaderMax(t *testing.T) {
+	g := pathGraph(t, 3)
+	tr := NewTrace(g, 0)
+	tr.Header(10)
+	tr.Header(5)
+	tr.Header(25)
+	r, err := tr.Finish(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxHeaderBits != 25 {
+		t.Fatalf("MaxHeaderBits = %d", r.MaxHeaderBits)
+	}
+}
+
+func TestRouteStretch(t *testing.T) {
+	r := &Route{Cost: 6}
+	if r.Stretch(2) != 3 {
+		t.Fatalf("stretch = %v", r.Stretch(2))
+	}
+	if r.Stretch(0) != 1 {
+		t.Fatalf("zero-distance stretch = %v", r.Stretch(0))
+	}
+}
+
+func TestSummaryQuantiles(t *testing.T) {
+	stretches := []float64{1, 1, 1, 2, 10}
+	st := summarize(stretches, 7, 1)
+	if st.Count != 5 || st.Max != 10 || st.MaxHeader != 7 || st.Fallbacks != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.P50 != 1 {
+		t.Fatalf("P50 = %v", st.P50)
+	}
+	if math.Abs(st.Mean-3) > 1e-12 {
+		t.Fatalf("Mean = %v", st.Mean)
+	}
+	if st.P99 != 10 {
+		t.Fatalf("P99 = %v", st.P99)
+	}
+	if empty := summarize(nil, 0, 0); empty.Count != 0 {
+		t.Fatalf("empty = %+v", empty)
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	pairs := AllPairs(4)
+	if len(pairs) != 12 {
+		t.Fatalf("len = %d", len(pairs))
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range pairs {
+		if p[0] == p[1] || seen[p] {
+			t.Fatalf("bad pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSamplePairsDeterministic(t *testing.T) {
+	a := SamplePairs(50, 100, 7)
+	b := SamplePairs(50, 100, 7)
+	if len(a) != 100 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampling not deterministic")
+		}
+		if a[i][0] == a[i][1] || a[i][0] >= 50 || a[i][1] >= 50 {
+			t.Fatalf("bad pair %v", a[i])
+		}
+	}
+	if SamplePairs(1, 10, 1) != nil {
+		t.Fatal("n=1 should yield no pairs")
+	}
+}
+
+func TestTables(t *testing.T) {
+	sizes := []int{10, 30, 20}
+	st := Tables(func(v int) int { return sizes[v] }, 3)
+	if st.MaxBits != 30 || st.TotalBits != 60 || st.MeanBits != 20 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallGeo(t *testing.T) *Env {
+	t.Helper()
+	e, err := GeometricEnv(90, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestTable1Runs(t *testing.T) {
+	var sb strings.Builder
+	if err := Table1(&sb, smallGeo(t), 0.25, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 1", "Thm 1.4", "Thm 1.1", "full-table"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Runs(t *testing.T) {
+	var sb strings.Builder
+	if err := Table2(&sb, smallGeo(t), 0.25, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 2", "Thm 1.2", "single-tree", "logD family"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1Runs(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig1(&sb, smallGeo(t), 0.25, 150, 1); err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "Eqn (4) violations: 0") {
+		t.Fatalf("Eqn 4 violations reported:\n%s", sb.String())
+	}
+}
+
+func TestFig2Runs(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig2(&sb, smallGeo(t), 0.25, 150, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Claim 4.6") {
+		t.Fatalf("missing Claim 4.6 column:\n%s", sb.String())
+	}
+}
+
+func TestFig2PhaseBOnExponentialPath(t *testing.T) {
+	// Phase B of Algorithm 5 only fires on metrics with empty annuli
+	// (levels missing from R(u)); the exponential path is the canonical
+	// case. Every handed-off route must satisfy the Claim 4.6 window.
+	e, err := ExpPathEnv(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Fig2(&sb, e, 0.25, 2000, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 9 && line[0] >= '0' && line[0] <= '9' {
+			rows++
+			holds := fields[len(fields)-1] // "k/n"
+			parts := strings.Split(holds, "/")
+			if len(parts) != 2 || parts[0] != parts[1] {
+				t.Fatalf("Claim 4.6 violated in row %q", line)
+			}
+		}
+	}
+	if rows == 0 {
+		t.Fatalf("no phase-B rows on the exponential path:\n%s", out)
+	}
+}
+
+func TestFig3Runs(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig3(&sb, 200, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"minimum at b=2.000: 9.0000", "Thm 1.4 scheme on the tree", "counterexample tree"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStorageRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := Storage(&sb, []int{32, 64}, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Storage scaling") {
+		t.Fatalf("bad output:\n%s", sb.String())
+	}
+}
+
+func TestEpsilonRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := Epsilon(&sb, smallGeo(t), 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "nameind scale-free") {
+		t.Fatalf("bad output:\n%s", sb.String())
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := Ablation(&sb, smallGeo(t), 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ring radius factor", "Property 2", "heavy-first", "search-tree eps"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOverheadRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := Overhead(&sb, smallGeo(t), 0.25, 150, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Price of name independence") {
+		t.Fatalf("bad output:\n%s", sb.String())
+	}
+}
+
+func TestDimensionRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := Dimension(&sb, 0.25, 150, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Doubling-dimension sweep") {
+		t.Fatalf("bad output:\n%s", sb.String())
+	}
+}
+
+func TestOracleSweepRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := OracleSweep(&sb, smallGeo(t), 200, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "TZ oracle k=3") {
+		t.Fatalf("bad output:\n%s", sb.String())
+	}
+}

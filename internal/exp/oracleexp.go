@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"compactrouting/internal/core"
+	"compactrouting/internal/labeled"
+	"compactrouting/internal/oracle"
+)
+
+// OracleSweep contrasts the general-graph space-stretch law with the
+// doubling escape hatch: Thorup–Zwick distance oracles trade stretch
+// 2k-1 against ~n^{1/k} space per node on ANY graph, while the paper's
+// labeled scheme estimates distances at stretch (1+eps) with polylog
+// space because the metric is doubling. (Routing and distance
+// estimation share the same lower-bound landscape — §1.2.)
+func OracleSweep(w io.Writer, e *Env, pairCount int, seed int64) error {
+	pairs := e.Pairs(pairCount, seed)
+	fmt.Fprintf(w, "Space-stretch law on %s (n=%d, %d queried pairs)\n", e.Name, e.G.N(), len(pairs))
+	tw := newTab(w)
+	fmt.Fprintln(tw, "structure\tstretch bound\tmeas max\tmeas mean\tmax bits/node\tmax bunch")
+	for k := 1; k <= 4; k++ {
+		o, err := oracle.New(e.A, k, seed)
+		if err != nil {
+			return err
+		}
+		worst, sum := 1.0, 0.0
+		count := 0
+		for _, p := range pairs {
+			d := e.A.Dist(p[0], p[1])
+			if d == 0 {
+				continue
+			}
+			est, err := o.Query(p[0], p[1])
+			if err != nil {
+				return err
+			}
+			r := est / d
+			sum += r
+			count++
+			if r > worst {
+				worst = r
+			}
+		}
+		maxBits := 0
+		for v := 0; v < e.G.N(); v++ {
+			if b := o.TableBits(v); b > maxBits {
+				maxBits = b
+			}
+		}
+		fmt.Fprintf(tw, "TZ oracle k=%d\t%d\t%.3f\t%.3f\t%d\t%d\n",
+			k, 2*k-1, worst, sum/float64(count), maxBits, o.MaxBunchSize())
+	}
+	// The doubling-route comparison: the scale-free labeled scheme's
+	// route cost is itself a (1+O(eps)) distance estimate.
+	s, err := labeled.NewScaleFree(e.G, e.A, 0.25)
+	if err != nil {
+		return err
+	}
+	st, err := core.EvaluateLabeled(s, e.A, pairs)
+	if err != nil {
+		return err
+	}
+	tb := core.Tables(s.TableBits, e.G.N())
+	fmt.Fprintf(tw, "Thm 1.2 route cost (doubling)\t1+eps\t%.3f\t%.3f\t%d\t-\n",
+		st.Max, st.Mean, tb.MaxBits)
+	return tw.Flush()
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"compactrouting/internal/labeled"
+)
+
+// Overhead measures the price of name independence — the paper's
+// central trade-off: the same deliveries routed with the labeled
+// Theorem 1.2 scheme (source knows the destination's label) versus the
+// name-independent Theorem 1.1 scheme (source knows only an arbitrary
+// name), bucketed by distance. Labeled routing pays (1+eps); name
+// independence pays the doubling search, up to the optimal factor 9.
+func Overhead(w io.Writer, e *Env, eps float64, pairCount int, seed int64) error {
+	eps = minf(eps, 0.25)
+	lab, err := labeled.NewScaleFree(e.G, e.A, eps)
+	if err != nil {
+		return err
+	}
+	ni, err := buildNameIndScaleFree(e, eps, seed)
+	if err != nil {
+		return err
+	}
+	pairs := e.Pairs(pairCount, seed)
+	type obs struct {
+		d    float64
+		labS float64
+		niS  float64
+	}
+	var all []obs
+	for _, p := range pairs {
+		d := e.A.Dist(p[0], p[1])
+		if d == 0 {
+			continue
+		}
+		rl, err := lab.RouteToLabel(p[0], lab.LabelOf(p[1]))
+		if err != nil {
+			return err
+		}
+		rn, err := ni.RouteToName(p[0], ni.NameOf(p[1]))
+		if err != nil {
+			return err
+		}
+		all = append(all, obs{d: d, labS: rl.Cost / d, niS: rn.Cost / d})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+	fmt.Fprintf(w, "Price of name independence on %s (n=%d, eps=%v, %d pairs)\n",
+		e.Name, e.G.N(), eps, len(all))
+	tw := newTab(w)
+	fmt.Fprintln(tw, "distance quartile\tpairs\tlabeled mean\tlabeled max\tname-indep mean\tname-indep max\tmean ratio")
+	q := len(all) / 4
+	for b := 0; b < 4; b++ {
+		lo, hi := b*q, (b+1)*q
+		if b == 3 {
+			hi = len(all)
+		}
+		var lm, lx, nm, nx float64
+		for _, o := range all[lo:hi] {
+			lm += o.labS
+			nm += o.niS
+			if o.labS > lx {
+				lx = o.labS
+			}
+			if o.niS > nx {
+				nx = o.niS
+			}
+		}
+		c := float64(hi - lo)
+		fmt.Fprintf(tw, "Q%d (d in [%.1f, %.1f])\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.2fx\n",
+			b+1, all[lo].d, all[hi-1].d, hi-lo, lm/c, lx, nm/c, nx, (nm/c)/(lm/c))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Theorem 1.3 says the name-independent column cannot be pushed below ~9 worst-case\nby ANY compact scheme; the labeled column shows what knowing the label buys.")
+	return nil
+}

@@ -1,0 +1,324 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Path returns the path graph v0-v1-...-v(n-1) with the given uniform
+// edge weight.
+func Path(n int, weight float64) (*Graph, error) {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		if err := b.AddEdge(i, i+1, weight); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// Ring returns the n-cycle with unit edge weights.
+func Ring(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: ring needs n >= 3, got %d", n)
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		if err := b.AddEdge(i, (i+1)%n, 1); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the rows x cols grid graph with unit edge weights. Its
+// metric is growth-bounded (hence doubling with alpha ~ 2).
+func Grid(rows, cols int) (*Graph, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("graph: grid dims %dx%d invalid", rows, cols)
+	}
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := b.AddEdge(id(r, c), id(r, c+1), 1); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := b.AddEdge(id(r, c), id(r+1, c), 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// GridWithHoles returns the largest connected component of a rows x cols
+// grid after deleting each node independently with probability holeProb.
+// Deleting nodes breaks growth-boundedness but preserves low doubling
+// dimension — the paper's motivating example of a doubling network that
+// is not growth-bounded. The second return value maps new ids to (row,
+// col) positions in the original grid.
+func GridWithHoles(rows, cols int, holeProb float64, seed int64) (*Graph, [][2]int, error) {
+	if holeProb < 0 || holeProb >= 1 {
+		return nil, nil, fmt.Errorf("graph: holeProb %v out of [0,1)", holeProb)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := rows * cols
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = rng.Float64() >= holeProb
+	}
+	id := func(r, c int) int { return r*cols + c }
+	edges := make(map[[2]int]float64)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if !alive[id(r, c)] {
+				continue
+			}
+			if c+1 < cols && alive[id(r, c+1)] {
+				edges[[2]int{id(r, c), id(r, c+1)}] = 1
+			}
+			if r+1 < rows && alive[id(r+1, c)] {
+				edges[[2]int{id(r, c), id(r+1, c)}] = 1
+			}
+		}
+	}
+	keep := LargestComponent(n, edges)
+	if len(keep) < 2 {
+		return nil, nil, fmt.Errorf("graph: holes left no usable component (holeProb=%v)", holeProb)
+	}
+	newID := make(map[int]int, len(keep))
+	for i, v := range keep {
+		newID[v] = i
+	}
+	b := NewBuilder(len(keep))
+	for key, w := range edges {
+		u, ok1 := newID[key[0]]
+		v, ok2 := newID[key[1]]
+		if ok1 && ok2 {
+			if err := b.AddEdge(u, v, w); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	pos := make([][2]int, len(keep))
+	for i, v := range keep {
+		pos[i] = [2]int{v / cols, v % cols}
+	}
+	return g, pos, nil
+}
+
+// RandomGeometric returns the largest connected component of a random
+// geometric graph: n points uniform in the unit square, an edge between
+// points at Euclidean distance <= radius, edge weight equal to that
+// distance scaled so the minimum edge weight is 1. Its metric has small
+// doubling dimension (points in the plane). The second return value
+// holds the scaled point coordinates of each surviving node.
+func RandomGeometric(n int, radius float64, seed int64) (*Graph, [][2]float64, error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("graph: random geometric needs n >= 2, got %d", n)
+	}
+	if radius <= 0 || radius > math.Sqrt2 {
+		return nil, nil, fmt.Errorf("graph: radius %v out of (0, sqrt2]", radius)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+	edges := make(map[[2]int]float64)
+	minW := math.Inf(1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := pts[i][0] - pts[j][0]
+			dy := pts[i][1] - pts[j][1]
+			d := math.Hypot(dx, dy)
+			if d > radius {
+				continue
+			}
+			if d == 0 {
+				d = 1e-9 // coincident points: tiny but positive
+			}
+			edges[[2]int{i, j}] = d
+			if d < minW {
+				minW = d
+			}
+		}
+	}
+	keep := LargestComponent(n, edges)
+	if len(keep) < 2 {
+		return nil, nil, fmt.Errorf("graph: geometric graph too sparse (radius=%v)", radius)
+	}
+	newID := make(map[int]int, len(keep))
+	for i, v := range keep {
+		newID[v] = i
+	}
+	scale := 1 / minW
+	b := NewBuilder(len(keep))
+	for key, w := range edges {
+		u, ok1 := newID[key[0]]
+		v, ok2 := newID[key[1]]
+		if ok1 && ok2 {
+			if err := b.AddEdge(u, v, w*scale); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][2]float64, len(keep))
+	for i, v := range keep {
+		out[i] = [2]float64{pts[v][0] * scale, pts[v][1] * scale}
+	}
+	return g, out, nil
+}
+
+// ExponentialPath returns a path whose i-th edge has weight base^i. Its
+// metric is a line metric (doubling dimension 1) with normalized
+// diameter exponential in n: the family that separates scale-free from
+// non-scale-free schemes.
+func ExponentialPath(n int, base float64) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: exponential path needs n >= 2, got %d", n)
+	}
+	if base < 1 {
+		return nil, fmt.Errorf("graph: base %v must be >= 1", base)
+	}
+	b := NewBuilder(n)
+	w := 1.0
+	for i := 0; i+1 < n; i++ {
+		if err := b.AddEdge(i, i+1, w); err != nil {
+			return nil, err
+		}
+		w *= base
+	}
+	return b.Build()
+}
+
+// ExponentialStar returns a star of k paths, each of length n/k hops,
+// where the j-th path's edges all have weight base^j. Line-like metric
+// with exponential diameter and non-uniform density around the hub.
+func ExponentialStar(n, k int, base float64) (*Graph, error) {
+	if k < 1 || n < k+1 {
+		return nil, fmt.Errorf("graph: exponential star needs n > k >= 1, got n=%d k=%d", n, k)
+	}
+	b := NewBuilder(n)
+	per := (n - 1) / k
+	next := 1
+	for j := 0; j < k; j++ {
+		w := math.Pow(base, float64(j))
+		prev := 0
+		count := per
+		if j == k-1 {
+			count = n - 1 - j*per // absorb remainder in the last arm
+		}
+		for i := 0; i < count; i++ {
+			if err := b.AddEdge(prev, next, w); err != nil {
+				return nil, err
+			}
+			prev = next
+			next++
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree returns a random tree on n nodes: each node i >= 1 attaches
+// to a uniform random earlier node with weight drawn uniformly from
+// [1, maxW]. Trees have doubling dimension up to Theta(log n) in general;
+// this generator is used for tree-routing substrate tests, not as a
+// doubling-network workload.
+func RandomTree(n int, maxW float64, seed int64) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: random tree needs n >= 1, got %d", n)
+	}
+	if maxW < 1 {
+		return nil, fmt.Errorf("graph: maxW %v must be >= 1", maxW)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		p := rng.Intn(i)
+		w := 1 + rng.Float64()*(maxW-1)
+		if err := b.AddEdge(p, i, w); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// CaterpillarTree returns a path of length spine with leg leaves hanging
+// off every spine node; a high-degree tree useful for stressing
+// tree-routing port encodings.
+func CaterpillarTree(spine, legs int) (*Graph, error) {
+	if spine < 1 || legs < 0 {
+		return nil, fmt.Errorf("graph: bad caterpillar dims spine=%d legs=%d", spine, legs)
+	}
+	n := spine * (legs + 1)
+	b := NewBuilder(n)
+	for i := 0; i+1 < spine; i++ {
+		if err := b.AddEdge(i, i+1, 1); err != nil {
+			return nil, err
+		}
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for j := 0; j < legs; j++ {
+			if err := b.AddEdge(i, next, 1); err != nil {
+				return nil, err
+			}
+			next++
+		}
+	}
+	return b.Build()
+}
+
+// Fractal returns a recursive star-of-stars graph on branch^levels
+// nodes: level-k blocks consist of branch level-(k-1) blocks whose
+// representatives hang off the first block's representative with edges
+// of weight scale^k. The resulting metric is doubling with dimension
+// roughly log2(branch) (for scale 2) — a family with TUNABLE doubling
+// dimension for the (1/eps)^O(alpha) storage experiments.
+func Fractal(levels, branch int, scale float64) (*Graph, error) {
+	if levels < 1 || branch < 2 {
+		return nil, fmt.Errorf("graph: fractal needs levels >= 1, branch >= 2, got %d, %d", levels, branch)
+	}
+	if scale <= 1 {
+		return nil, fmt.Errorf("graph: fractal scale %v must exceed 1", scale)
+	}
+	n := 1
+	for k := 0; k < levels; k++ {
+		n *= branch
+		if n > 1<<22 {
+			return nil, fmt.Errorf("graph: fractal too large (branch^levels > 2^22)")
+		}
+	}
+	b := NewBuilder(n)
+	blockSize := 1
+	w := 1.0
+	for k := 1; k <= levels; k++ {
+		sub := blockSize
+		blockSize *= branch
+		for start := 0; start < n; start += blockSize {
+			rep := start // representative = first node of the block
+			for c := 1; c < branch; c++ {
+				if err := b.AddEdge(rep, start+c*sub, w); err != nil {
+					return nil, err
+				}
+			}
+		}
+		w *= scale
+	}
+	return b.Build()
+}

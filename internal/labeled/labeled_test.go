@@ -1,0 +1,281 @@
+package labeled
+
+import (
+	"math"
+	"testing"
+
+	"compactrouting/internal/core"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+)
+
+type fixture struct {
+	g *graph.Graph
+	a *metric.APSP
+}
+
+func geoFixture(t *testing.T, n int, seed int64) fixture {
+	t.Helper()
+	g, _, err := graph.RandomGeometric(n, 0.2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixture{g: g, a: metric.NewAPSP(g)}
+}
+
+func holesFixture(t *testing.T, side int, seed int64) fixture {
+	t.Helper()
+	g, _, err := graph.GridWithHoles(side, side, 0.25, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixture{g: g, a: metric.NewAPSP(g)}
+}
+
+func checkLabeledAllPairs(t *testing.T, s core.LabeledScheme, f fixture, stretchBound float64) core.StretchStats {
+	t.Helper()
+	stats, err := core.EvaluateLabeled(s, f.a, core.AllPairs(f.g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Max > stretchBound {
+		t.Fatalf("%s: max stretch %.3f exceeds bound %.3f", s.SchemeName(), stats.Max, stretchBound)
+	}
+	return stats
+}
+
+func TestSimpleDeliversAllPairsGeometric(t *testing.T) {
+	f := geoFixture(t, 120, 1)
+	s, err := NewSimple(f.g, f.a, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := checkLabeledAllPairs(t, s, f, s.StretchBound()+1e-9)
+	if stats.Fallbacks != 0 {
+		t.Fatalf("simple scheme has no fallback path, got %d", stats.Fallbacks)
+	}
+}
+
+func TestSimpleDeliversAllPairsHoles(t *testing.T) {
+	f := holesFixture(t, 12, 3)
+	s, err := NewSimple(f.g, f.a, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLabeledAllPairs(t, s, f, s.StretchBound()+1e-9)
+}
+
+func TestSimpleLabelsArePermutation(t *testing.T) {
+	f := geoFixture(t, 90, 2)
+	s, err := NewSimple(f.g, f.a, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, f.g.N())
+	for v := 0; v < f.g.N(); v++ {
+		l := s.LabelOf(v)
+		if l < 0 || l >= f.g.N() || seen[l] {
+			t.Fatalf("bad label %d for %d", l, v)
+		}
+		seen[l] = true
+		if s.NodeOfLabel(l) != v {
+			t.Fatalf("NodeOfLabel(%d) = %d, want %d", l, s.NodeOfLabel(l), v)
+		}
+	}
+}
+
+func TestSimpleRejectsBadEps(t *testing.T) {
+	f := geoFixture(t, 30, 4)
+	for _, eps := range []float64{0, -1, 0.6, 2} {
+		if _, err := NewSimple(f.g, f.a, eps); err == nil {
+			t.Fatalf("eps=%v accepted", eps)
+		}
+	}
+}
+
+func TestSimpleRejectsBadLabel(t *testing.T) {
+	f := geoFixture(t, 30, 5)
+	s, err := NewSimple(f.g, f.a, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RouteToLabel(0, -1); err == nil {
+		t.Fatal("negative label accepted")
+	}
+	if _, err := s.RouteToLabel(0, f.g.N()); err == nil {
+		t.Fatal("oversized label accepted")
+	}
+}
+
+func TestSimpleSelfRoute(t *testing.T) {
+	f := geoFixture(t, 40, 6)
+	s, err := NewSimple(f.g, f.a, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.RouteToLabel(7, s.LabelOf(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 0 || len(r.Path) != 1 {
+		t.Fatalf("self route = %+v", r)
+	}
+}
+
+func TestSimpleTableGrowsWithDelta(t *testing.T) {
+	// The simple scheme's tables carry a log(Delta) factor: an
+	// exponential-diameter path must need more bits per node than a
+	// unit path of the same size.
+	unit, err := graph.Path(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := graph.ExponentialPath(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, err := NewSimple(unit, metric.NewAPSP(unit), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewSimple(expo, metric.NewAPSP(expo), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := core.Tables(su.TableBits, 64)
+	te := core.Tables(se.TableBits, 64)
+	if te.MaxBits <= tu.MaxBits {
+		t.Fatalf("exponential-diameter tables (%d) not larger than unit (%d)",
+			te.MaxBits, tu.MaxBits)
+	}
+}
+
+func TestScaleFreeDeliversAllPairsGeometric(t *testing.T) {
+	f := geoFixture(t, 120, 7)
+	s, err := NewScaleFree(f.g, f.a, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytical bound ~ 1 + O(eps) with a constant near 20 (Lemma 4.7
+	// worst case); actual routes are far better.
+	stats := checkLabeledAllPairs(t, s, f, 1+25*0.25)
+	if stats.Fallbacks != 0 {
+		t.Fatalf("scale-free labeled used %d fallbacks on a doubling graph", stats.Fallbacks)
+	}
+	t.Logf("scale-free labeled: max=%.3f mean=%.3f p99=%.3f hdr=%db",
+		stats.Max, stats.Mean, stats.P99, stats.MaxHeader)
+}
+
+func TestScaleFreeDeliversAllPairsHoles(t *testing.T) {
+	f := holesFixture(t, 11, 8)
+	s, err := NewScaleFree(f.g, f.a, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := checkLabeledAllPairs(t, s, f, 1+25*0.2)
+	if stats.Fallbacks != 0 {
+		t.Fatalf("fallbacks: %d", stats.Fallbacks)
+	}
+}
+
+func TestScaleFreeOnExponentialStar(t *testing.T) {
+	// The scale-free scheme must deliver on exponential-diameter
+	// metrics, the case it exists for.
+	g, err := graph.ExponentialStar(60, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fixture{g: g, a: metric.NewAPSP(g)}
+	s, err := NewScaleFree(f.g, f.a, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLabeledAllPairs(t, s, f, 1+25*0.25)
+}
+
+func TestScaleFreeScaleFreedom(t *testing.T) {
+	// Core claim of Theorem 1.2: storage must NOT grow with Delta.
+	// Compare table bits on a unit-weight path vs an exponential path
+	// of the same node count: the ratio must stay modest even though
+	// Delta explodes from 63 to 4^62.
+	unit, err := graph.Path(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := graph.ExponentialPath(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, err := NewScaleFree(unit, metric.NewAPSP(unit), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewScaleFree(expo, metric.NewAPSP(expo), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := core.Tables(su.TableBits, 64)
+	te := core.Tables(se.TableBits, 64)
+	// log2(Delta) grows by a factor of ~21 (6 -> 124); scale-free
+	// storage should grow by far less than that.
+	if ratio := float64(te.MaxBits) / float64(tu.MaxBits); ratio > 4 {
+		t.Fatalf("scale-free tables grew %.1fx with Delta (unit=%d expo=%d)",
+			ratio, tu.MaxBits, te.MaxBits)
+	}
+}
+
+func TestScaleFreeRejectsBadEps(t *testing.T) {
+	f := geoFixture(t, 30, 9)
+	for _, eps := range []float64{0, -0.1, 0.3, 1} {
+		if _, err := NewScaleFree(f.g, f.a, eps); err == nil {
+			t.Fatalf("eps=%v accepted", eps)
+		}
+	}
+}
+
+func TestScaleFreeHeaderPolylog(t *testing.T) {
+	f := geoFixture(t, 150, 10)
+	s, err := NewScaleFree(f.g, f.a, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := core.EvaluateLabeled(s, f.a, core.SamplePairs(f.g.N(), 500, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logn := math.Log2(float64(f.g.N()))
+	if float64(stats.MaxHeader) > 6*logn*logn {
+		t.Fatalf("header %d bits > 6 log^2 n = %.0f", stats.MaxHeader, 6*logn*logn)
+	}
+}
+
+func TestScaleFreeExponentialPathStretch(t *testing.T) {
+	g, err := graph.ExponentialPath(48, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fixture{g: g, a: metric.NewAPSP(g)}
+	s, err := NewScaleFree(f.g, f.a, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLabeledAllPairs(t, s, f, 1+25*0.125)
+}
+
+func TestSimpleVsOptimalPathCost(t *testing.T) {
+	// On a path graph the simple scheme should route at stretch exactly
+	// 1 (the only simple path is the shortest path).
+	g, err := graph.Path(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fixture{g: g, a: metric.NewAPSP(g)}
+	s, err := NewSimple(f.g, f.a, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := checkLabeledAllPairs(t, s, f, 1+1e-9)
+	if stats.Max > 1+1e-9 {
+		t.Fatalf("path stretch %v != 1", stats.Max)
+	}
+}

@@ -1,0 +1,156 @@
+package lowerbound
+
+import (
+	"math"
+)
+
+// This file makes Section 5.1 operational on brute-forceable
+// instances: Lemma 5.4's pigeonhole construction of congruent-naming
+// families and Lemma 5.5's existence of an ambiguous target name are
+// executed exactly, by enumerating all n! namings of a small node set.
+
+// ConfigFn models a name-independent scheme's preprocessing: given a
+// naming (nameOf[v] = name) it returns node v's beta-bit routing-table
+// configuration. Lemma 5.4 holds for EVERY such function.
+type ConfigFn func(nameOf []int, v int) uint64
+
+// CongruentResult reports the nested family chain of Lemma 5.4.
+type CongruentResult struct {
+	// FamilySizes[i] = |L_i|, the number of namings congruent on the
+	// partition prefix V_0 ∪ ... ∪ V_i.
+	FamilySizes []int
+	// Bound[i] is Lemma 5.4's guarantee n!/2^{beta * prefixSize_i}.
+	Bound []float64
+	// Families[i] lists the namings of L_i (as indices into the
+	// enumeration order), for downstream checks.
+	Families [][][]int
+}
+
+// CongruentFamilies enumerates all namings of n nodes, fixes the
+// routing configuration greedily on each partition class in turn
+// (always keeping the most common configuration vector — the
+// pigeonhole step), and returns the chain L_0 ⊇ L_1 ⊇ ... together
+// with the lemma's size bounds. beta is the table size in bits
+// (configurations are truncated to beta bits). n must be small enough
+// to enumerate (n <= 8).
+func CongruentFamilies(n, beta int, partition [][]int, cfg ConfigFn) *CongruentResult {
+	if n > 8 {
+		panic("lowerbound: CongruentFamilies enumerates n! namings; n must be <= 8")
+	}
+	mask := uint64(1)<<uint(beta) - 1
+	all := permutations(n)
+	res := &CongruentResult{}
+	family := all
+	prefix := 0
+	for _, class := range partition {
+		prefix += len(class)
+		// Group the current family by the configuration vector on this
+		// class and keep the largest group.
+		groups := make(map[string][][]int)
+		for _, nameOf := range family {
+			key := make([]byte, 0, 8*len(class))
+			for _, v := range class {
+				c := cfg(nameOf, v) & mask
+				for b := 0; b < 8; b++ {
+					key = append(key, byte(c>>uint(8*b)))
+				}
+			}
+			groups[string(key)] = append(groups[string(key)], nameOf)
+		}
+		var best [][]int
+		var bestKey string
+		for k, g := range groups {
+			if len(g) > len(best) || (len(g) == len(best) && k < bestKey) {
+				best, bestKey = g, k
+			}
+		}
+		family = best
+		res.FamilySizes = append(res.FamilySizes, len(family))
+		res.Families = append(res.Families, family)
+		res.Bound = append(res.Bound, factorial(n)/math.Pow(2, float64(beta*prefix)))
+	}
+	return res
+}
+
+// AmbiguousName implements Lemma 5.5 for the family chain: it returns
+// a name t and a class index i such that within L_{i-1} some naming
+// places t in V_i and another does not — so no routing algorithm that
+// has only seen the tables of V_0..V_{i-1} can know whether the node
+// named t lies in V_i. Returns ok=false if no such name exists (which
+// the lemma rules out when the families are large enough).
+func AmbiguousName(res *CongruentResult, partition [][]int, n int) (t, class int, ok bool) {
+	for i := 1; i < len(partition); i++ {
+		family := res.Families[i-1]
+		inClass := make(map[int]bool, n)  // names that appear in V_i for some naming
+		outClass := make(map[int]bool, n) // names that miss V_i for some naming
+		for _, nameOf := range family {
+			members := make(map[int]bool, len(partition[i]))
+			for _, v := range partition[i] {
+				members[nameOf[v]] = true
+			}
+			for name := 0; name < n; name++ {
+				if members[name] {
+					inClass[name] = true
+				} else {
+					outClass[name] = true
+				}
+			}
+		}
+		for name := 0; name < n; name++ {
+			if inClass[name] && outClass[name] {
+				return name, i, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// permutations enumerates all permutations of [0, n) in lexicographic
+// order.
+func permutations(n int) [][]int {
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			cp := make([]int, n)
+			copy(cp, cur)
+			out = append(out, cp)
+			return
+		}
+		for i := k; i < n; i++ {
+			cur[k], cur[i] = cur[i], cur[k]
+			rec(k + 1)
+			cur[k], cur[i] = cur[i], cur[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func factorial(n int) float64 {
+	f := 1.0
+	for k := 2; k <= n; k++ {
+		f *= float64(k)
+	}
+	return f
+}
+
+// NeighborhoodConfig returns a ConfigFn modeling a radius-limited
+// compact scheme: node v's table is a hash of the names of the nodes
+// in its coverage list cover[v] (e.g. its ball of some radius). Any
+// real compact scheme's table is a function of some bounded
+// neighborhood's names; this captures exactly that dependence.
+func NeighborhoodConfig(cover [][]int) ConfigFn {
+	return func(nameOf []int, v int) uint64 {
+		h := uint64(1469598103934665603) // FNV offset basis
+		for _, u := range cover[v] {
+			h ^= uint64(nameOf[u]) + 0x9e3779b97f4a7c15
+			h *= 1099511628211
+		}
+		return h
+	}
+}

@@ -1,0 +1,127 @@
+package lowerbound
+
+import (
+	"testing"
+)
+
+// starPartition partitions 1+2+4 nodes like the paper's tree: the root
+// alone, then geometrically growing branches.
+func starPartition() (int, [][]int) {
+	return 7, [][]int{{0}, {1, 2}, {3, 4, 5, 6}}
+}
+
+// starCover gives each node a "table" depending on its own branch's
+// names plus the root — a radius-limited scheme on the star.
+func starCover(n int, partition [][]int) [][]int {
+	cover := make([][]int, n)
+	for _, class := range partition {
+		for _, v := range class {
+			cover[v] = append([]int{0}, class...)
+		}
+	}
+	return cover
+}
+
+func TestPermutationsCountAndDistinct(t *testing.T) {
+	perms := permutations(4)
+	if len(perms) != 24 {
+		t.Fatalf("got %d permutations", len(perms))
+	}
+	seen := map[[4]int]bool{}
+	for _, p := range perms {
+		var k [4]int
+		copy(k[:], p)
+		if seen[k] {
+			t.Fatalf("duplicate permutation %v", p)
+		}
+		seen[k] = true
+	}
+}
+
+func TestCongruentFamiliesMeetBound(t *testing.T) {
+	n, partition := starPartition()
+	cover := starCover(n, partition)
+	for _, beta := range []int{1, 2, 3} {
+		res := CongruentFamilies(n, beta, partition, NeighborhoodConfig(cover))
+		if len(res.FamilySizes) != len(partition) {
+			t.Fatalf("beta=%d: %d classes", beta, len(res.FamilySizes))
+		}
+		prev := int(factorial(n))
+		for i, size := range res.FamilySizes {
+			// Lemma 5.4: |L_i| >= n! / 2^{beta * prefix}.
+			if float64(size) < res.Bound[i] {
+				t.Fatalf("beta=%d class %d: family %d below bound %v", beta, i, size, res.Bound[i])
+			}
+			// Nesting: families shrink.
+			if size > prev {
+				t.Fatalf("beta=%d class %d: family grew", beta, i)
+			}
+			prev = size
+		}
+	}
+}
+
+func TestCongruentNamingsShareConfigurations(t *testing.T) {
+	// Definitional check: all namings in L_i give identical tables on
+	// the prefix V_0..V_i.
+	n, partition := starPartition()
+	cover := starCover(n, partition)
+	cfg := NeighborhoodConfig(cover)
+	res := CongruentFamilies(n, 2, partition, cfg)
+	mask := uint64(3)
+	for i, family := range res.Families {
+		var prefix []int
+		for _, class := range partition[:i+1] {
+			prefix = append(prefix, class...)
+		}
+		ref := family[0]
+		for _, nameOf := range family[1:] {
+			for _, v := range prefix {
+				if cfg(ref, v)&mask != cfg(nameOf, v)&mask {
+					t.Fatalf("class %d: namings disagree on table of %d", i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestAmbiguousNameExists(t *testing.T) {
+	// Lemma 5.5 in action: with small tables there is a name whose
+	// branch cannot be determined from the prefix tables — the seed of
+	// the lower-bound adversary.
+	n, partition := starPartition()
+	cover := starCover(n, partition)
+	res := CongruentFamilies(n, 1, partition, NeighborhoodConfig(cover))
+	name, class, ok := AmbiguousName(res, partition, n)
+	if !ok {
+		t.Fatal("no ambiguous name found with 1-bit tables")
+	}
+	if class < 1 || class >= len(partition) {
+		t.Fatalf("bad class %d", class)
+	}
+	if name < 0 || name >= n {
+		t.Fatalf("bad name %d", name)
+	}
+}
+
+func TestFullTablesDefeatAmbiguity(t *testing.T) {
+	// With tables that encode every node's location (beta large, cover
+	// = everything), the surviving congruent family is ~1 naming and
+	// ambiguity disappears — matching the stretch-1 full-table scheme.
+	n, partition := starPartition()
+	full := make([][]int, n)
+	for v := range full {
+		for u := 0; u < n; u++ {
+			full[v] = append(full[v], u)
+		}
+	}
+	res := CongruentFamilies(n, 60, partition, NeighborhoodConfig(full))
+	if size := res.FamilySizes[len(res.FamilySizes)-1]; size != 1 {
+		// Hash collisions could merge a couple of namings, but with 60
+		// bits that is vanishingly unlikely.
+		t.Fatalf("full-table family still has %d namings", size)
+	}
+	if _, _, ok := AmbiguousName(res, partition, n); ok {
+		t.Fatal("ambiguity survived full tables")
+	}
+}

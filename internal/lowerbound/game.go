@@ -1,0 +1,228 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The branch-search game. A target name hides at the far end of one of
+// m branches of weights w_1 < w_2 < ... < w_m hanging off a common
+// root. The searcher starts at the root knowing nothing (Corollary 5.7:
+// with o(n^{1/c})-bit tables, the tables of all nodes within the
+// explored region cannot resolve the target's branch). Probing the
+// branch of weight b costs a 2b round trip and reveals the target's
+// exact location IF it lies in a branch of weight <= b (the probed
+// branch's tables belong to a deeper congruence class); otherwise the
+// searcher only learns the target is further out. A deterministic
+// strategy is therefore an increasing sequence of probe weights ending
+// at w_m. When the target sits in a branch of weight w, the searcher
+// pays 2*(sum of probes up to the first probe >= w) + w.
+//
+// This is exactly the escalation that Claims 5.9-5.11 bound: writing
+// A_k for the prefix sums of the probe subsequence b_k, some k has
+// A_{k+1}/b_k > 4 - eps/4, which forces stretch (2 A_{k+1} + b_k)/b_k
+// > 9 - eps. Conversely the doubling strategy b_k = 2^k achieves
+// sup ratio 1 + 2b^2/(b-1) |_{b=2} = 9.
+
+// StrategyStretch returns the worst-case stretch of the given probe
+// subsequence (indices into the ascending weights slice; the last probe
+// must cover the largest weight). The adversary places the target on
+// any branch.
+func StrategyStretch(weights []float64, probes []int) (float64, error) {
+	if !sort.Float64sAreSorted(weights) {
+		return 0, fmt.Errorf("lowerbound: weights must be ascending")
+	}
+	if len(weights) == 0 || len(probes) == 0 {
+		return 0, fmt.Errorf("lowerbound: empty game")
+	}
+	last := -1
+	for _, p := range probes {
+		if p <= last || p >= len(weights) {
+			return 0, fmt.Errorf("lowerbound: probes must be strictly increasing indices, got %v", probes)
+		}
+		last = p
+	}
+	if probes[len(probes)-1] != len(weights)-1 {
+		return 0, fmt.Errorf("lowerbound: final probe must cover the largest weight")
+	}
+	worst := 0.0
+	prefix := 0.0
+	k := 0
+	for _, p := range probes {
+		prefix += weights[p]
+		// Targets first covered by this probe: weights in (prev, w_p].
+		for ; k <= p; k++ {
+			w := weights[k]
+			if r := (2*prefix + w) / w; r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst, nil
+}
+
+// DoublingStrategy returns the probe subsequence that doubles the
+// covered weight each step: the first index at or above base^k for
+// each k, ending at the largest weight. base must exceed 1.
+func DoublingStrategy(weights []float64, base float64) []int {
+	var probes []int
+	target := weights[0]
+	for {
+		i := sort.SearchFloat64s(weights, target)
+		if i >= len(weights) {
+			break
+		}
+		// Probe the largest weight still <= target*? Use the first
+		// weight >= target, the cheapest probe covering it.
+		probes = append(probes, i)
+		if i == len(weights)-1 {
+			break
+		}
+		target = weights[i] * base
+	}
+	if len(probes) == 0 || probes[len(probes)-1] != len(weights)-1 {
+		probes = append(probes, len(weights)-1)
+	}
+	return dedupAscending(probes)
+}
+
+func dedupAscending(p []int) []int {
+	out := p[:0]
+	for i, v := range p {
+		if i == 0 || v > out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// OptimalStretch computes the exact minimax stretch of the game over
+// ALL deterministic strategies, by binary search over the ratio with an
+// exact dynamic-programming feasibility check. For a candidate ratio
+// rho, minA[p] is the minimal achievable probe prefix sum over
+// strategies whose last probe so far is index p and that satisfy every
+// constraint so far; a transition l -> p is allowed when
+// 2*(minA[l] + w_p) + w_{l+1} <= rho * w_{l+1} (the adversary's best
+// placement in the newly covered interval binds at its smallest
+// weight). Smaller prefix sums only relax future constraints, so
+// propagating the minimum is exact. rho is feasible iff index m-1 is
+// reachable.
+func OptimalStretch(weights []float64) (float64, []int, error) {
+	if !sort.Float64sAreSorted(weights) || len(weights) == 0 {
+		return 0, nil, fmt.Errorf("lowerbound: need ascending nonempty weights")
+	}
+	m := len(weights)
+	feasible := func(rho float64) ([]int, bool) {
+		minA := make([]float64, m)
+		parent := make([]int, m)
+		for i := range minA {
+			minA[i] = math.Inf(1)
+			parent[i] = -2
+		}
+		for p := 0; p < m; p++ {
+			// First probe p: binding target weight is w_0.
+			if 2*weights[p]+weights[0] <= rho*weights[0] {
+				if weights[p] < minA[p] {
+					minA[p] = weights[p]
+					parent[p] = -1
+				}
+			}
+		}
+		for l := 0; l < m-1; l++ {
+			if math.IsInf(minA[l], 1) {
+				continue
+			}
+			bind := weights[l+1]
+			for p := l + 1; p < m; p++ {
+				a := minA[l] + weights[p]
+				if 2*a+bind <= rho*bind && a < minA[p] {
+					minA[p] = a
+					parent[p] = l
+				}
+			}
+		}
+		if math.IsInf(minA[m-1], 1) {
+			return nil, false
+		}
+		var probes []int
+		for p := m - 1; p >= 0; p = parent[p] {
+			probes = append(probes, p)
+			if parent[p] == -1 {
+				break
+			}
+		}
+		for i, j := 0, len(probes)-1; i < j; i, j = i+1, j-1 {
+			probes[i], probes[j] = probes[j], probes[i]
+		}
+		return probes, true
+	}
+	lo, hi := 1.0, 3.0
+	for {
+		if _, ok := feasible(hi); ok {
+			break
+		}
+		hi *= 2
+		if hi > 1e9 {
+			return 0, nil, fmt.Errorf("lowerbound: no feasible ratio found")
+		}
+	}
+	for iter := 0; iter < 100; iter++ {
+		mid := (lo + hi) / 2
+		if _, ok := feasible(mid); ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	probes, _ := feasible(hi)
+	// The greedy witness is feasible at ratio hi; report its actual
+	// worst-case stretch (<= hi).
+	got, err := StrategyStretch(weights, probes)
+	if err != nil {
+		return 0, nil, err
+	}
+	return got, probes, nil
+}
+
+// GeometricRatio returns the sup stretch of the pure geometric
+// strategy b_k = base^k on a continuum of branch weights:
+// 1 + 2*base^2/(base-1). Minimizing over base gives base = 2 and ratio
+// 9 — the constant of Theorems 1.1 and 1.3.
+func GeometricRatio(base float64) float64 {
+	if base <= 1 {
+		return math.Inf(1)
+	}
+	return 1 + 2*base*base/(base-1)
+}
+
+// BestGeometricBase minimizes GeometricRatio by ternary search and
+// returns (base, ratio); analytically (2, 9).
+func BestGeometricBase() (float64, float64) {
+	lo, hi := 1.0001, 16.0
+	for iter := 0; iter < 200; iter++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if GeometricRatio(m1) < GeometricRatio(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	b := (lo + hi) / 2
+	return b, GeometricRatio(b)
+}
+
+// LogCongruentFamilySize evaluates Lemma 5.4's counting bound: the
+// log2 of the guaranteed size of the congruent-naming family after
+// fixing the tables of the first n^{i/c} nodes with beta-bit tables,
+// log2(n!) - beta * n^{i/c}. A positive, large value certifies that
+// exponentially many namings share those routing tables — the
+// pigeonhole fact the adversary exploits.
+func LogCongruentFamilySize(n int, beta float64, c, i int) float64 {
+	logFact := 0.0
+	for k := 2; k <= n; k++ {
+		logFact += math.Log2(float64(k))
+	}
+	return logFact - beta*math.Pow(float64(n), float64(i)/float64(c))
+}

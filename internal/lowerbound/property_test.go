@@ -1,0 +1,104 @@
+package lowerbound
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickOptimalDominatesEveryStrategy: the DP's reported optimum
+// must be no worse than any randomly sampled strategy, on random
+// ascending weight sets.
+func TestQuickOptimalDominatesEveryStrategy(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + int(mRaw)%20
+		weights := make([]float64, m)
+		w := 1.0
+		for i := range weights {
+			w += rng.Float64() * w
+			weights[i] = w
+		}
+		sort.Float64s(weights)
+		opt, witness, err := OptimalStretch(weights)
+		if err != nil {
+			return false
+		}
+		if check, err := StrategyStretch(weights, witness); err != nil || check > opt+1e-9 {
+			return false
+		}
+		// Sample random strategies; none may beat the optimum.
+		for trial := 0; trial < 20; trial++ {
+			var probes []int
+			for i := 0; i < m-1; i++ {
+				if rng.Intn(2) == 0 {
+					probes = append(probes, i)
+				}
+			}
+			probes = append(probes, m-1)
+			got, err := StrategyStretch(weights, probes)
+			if err != nil {
+				return false
+			}
+			if got < opt-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOptimalScaleInvariant: scaling every weight by a constant
+// leaves the minimax stretch unchanged (the game is about ratios).
+func TestQuickOptimalScaleInvariant(t *testing.T) {
+	f := func(seed int64, scaleRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 4 + int(uint16(seed)%12)
+		weights := make([]float64, m)
+		w := 1.0
+		for i := range weights {
+			w += rng.Float64()*w + 0.01
+			weights[i] = w
+		}
+		scale := 1 + float64(scaleRaw)
+		scaled := make([]float64, m)
+		for i := range scaled {
+			scaled[i] = weights[i] * scale
+		}
+		a, _, err := OptimalStretch(weights)
+		if err != nil {
+			return false
+		}
+		b, _, err := OptimalStretch(scaled)
+		if err != nil {
+			return false
+		}
+		return a > b-1e-6 && a < b+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoublingStrategyNearOptimalOnGeometricWeights: on near-continuum
+// weight grids the base-2 doubling strategy is within a whisker of the
+// DP optimum — the structural fact behind "9".
+func TestDoublingStrategyNearOptimalOnGeometricWeights(t *testing.T) {
+	p := Params{P: 24, Q: 24}
+	w := p.Weights()
+	opt, _, err := OptimalStretch(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbl, err := StrategyStretch(w, DoublingStrategy(w, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbl > opt*1.1 {
+		t.Fatalf("doubling %v vs optimal %v: more than 10%% off", dbl, opt)
+	}
+}

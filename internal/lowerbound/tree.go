@@ -1,0 +1,160 @@
+// Package lowerbound reproduces Section 5 (Theorem 1.3): the stretch
+// lower bound for name-independent compact routing.
+//
+// It provides (i) the exact counterexample tree of Figure 3, with its
+// metric properties checkable numerically (node count, normalized
+// diameter O(2^{1/eps} n), doubling dimension <= 6 - log eps); (ii) the
+// operational search game the information-theoretic proof encodes — a
+// searcher at the root must locate a name hidden in one of the weighted
+// branches, where probing the branch of weight b (round trip 2b) reveals
+// the target's location only among branches of weight <= b (Corollary
+// 5.7: tables seen so far cannot resolve names any further out) — with
+// exact minimax analysis showing optimal stretch -> 9; and (iii) the
+// counting machinery of Lemmas 5.4-5.5 evaluated numerically.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"compactrouting/internal/graph"
+)
+
+// Params are the branch-grid dimensions of the Figure 3 tree.
+type Params struct {
+	P int // weight doublings: branches T_{i,j} for i in [p]
+	Q int // weights per doubling: j in [q]
+}
+
+// PaperParams returns the paper's parameter choice for a target eps in
+// (0, 8): p = ceil(72/eps)+6 and q = ceil(48/eps)-4 (Section 5.2).
+func PaperParams(eps float64) (Params, error) {
+	if eps <= 0 || eps >= 8 {
+		return Params{}, fmt.Errorf("lowerbound: eps %v out of (0, 8)", eps)
+	}
+	return Params{
+		P: int(math.Ceil(72/eps)) + 6,
+		Q: int(math.Ceil(48/eps)) - 4,
+	}, nil
+}
+
+// BranchWeight returns w_{i,j} = 2^i (q + j), the length of the edge
+// from the root to branch T_{i,j}.
+func (p Params) BranchWeight(i, j int) float64 {
+	return math.Pow(2, float64(i)) * float64(p.Q+j)
+}
+
+// Weights returns all pq branch weights in partition order
+// (i ascending, then j), which is also ascending weight order within
+// each i and overall interleaved.
+func (p Params) Weights() []float64 {
+	out := make([]float64, 0, p.P*p.Q)
+	for i := 0; i < p.P; i++ {
+		for j := 0; j < p.Q; j++ {
+			out = append(out, p.BranchWeight(i, j))
+		}
+	}
+	return out
+}
+
+// Tree is the constructed Figure 3 graph.
+type Tree struct {
+	Params Params
+	G      *graph.Graph
+	Root   int
+	// BranchOf[v] = flat branch index iq+j of node v (-1 for the root).
+	BranchOf []int
+	// Sizes[k] = number of nodes of branch k.
+	Sizes []int
+	// Mid[k] = the node of branch k attached to the root.
+	Mid []int
+}
+
+// Build constructs the tree on (approximately) n nodes: branch k =
+// iq+j holds round(n^{(k+1)/pq}) - round(n^{k/pq}) nodes (at least 1),
+// chained by edges of weight 1/n, with the middle node attached to the
+// root by an edge of weight w_{i,j}. n must be at least 2^{pq} so that
+// every branch is nonempty with the paper's geometric sizing.
+func Build(p Params, n int) (*Tree, error) {
+	c := p.P * p.Q
+	if c < 1 {
+		return nil, fmt.Errorf("lowerbound: empty params %+v", p)
+	}
+	if n < 1<<uint(c) && c < 62 {
+		return nil, fmt.Errorf("lowerbound: n=%d too small for pq=%d branches (need >= 2^%d)", n, c, c)
+	}
+	// Branch boundaries b_k = round(n^{k/c}), forced strictly
+	// increasing so every branch is nonempty.
+	bounds := make([]int, c+1)
+	for k := 0; k <= c; k++ {
+		bounds[k] = int(math.Round(math.Pow(float64(n), float64(k)/float64(c))))
+	}
+	bounds[0] = 1
+	bounds[c] = n
+	for k := 1; k < c; k++ {
+		if bounds[k] <= bounds[k-1] {
+			bounds[k] = bounds[k-1] + 1
+		}
+	}
+	for k := c - 1; k >= 1; k-- {
+		if bounds[k] >= bounds[k+1] {
+			bounds[k] = bounds[k+1] - 1
+		}
+	}
+	if bounds[1] <= bounds[0] {
+		return nil, fmt.Errorf("lowerbound: n=%d cannot fit %d nonempty branches", n, c)
+	}
+	t := &Tree{
+		Params:   p,
+		Root:     0,
+		BranchOf: make([]int, n),
+		Sizes:    make([]int, c),
+		Mid:      make([]int, c),
+	}
+	t.BranchOf[0] = -1
+	b := graph.NewBuilder(n)
+	inner := 1.0 / float64(n)
+	next := 1
+	for k := 0; k < c; k++ {
+		size := bounds[k+1] - bounds[k]
+		t.Sizes[k] = size
+		first := next
+		for s := 0; s < size; s++ {
+			t.BranchOf[next] = k
+			if s > 0 {
+				if err := b.AddEdge(next-1, next, inner); err != nil {
+					return nil, err
+				}
+			}
+			next++
+		}
+		mid := first + size/2
+		t.Mid[k] = mid
+		w := p.BranchWeight(k/p.Q, k%p.Q)
+		if err := b.AddEdge(0, mid, w); err != nil {
+			return nil, err
+		}
+	}
+	if next != n {
+		return nil, fmt.Errorf("lowerbound: built %d nodes, want %d", next, n)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	t.G = g
+	return t, nil
+}
+
+// DoublingDimensionBound returns the paper's analytic bound on the
+// tree's doubling dimension, log2(q+2) (Lemma 5.8 proves this is at
+// most 6 - log eps under the paper's parameterization).
+func (p Params) DoublingDimensionBound() float64 {
+	return math.Log2(float64(p.Q + 2))
+}
+
+// NormalizedDiameterBound returns the paper's bound 2*w_{p-1,q-1}*n on
+// the normalized diameter (edge weights inside branches are 1/n).
+func (p Params) NormalizedDiameterBound(n int) float64 {
+	return 2 * p.BranchWeight(p.P-1, p.Q-1) * float64(n)
+}

@@ -1,0 +1,203 @@
+package metric
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"compactrouting/internal/graph"
+)
+
+// APSP holds all-pairs shortest-path data: the full distance matrix,
+// per-target next hops, and for every node the list of all nodes sorted
+// by distance from it (ties by node id). The sorted orders realize the
+// paper's ball machinery: the "ball of size k around u" is the first k
+// entries of u's order, and r_u(j) is the distance of entry 2^j - 1.
+//
+// APSP is the preprocessing oracle: schemes consult it while compiling
+// routing tables, never while routing.
+type APSP struct {
+	n       int
+	dist    []float64 // dist[u*n+v]
+	nextHop []int32   // nextHop[u*n+v] = neighbor of u on shortest path u->v; -1 if u==v
+	order   []int32   // order[u*n+k] = k-th nearest node to u (order[u*n] == u)
+}
+
+// NewAPSP runs Dijkstra from every node and builds the oracle.
+// It costs O(n·m·log n) time and O(n²) memory; the single-source runs
+// and the per-node distance sorts are spread over all CPUs.
+func NewAPSP(g *graph.Graph) *APSP {
+	n := g.N()
+	a := &APSP{
+		n:       n,
+		dist:    make([]float64, n*n),
+		nextHop: make([]int32, n*n),
+		order:   make([]int32, n*n),
+	}
+	parallelFor(n, func(t int) {
+		spt := Dijkstra(g, t)
+		// spt.Parent[v] is v's next hop toward t; transpose into rows.
+		for v := 0; v < n; v++ {
+			a.dist[v*n+t] = spt.Dist[v]
+			a.nextHop[v*n+t] = int32(spt.Parent[v])
+		}
+	})
+	parallelFor(n, func(u int) {
+		perm := a.order[u*n : (u+1)*n]
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		row := a.dist[u*n : (u+1)*n]
+		sort.Slice(perm, func(i, j int) bool {
+			di, dj := row[perm[i]], row[perm[j]]
+			if di != dj {
+				return di < dj
+			}
+			return perm[i] < perm[j]
+		})
+	})
+	return a
+}
+
+// parallelFor runs body(i) for i in [0, n) across GOMAXPROCS workers.
+// Iterations must touch disjoint state.
+func parallelFor(n int, body func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// N returns the number of nodes.
+func (a *APSP) N() int { return a.n }
+
+// Dist returns d(u, v).
+func (a *APSP) Dist(u, v int) float64 { return a.dist[u*a.n+v] }
+
+// NextHop returns the neighbor of u on a canonical shortest path from u
+// to v, or -1 if u == v.
+func (a *APSP) NextHop(u, v int) int { return int(a.nextHop[u*a.n+v]) }
+
+// Kth returns the k-th nearest node to u (k=0 is u itself).
+func (a *APSP) Kth(u, k int) int { return int(a.order[u*a.n+k]) }
+
+// RadiusOfSize returns r_u(size): the distance from u to its size-th
+// nearest node (so the ball of that radius holds at least size nodes).
+// RadiusOfSize(u, 1) == 0.
+func (a *APSP) RadiusOfSize(u, size int) float64 {
+	if size < 1 {
+		return 0
+	}
+	if size > a.n {
+		size = a.n
+	}
+	return a.dist[u*a.n+int(a.order[u*a.n+size-1])]
+}
+
+// BallOfSize returns the first size entries of u's distance order: the
+// canonical "ball of size exactly size around u" used wherever the paper
+// assumes |B_u(r_u(j))| = 2^j (ties are resolved by node id).
+func (a *APSP) BallOfSize(u, size int) []int {
+	if size > a.n {
+		size = a.n
+	}
+	out := make([]int, size)
+	for i := 0; i < size; i++ {
+		out[i] = int(a.order[u*a.n+i])
+	}
+	return out
+}
+
+// Ball returns all nodes within distance r of u, i.e. B_u(r), in
+// increasing distance order.
+func (a *APSP) Ball(u int, r float64) []int {
+	row := a.order[u*a.n : (u+1)*a.n]
+	dr := a.dist[u*a.n : (u+1)*a.n]
+	k := sort.Search(a.n, func(i int) bool { return dr[row[i]] > r })
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = int(row[i])
+	}
+	return out
+}
+
+// BallSize returns |B_u(r)|.
+func (a *APSP) BallSize(u int, r float64) int {
+	row := a.order[u*a.n : (u+1)*a.n]
+	dr := a.dist[u*a.n : (u+1)*a.n]
+	return sort.Search(a.n, func(i int) bool { return dr[row[i]] > r })
+}
+
+// Nearest returns the node of set nearest to u, breaking ties by node
+// id, together with its distance. It returns (-1, +Inf) for an empty set.
+func (a *APSP) Nearest(u int, set []int) (int, float64) {
+	best, bd := -1, math.Inf(1)
+	for _, v := range set {
+		d := a.Dist(u, v)
+		if d < bd || (d == bd && v < best) {
+			best, bd = v, d
+		}
+	}
+	return best, bd
+}
+
+// Diameter returns the largest pairwise distance.
+func (a *APSP) Diameter() float64 {
+	max := 0.0
+	for u := 0; u < a.n; u++ {
+		// The farthest node from u is the last entry of u's order.
+		d := a.dist[u*a.n+int(a.order[u*a.n+a.n-1])]
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinPairDistance returns the smallest nonzero pairwise distance.
+func (a *APSP) MinPairDistance() float64 {
+	min := math.Inf(1)
+	for u := 0; u < a.n; u++ {
+		if a.n < 2 {
+			break
+		}
+		d := a.dist[u*a.n+int(a.order[u*a.n+1])]
+		if d > 0 && d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// NormalizedDiameter returns Delta = max pair distance / min pair
+// distance, the paper's normalized diameter. Returns 1 for n < 2.
+func (a *APSP) NormalizedDiameter() float64 {
+	if a.n < 2 {
+		return 1
+	}
+	return a.Diameter() / a.MinPairDistance()
+}

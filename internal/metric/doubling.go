@@ -1,0 +1,71 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GreedyCoverCount returns the number of balls of radius r/2 a greedy
+// cover uses for B_u(r): repeatedly pick the uncovered node nearest u
+// and cover everything within r/2 of it. The chosen centers are pairwise
+// more than r/2 apart, so the count is sandwiched between the true
+// covering number and the r/2-packing number of B_u(r); by Lemma 2.2
+// both are at most exponential in the doubling dimension.
+func GreedyCoverCount(a *APSP, u int, r float64) int {
+	ball := a.Ball(u, r)
+	covered := make(map[int]bool, len(ball))
+	count := 0
+	for _, x := range ball {
+		if covered[x] {
+			continue
+		}
+		count++
+		for _, y := range ball {
+			if !covered[y] && a.Dist(x, y) <= r/2 {
+				covered[y] = true
+			}
+		}
+	}
+	return count
+}
+
+// EstimateDoublingDimension returns an empirical estimate of the metric's
+// doubling dimension: the maximum over sampled (center, radius) pairs of
+// log2(greedy half-radius cover count). The estimate alpha' satisfies
+// alpha <= alpha' <= 2*alpha for the true dimension alpha (the greedy
+// centers form an r/2-packing, which Lemma 2.2 bounds by 4^alpha).
+//
+// samples limits the number of (center, radius) probes; pass 0 for a
+// deterministic full sweep over all centers at O(log Delta) radii (only
+// viable for small n).
+func EstimateDoublingDimension(a *APSP, samples int, seed int64) float64 {
+	if a.n < 2 {
+		return 0
+	}
+	maxCount := 1
+	probe := func(u int, r float64) {
+		if c := GreedyCoverCount(a, u, r); c > maxCount {
+			maxCount = c
+		}
+	}
+	minD := a.MinPairDistance()
+	maxD := a.Diameter()
+	levels := int(math.Ceil(math.Log2(maxD/minD))) + 1
+	if samples <= 0 {
+		for u := 0; u < a.n; u++ {
+			r := minD
+			for l := 0; l <= levels; l++ {
+				probe(u, r)
+				r *= 2
+			}
+		}
+	} else {
+		rng := rand.New(rand.NewSource(seed))
+		for s := 0; s < samples; s++ {
+			u := rng.Intn(a.n)
+			l := rng.Intn(levels + 1)
+			probe(u, minD*math.Pow(2, float64(l)))
+		}
+	}
+	return math.Log2(float64(maxCount))
+}

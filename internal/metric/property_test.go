@@ -1,0 +1,127 @@
+package metric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"compactrouting/internal/graph"
+)
+
+// quickGraph builds a small random geometric graph from a seed.
+func quickGraph(seed uint16) *graph.Graph {
+	g, _, err := graph.RandomGeometric(40+int(seed%40), 0.3, int64(seed))
+	if err != nil {
+		// Extremely unlikely at radius 0.3; surface as a tiny fallback.
+		g2, _ := graph.Path(10, 1)
+		return g2
+	}
+	return g
+}
+
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(seed uint16, a, b, c uint8) bool {
+		g := quickGraph(seed)
+		ap := NewAPSP(g)
+		n := g.N()
+		x, y, z := int(a)%n, int(b)%n, int(c)%n
+		return ap.Dist(x, z) <= ap.Dist(x, y)+ap.Dist(y, z)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSymmetryAndIdentity(t *testing.T) {
+	f := func(seed uint16, a, b uint8) bool {
+		g := quickGraph(seed)
+		ap := NewAPSP(g)
+		n := g.N()
+		x, y := int(a)%n, int(b)%n
+		if ap.Dist(x, x) != 0 {
+			return false
+		}
+		if math.Abs(ap.Dist(x, y)-ap.Dist(y, x)) > 1e-9 {
+			return false
+		}
+		return x == y || ap.Dist(x, y) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNextHopDecreasesDistance(t *testing.T) {
+	f := func(seed uint16, a, b uint8) bool {
+		g := quickGraph(seed)
+		ap := NewAPSP(g)
+		n := g.N()
+		x, y := int(a)%n, int(b)%n
+		for x != y {
+			h := ap.NextHop(x, y)
+			if ap.Dist(h, y) >= ap.Dist(x, y) {
+				return false
+			}
+			x = h
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRadiusMonotoneInSize(t *testing.T) {
+	f := func(seed uint16, a uint8) bool {
+		g := quickGraph(seed)
+		ap := NewAPSP(g)
+		u := int(a) % g.N()
+		prev := -1.0
+		for size := 1; size <= g.N(); size++ {
+			r := ap.RadiusOfSize(u, size)
+			if r < prev {
+				return false
+			}
+			// The ball of that radius must actually hold >= size nodes.
+			if ap.BallSize(u, r) < size {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVoronoiOwnersMinimize(t *testing.T) {
+	f := func(seed uint16, c1, c2, c3 uint8) bool {
+		g := quickGraph(seed)
+		ap := NewAPSP(g)
+		n := g.N()
+		centers := []int{int(c1) % n}
+		if x := int(c2) % n; x != centers[0] {
+			centers = append(centers, x)
+		}
+		if x := int(c3) % n; x != centers[0] && (len(centers) < 2 || x != centers[1]) {
+			centers = append(centers, x)
+		}
+		owner, dist, _ := Voronoi(g, centers)
+		for v := 0; v < n; v++ {
+			c := centers[owner[v]]
+			if math.Abs(dist[v]-ap.Dist(v, c)) > 1e-9 {
+				return false
+			}
+			for _, c2 := range centers {
+				if ap.Dist(v, c2) < dist[v]-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

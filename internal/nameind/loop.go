@@ -1,0 +1,119 @@
+package nameind
+
+import (
+	"fmt"
+
+	"compactrouting/internal/core"
+)
+
+// LevelTrace records what happened at one level of Algorithm 3.
+type LevelTrace struct {
+	// Level is the hierarchy level i.
+	Level int
+	// SearchCost is the physical cost of the Search()/SearchTree()
+	// round trip at this level.
+	SearchCost float64
+	// Found reports whether the destination's label surfaced here.
+	Found bool
+	// ZoomCost is the cost of moving u(i) -> u(i+1) after a failed
+	// search (0 at the final level or when u(i) = u(i+1)).
+	ZoomCost float64
+}
+
+// Explanation decomposes one name-independent delivery into the pieces
+// Lemma 3.4's stretch argument charges: per-level searches, zooming
+// moves, and the final labeled route (Figure 1's anatomy).
+type Explanation struct {
+	Src, Dst int
+	Levels   []LevelTrace
+	// FinalCost is the labeled route after the label was found.
+	FinalCost float64
+	// TotalCost is the full delivery cost.
+	TotalCost float64
+	// Optimal is d(src, dst).
+	Optimal float64
+}
+
+// Stretch returns the explained route's stretch.
+func (e *Explanation) Stretch() float64 {
+	if e.Optimal == 0 {
+		return 1
+	}
+	return e.TotalCost / e.Optimal
+}
+
+// searchFn is one level's Search procedure: trace positioned at u(i),
+// returns (label, found) and leaves the trace back at u(i).
+type searchFn func(tr *core.Trace, i, pos, name int) (int, bool, error)
+
+// routeLoop is Algorithm 3, shared by both schemes and by their
+// Explain variants (rec != nil collects the per-level anatomy).
+func (b *base) routeLoop(src, name int, search searchFn, rec *Explanation) (*core.Route, error) {
+	if src < 0 || src >= b.g.N() {
+		return nil, fmt.Errorf("nameind: source %d out of range", src)
+	}
+	dst := b.nm.NodeOf(name)
+	if dst < 0 {
+		return nil, fmt.Errorf("nameind: unknown name %d", name)
+	}
+	tr := core.NewTrace(b.g, src)
+	finish := func(label int, have bool) (*core.Route, error) {
+		if have {
+			before := tr.Cost()
+			if err := b.routeToLabel(tr, label); err != nil {
+				return nil, err
+			}
+			if rec != nil {
+				rec.FinalCost = tr.Cost() - before
+			}
+		}
+		r, err := tr.Finish(dst)
+		if err != nil {
+			return nil, err
+		}
+		if rec != nil {
+			rec.Src, rec.Dst = src, dst
+			rec.TotalCost = r.Cost
+			rec.Optimal = b.a.Dist(src, dst)
+		}
+		return r, nil
+	}
+	for i := 0; i <= b.h.TopLevel(); i++ {
+		ui := tr.At() // u(i)
+		if b.nm.NameOf(ui) == name {
+			return finish(0, false) // every node knows its own name
+		}
+		tr.Header(b.wrapBits())
+		pos := b.h.PosInLevel(ui, i)
+		if pos < 0 {
+			return nil, fmt.Errorf("nameind: zooming reached %d which is not in Y_%d", ui, i)
+		}
+		before := tr.Cost()
+		label, found, err := search(tr, i, pos, name)
+		if err != nil {
+			return nil, err
+		}
+		lt := LevelTrace{Level: i, SearchCost: tr.Cost() - before, Found: found}
+		if found {
+			if rec != nil {
+				rec.Levels = append(rec.Levels, lt)
+			}
+			return finish(label, true)
+		}
+		if i < b.h.TopLevel() {
+			if next := b.h.ZoomStep(ui, i); next != ui {
+				before = tr.Cost()
+				if err := b.routeToLabel(tr, b.under.LabelOf(next)); err != nil {
+					return nil, err
+				}
+				lt.ZoomCost = tr.Cost() - before
+			}
+		}
+		if rec != nil {
+			rec.Levels = append(rec.Levels, lt)
+		}
+	}
+	// The top-level search covers the whole graph; reaching here means
+	// a construction bug, not bad input.
+	return nil, fmt.Errorf("nameind: name %d not found at the top level", name)
+}

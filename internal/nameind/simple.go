@@ -1,0 +1,82 @@
+package nameind
+
+import (
+	"fmt"
+
+	"compactrouting/internal/core"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+	"compactrouting/internal/searchtree"
+)
+
+// Simple is the Theorem 1.4 scheme (PODC 2006): (9+O(eps))-stretch
+// name-independent routing whose storage carries a log(Delta) factor.
+type Simple struct {
+	*base
+	// trees[i][k] is the search tree T(y, 2^i/eps) of y = Levels[i][k].
+	trees [][]*searchtree.Tree[int]
+}
+
+var _ core.NameIndependentScheme = (*Simple)(nil)
+
+// NewSimple compiles the scheme on top of the given underlying labeled
+// scheme (which must have been built on the same graph; its hierarchy
+// is shared). eps must be in (0, 1/3]: Lemma 3.4's stretch bound needs
+// 1/eps > 2 with slack.
+func NewSimple(g *graph.Graph, a *metric.APSP, nm *Naming, under Underlying, eps float64) (*Simple, error) {
+	if eps <= 0 || eps > 1.0/3 {
+		return nil, fmt.Errorf("nameind: eps %v out of (0, 1/3]", eps)
+	}
+	b, err := newBase(g, a, nm, under, eps)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simple{base: b}
+	h := b.h
+	s.trees = make([][]*searchtree.Tree[int], h.TopLevel()+1)
+	for i := 0; i <= h.TopLevel(); i++ {
+		s.trees[i] = make([]*searchtree.Tree[int], len(h.Levels[i]))
+		for k, y := range h.Levels[i] {
+			t, err := b.newSearchTree(y, h.Radius(i)/eps)
+			if err != nil {
+				return nil, fmt.Errorf("nameind: search tree (%d, %d): %w", i, y, err)
+			}
+			s.trees[i][k] = t
+		}
+	}
+	return s, nil
+}
+
+// SchemeName implements core.NameIndependentScheme.
+func (s *Simple) SchemeName() string { return "nameind/simple" }
+
+// StretchBound returns the analytical worst-case stretch guarantee:
+// Lemma 3.4's 1 + 8(1/eps+1)/(1/eps-2), inflated by the underlying
+// labeled scheme's stretch on every physical leg.
+func (s *Simple) StretchBound() float64 {
+	e := s.eps
+	underB := 1 + 4*e/(1-e)
+	return underB * (1 + 8*(1+e)*(1/e+1)/(1/e-2))
+}
+
+// searchLevel is the SearchTree() call of Algorithm 3's line 4.
+func (s *Simple) searchLevel(tr *core.Trace, i, pos, name int) (int, bool, error) {
+	return s.searchRoundTrip(tr, s.trees[i][pos], name)
+}
+
+// RouteToName implements Algorithm 3: climb the zooming sequence,
+// searching the ball of each net ancestor until the destination's
+// label is found, then route with the labeled scheme.
+func (s *Simple) RouteToName(src, name int) (*core.Route, error) {
+	return s.routeLoop(src, name, s.searchLevel, nil)
+}
+
+// Explain routes like RouteToName while recording the per-level cost
+// anatomy of Lemma 3.4 (the Figure 1 decomposition).
+func (s *Simple) Explain(src, name int) (*Explanation, error) {
+	rec := &Explanation{}
+	if _, err := s.routeLoop(src, name, s.searchLevel, rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,183 @@
+// Package oracle implements Thorup–Zwick approximate distance oracles
+// (reference [29]'s companion result): for any integer k >= 1, a data
+// structure of ~O(k n^{1+1/k}) total size answering distance queries
+// within stretch 2k-1. It is the distance-estimation face of the same
+// space-stretch law the paper's routing results live on (stretch below
+// 2k+1 needs ~n^{1/k} space on general graphs; doubling metrics escape
+// it), and the experiments use it as the general-graph reference curve.
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/metric"
+)
+
+// Oracle is a compiled Thorup–Zwick distance oracle.
+type Oracle struct {
+	k int
+	n int
+	// pivots[i][v] = p_i(v), the nearest node of the level-i sample to
+	// v; pivotDist[i][v] = d(v, A_i). Level 0 is V itself (p_0(v) = v).
+	pivots    [][]int32
+	pivotDist [][]float64
+	// bunch[v] maps each w in B(v) to d(v, w).
+	bunch []map[int32]float64
+	// levelSizes records |A_i| for reports.
+	levelSizes []int
+	idBits     int
+}
+
+// New builds the oracle for stretch 2k-1. Levels are sampled with
+// probability n^{-1/k} per the classic construction.
+func New(a *metric.APSP, k int, seed int64) (*Oracle, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("oracle: k must be >= 1, got %d", k)
+	}
+	n := a.N()
+	if n < 2 {
+		return nil, fmt.Errorf("oracle: need at least 2 nodes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := math.Pow(float64(n), -1.0/float64(k))
+	// Samples A_0 = V ⊇ A_1 ⊇ ... ⊇ A_{k-1}; A_k = ∅.
+	levels := make([][]int, k)
+	levels[0] = make([]int, n)
+	for v := range levels[0] {
+		levels[0][v] = v
+	}
+	for i := 1; i < k; i++ {
+		for _, v := range levels[i-1] {
+			if rng.Float64() < p {
+				levels[i] = append(levels[i], v)
+			}
+		}
+		if len(levels[i]) == 0 {
+			// Degenerate sample: keep one node so pivots exist (the
+			// classic construction resamples; one survivor preserves
+			// correctness and only helps stretch).
+			levels[i] = append(levels[i], levels[i-1][rng.Intn(len(levels[i-1]))])
+		}
+	}
+	o := &Oracle{
+		k: k, n: n,
+		pivots:     make([][]int32, k),
+		pivotDist:  make([][]float64, k),
+		bunch:      make([]map[int32]float64, n),
+		levelSizes: make([]int, k),
+		idBits:     bits.UintBits(n),
+	}
+	inLevel := make([][]bool, k+1)
+	for i := 0; i < k; i++ {
+		o.levelSizes[i] = len(levels[i])
+		inLevel[i] = make([]bool, n)
+		for _, v := range levels[i] {
+			inLevel[i][v] = true
+		}
+	}
+	inLevel[k] = make([]bool, n) // A_k = empty
+	for i := 0; i < k; i++ {
+		o.pivots[i] = make([]int32, n)
+		o.pivotDist[i] = make([]float64, n)
+		for v := 0; v < n; v++ {
+			best, bd := -1, math.Inf(1)
+			for _, w := range levels[i] {
+				if d := a.Dist(v, w); d < bd || (d == bd && w < best) {
+					best, bd = w, d
+				}
+			}
+			o.pivots[i][v] = int32(best)
+			o.pivotDist[i][v] = bd
+		}
+	}
+	// Bunches: B(v) = ∪_i { w ∈ A_i \ A_{i+1} : d(w, v) < d(A_{i+1}, v) }.
+	for v := 0; v < n; v++ {
+		o.bunch[v] = make(map[int32]float64)
+		for i := 0; i < k; i++ {
+			next := math.Inf(1)
+			if i+1 < k {
+				next = o.pivotDist[i+1][v]
+			}
+			for _, w := range levels[i] {
+				if inLevel[i+1][w] {
+					continue
+				}
+				if d := a.Dist(v, w); d < next {
+					o.bunch[v][int32(w)] = d
+				}
+			}
+		}
+	}
+	return o, nil
+}
+
+// K returns the oracle's stretch parameter.
+func (o *Oracle) K() int { return o.k }
+
+// StretchBound returns 2k-1.
+func (o *Oracle) StretchBound() float64 { return float64(2*o.k - 1) }
+
+// LevelSizes returns |A_i| per level.
+func (o *Oracle) LevelSizes() []int { return append([]int(nil), o.levelSizes...) }
+
+// Query returns an estimated distance d with
+// d(u,v) <= d <= (2k-1) d(u,v), by the classic bunch walk.
+func (o *Oracle) Query(u, v int) (float64, error) {
+	if u < 0 || u >= o.n || v < 0 || v >= o.n {
+		return 0, fmt.Errorf("oracle: query (%d, %d) out of range", u, v)
+	}
+	if u == v {
+		return 0, nil
+	}
+	w := u
+	i := 0
+	du := 0.0 // d(u, w)
+	for {
+		if dv, ok := o.bunch[v][int32(w)]; ok {
+			return du + dv, nil
+		}
+		i++
+		if i >= o.k {
+			return 0, fmt.Errorf("oracle: bunch walk escaped %d levels (construction bug)", o.k)
+		}
+		u, v = v, u
+		w = int(o.pivots[i][u])
+		du = o.pivotDist[i][u]
+	}
+}
+
+// BunchSize returns |B(v)|.
+func (o *Oracle) BunchSize(v int) int { return len(o.bunch[v]) }
+
+// MaxBunchSize returns the largest bunch.
+func (o *Oracle) MaxBunchSize() int {
+	max := 0
+	for v := 0; v < o.n; v++ {
+		if s := len(o.bunch[v]); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// TableBits returns the per-node storage: k pivot entries (id +
+// distance, charged at 2 ids worth each) plus bunch entries.
+func (o *Oracle) TableBits(v int) int {
+	b := o.k * 3 * o.idBits
+	b += len(o.bunch[v]) * 3 * o.idBits
+	return b
+}
+
+// SortedBunch returns v's bunch members ascending (for tests).
+func (o *Oracle) SortedBunch(v int) []int {
+	out := make([]int, 0, len(o.bunch[v]))
+	for w := range o.bunch[v] {
+		out = append(out, int(w))
+	}
+	sort.Ints(out)
+	return out
+}

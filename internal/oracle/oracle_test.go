@@ -1,0 +1,161 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+)
+
+func fixtures(t *testing.T, n int, seed int64) (*graph.Graph, *metric.APSP) {
+	t.Helper()
+	g, _, err := graph.RandomGeometric(n, 0.2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, metric.NewAPSP(g)
+}
+
+func checkStretch(t *testing.T, o *Oracle, a *metric.APSP) float64 {
+	t.Helper()
+	worst := 1.0
+	for u := 0; u < a.N(); u++ {
+		for v := 0; v < a.N(); v++ {
+			est, err := o.Query(u, v)
+			if err != nil {
+				t.Fatalf("Query(%d,%d): %v", u, v, err)
+			}
+			d := a.Dist(u, v)
+			if u == v {
+				if est != 0 {
+					t.Fatalf("Query(%d,%d) = %v, want 0", u, v, est)
+				}
+				continue
+			}
+			if est < d-1e-9 {
+				t.Fatalf("Query(%d,%d) = %v below true %v", u, v, est, d)
+			}
+			if est > o.StretchBound()*d+1e-9 {
+				t.Fatalf("Query(%d,%d) = %v exceeds %v * %v", u, v, est, o.StretchBound(), d)
+			}
+			if r := est / d; r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
+
+func TestOracleK1IsExact(t *testing.T) {
+	_, a := fixtures(t, 80, 1)
+	o, err := New(a, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst := checkStretch(t, o, a); worst > 1+1e-9 {
+		t.Fatalf("k=1 oracle stretch %v != 1", worst)
+	}
+	// k=1 bunches are all of V.
+	if o.BunchSize(0) != a.N() {
+		t.Fatalf("k=1 bunch size %d != n", o.BunchSize(0))
+	}
+}
+
+func TestOracleStretchBounds(t *testing.T) {
+	_, a := fixtures(t, 120, 2)
+	for k := 1; k <= 4; k++ {
+		o, err := New(a, k, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := checkStretch(t, o, a)
+		t.Logf("k=%d: worst stretch %.3f (bound %v), max bunch %d, levels %v",
+			k, worst, o.StretchBound(), o.MaxBunchSize(), o.LevelSizes())
+	}
+}
+
+func TestOracleSpaceShrinksWithK(t *testing.T) {
+	_, a := fixtures(t, 250, 3)
+	o1, err := New(a, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o3, err := New(a, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total1, total3 := 0, 0
+	for v := 0; v < a.N(); v++ {
+		total1 += o1.TableBits(v)
+		total3 += o3.TableBits(v)
+	}
+	if total3 >= total1 {
+		t.Fatalf("k=3 oracle (%d bits) not smaller than k=1 (%d bits)", total3, total1)
+	}
+}
+
+func TestOracleValidation(t *testing.T) {
+	_, a := fixtures(t, 40, 4)
+	if _, err := New(a, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	o, err := New(a, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Query(-1, 0); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	if _, err := o.Query(0, a.N()); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestOracleBunchDefinition(t *testing.T) {
+	// w ∈ B(v) at level i means d(v,w) < d(v, A_{i+1}); in particular
+	// every top-level sample node is in every bunch.
+	_, a := fixtures(t, 90, 6)
+	o, err := New(a, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < a.N(); v++ {
+		b := o.SortedBunch(v)
+		if len(b) == 0 {
+			t.Fatalf("empty bunch at %d", v)
+		}
+		// The bunch stores true distances.
+		for _, w := range b {
+			if math.Abs(o.bunch[v][int32(w)]-a.Dist(v, w)) > 1e-9 {
+				t.Fatalf("bunch distance wrong for (%d, %d)", v, w)
+			}
+		}
+	}
+}
+
+func TestQuickOracleNeverUnderestimates(t *testing.T) {
+	f := func(seed int64, kRaw, aRaw, bRaw uint8) bool {
+		g, _, err := graph.RandomGeometric(40+int(uint16(seed)%40), 0.3, seed)
+		if err != nil {
+			return true
+		}
+		a := metric.NewAPSP(g)
+		k := 1 + int(kRaw)%4
+		o, err := New(a, k, seed^7)
+		if err != nil {
+			return false
+		}
+		u, v := int(aRaw)%a.N(), int(bRaw)%a.N()
+		est, err := o.Query(u, v)
+		if err != nil {
+			return false
+		}
+		d := a.Dist(u, v)
+		return est >= d-1e-9 && est <= float64(2*k-1)*d+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package rnet
+
+// Range is a closed interval [Lo, Hi] of DFS leaf labels.
+type Range struct {
+	Lo, Hi int
+}
+
+// Contains reports whether label l falls in the range.
+func (r Range) Contains(l int) bool { return r.Lo <= l && l <= r.Hi }
+
+// NettingTree is T({Y_i}): the tree whose nodes are the pairs (y, i) for
+// y ∈ Y_i, with (y, i)'s parent being (u(i+1) of y, i+1) — the union of
+// all zooming-sequence paths. Its leaves are exactly (v, 0) for v ∈ V.
+//
+// Labels enumerate the leaves in depth-first order (children visited in
+// ascending node id). By the DFS property, the leaf labels below any
+// internal node (x, i) form the contiguous interval Range(x, i), and
+// l(u) ∈ Range(x, i) iff u(i) = x — the fact both routing schemes'
+// lookups rest on (Section 4.1).
+type NettingTree struct {
+	h *Hierarchy
+	// Leaf[v] = l(v), the DFS label of leaf (v, 0).
+	Leaf []int
+	// NodeOf[l] = v with Leaf[v] == l.
+	NodeOf []int
+	// ranges[i][k] is Range(Levels[i][k], i).
+	ranges [][]Range
+}
+
+// NewNettingTree builds the netting tree and its DFS enumeration.
+func NewNettingTree(h *Hierarchy) *NettingTree {
+	n := len(h.maxLevel)
+	t := &NettingTree{
+		h:      h,
+		Leaf:   make([]int, n),
+		NodeOf: make([]int, n),
+		ranges: make([][]Range, h.L+1),
+	}
+	for i := range t.ranges {
+		t.ranges[i] = make([]Range, len(h.Levels[i]))
+	}
+	// children[i][k] lists, for internal node (Levels[i+1][k], i+1), the
+	// ids y of its children (y, i), in ascending id order (Levels[i] is
+	// not sorted by id, so sort below).
+	children := make([][][]int, h.L)
+	for i := 0; i < h.L; i++ {
+		children[i] = make([][]int, len(h.Levels[i+1]))
+		for _, y := range h.Levels[i] {
+			p := int(h.zoomParent[i][y])
+			k := int(h.pos[i+1][p])
+			children[i][k] = append(children[i][k], y)
+		}
+		for k := range children[i] {
+			sortInts(children[i][k])
+		}
+	}
+	// DFS from the root (Levels[L][0], L). Recursion depth is at most
+	// L+1, the number of levels.
+	next := 0
+	var dfs func(y, i int) Range
+	dfs = func(y, i int) Range {
+		if i == 0 {
+			t.Leaf[y] = next
+			t.NodeOf[next] = y
+			next++
+			r := Range{Lo: next - 1, Hi: next - 1}
+			t.ranges[0][h.pos[0][y]] = r
+			return r
+		}
+		r := Range{Lo: next, Hi: next - 1}
+		for _, c := range children[i-1][h.pos[i][y]] {
+			cr := dfs(c, i-1)
+			r.Hi = cr.Hi
+		}
+		t.ranges[i][h.pos[i][y]] = r
+		return r
+	}
+	dfs(h.Levels[h.L][0], h.L)
+	return t
+}
+
+// Label returns l(v).
+func (t *NettingTree) Label(v int) int { return t.Leaf[v] }
+
+// NodeOfLabel returns the node whose label is l.
+func (t *NettingTree) NodeOfLabel(l int) int { return t.NodeOf[l] }
+
+// Range returns Range(x, i) and whether x ∈ Y_i.
+func (t *NettingTree) Range(x, i int) (Range, bool) {
+	if i < 0 || i > t.h.L {
+		return Range{}, false
+	}
+	k := t.h.pos[i][x]
+	if k < 0 {
+		return Range{}, false
+	}
+	return t.ranges[i][k], true
+}
+
+func sortInts(s []int) {
+	// insertion sort: child lists are tiny (bounded by the doubling
+	// constant), so avoid sort.Ints allocation overhead in this hot
+	// construction loop.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

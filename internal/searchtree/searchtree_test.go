@@ -1,0 +1,313 @@
+package searchtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+)
+
+func geo(t *testing.T, n int, seed int64) (*graph.Graph, *metric.APSP) {
+	t.Helper()
+	g, _, err := graph.RandomGeometric(n, 0.2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, metric.NewAPSP(g)
+}
+
+func buildTree(t *testing.T, a *metric.APSP, center int, radius float64, maxLevels int) *Tree[int] {
+	t.Helper()
+	tr, err := New[int](a, center, radius, Config{
+		Eps:          0.5,
+		MaxLevels:    maxLevels,
+		MinNetRadius: a.MinPairDistance(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTreeCoversBall(t *testing.T) {
+	_, a := geo(t, 150, 1)
+	tr := buildTree(t, a, 3, a.Diameter()/3, 0)
+	ball := a.Ball(3, a.Diameter()/3)
+	if len(tr.Members) != len(ball) {
+		t.Fatalf("tree has %d members, ball has %d", len(tr.Members), len(ball))
+	}
+	for _, v := range ball {
+		if _, ok := tr.Nodes[v]; !ok {
+			t.Fatalf("ball node %d missing from tree", v)
+		}
+	}
+	// Every non-root node's parent is a tree node one level up.
+	for v, nd := range tr.Nodes {
+		if v == tr.Center {
+			if nd.Parent != -1 {
+				t.Fatal("center has a parent")
+			}
+			continue
+		}
+		p, ok := tr.Nodes[nd.Parent]
+		if !ok {
+			t.Fatalf("node %d parent %d not in tree", v, nd.Parent)
+		}
+		if nd.Level >= 0 && p.Level != nd.Level-1 {
+			t.Fatalf("node %d at level %d has parent at level %d", v, nd.Level, p.Level)
+		}
+		if nd.Level >= 0 && math.Abs(nd.EdgeW-a.Dist(v, nd.Parent)) > 1e-9 {
+			t.Fatalf("edge weight %v != distance %v", nd.EdgeW, a.Dist(v, nd.Parent))
+		}
+	}
+}
+
+func TestTreeHeightBound(t *testing.T) {
+	_, a := geo(t, 150, 2)
+	for _, radius := range []float64{a.Diameter() / 4, a.Diameter() / 2, a.Diameter()} {
+		tr := buildTree(t, a, 0, radius, 0)
+		// Equation (3): height <= (1+eps)r; tails (none here) add O(eps r).
+		if h := tr.Height(); h > (1+tr.Eps)*radius+1e-9 {
+			t.Fatalf("height %v > (1+eps)r = %v", h, (1+tr.Eps)*radius)
+		}
+	}
+}
+
+func TestNetLevelsAreNets(t *testing.T) {
+	_, a := geo(t, 120, 3)
+	tr := buildTree(t, a, 5, a.Diameter()/2, 0)
+	for lvl := 1; lvl < len(tr.Levels); lvl++ {
+		rho := tr.LevelRadius(lvl)
+		net := tr.Levels[lvl]
+		for i := 0; i < len(net); i++ {
+			for j := i + 1; j < len(net); j++ {
+				if d := a.Dist(net[i], net[j]); d < rho && rho > a.MinPairDistance() {
+					t.Fatalf("level %d: nodes %d,%d at distance %v < rho=%v",
+						lvl, net[i], net[j], d, rho)
+				}
+			}
+		}
+	}
+}
+
+func TestStoreAndSearchAll(t *testing.T) {
+	_, a := geo(t, 150, 4)
+	tr := buildTree(t, a, 7, a.Diameter(), 0)
+	// Store one pair per member: key = 1000 + node id, data = node id.
+	pairs := make([]Pair[int], len(tr.Members))
+	for i, v := range tr.Members {
+		pairs[i] = Pair[int]{Key: 1000 + v, Data: v}
+	}
+	tr.Store(pairs)
+	for _, v := range tr.Members {
+		data, found, trail := tr.Search(1000 + v)
+		if !found || data != v {
+			t.Fatalf("Search(%d) = %d,%v", 1000+v, data, found)
+		}
+		if trail[0] != tr.Center {
+			t.Fatalf("trail starts at %d, not center", trail[0])
+		}
+		// Trail must follow parent-child virtual edges.
+		for i := 1; i < len(trail); i++ {
+			if tr.Nodes[trail[i]].Parent != trail[i-1] {
+				t.Fatalf("trail hop %d -> %d is not a tree edge", trail[i-1], trail[i])
+			}
+		}
+	}
+}
+
+func TestSearchAbsentKey(t *testing.T) {
+	_, a := geo(t, 100, 5)
+	tr := buildTree(t, a, 0, a.Diameter(), 0)
+	pairs := []Pair[int]{{Key: 10, Data: 1}, {Key: 20, Data: 2}, {Key: 30, Data: 3}}
+	tr.Store(pairs)
+	for _, key := range []int{5, 15, 25, 999} {
+		if _, found, _ := tr.Search(key); found {
+			t.Fatalf("Search(%d) found a pair", key)
+		}
+	}
+	for _, p := range pairs {
+		if d, found, _ := tr.Search(p.Key); !found || d != p.Data {
+			t.Fatalf("Search(%d) = %d,%v", p.Key, d, found)
+		}
+	}
+}
+
+func TestStoreQuotaEven(t *testing.T) {
+	_, a := geo(t, 120, 6)
+	tr := buildTree(t, a, 0, a.Diameter(), 0)
+	m := len(tr.Members)
+	// k = 4m pairs: every node must hold exactly 4.
+	pairs := make([]Pair[int], 4*m)
+	for i := range pairs {
+		pairs[i] = Pair[int]{Key: i, Data: i}
+	}
+	tr.Store(pairs)
+	for v, nd := range tr.Nodes {
+		if len(nd.Pairs) != 4 {
+			t.Fatalf("node %d holds %d pairs, want 4", v, len(nd.Pairs))
+		}
+	}
+	// And every key must be retrievable.
+	for i := range pairs {
+		if d, found, _ := tr.Search(i); !found || d != i {
+			t.Fatalf("Search(%d) = %d,%v", i, d, found)
+		}
+	}
+}
+
+func TestSearchCostBound(t *testing.T) {
+	// Virtual descent cost <= height <= (1+eps)r, so the round trip is
+	// <= 2(1+eps)r — the cost bound Lemma 3.4 charges per level.
+	_, a := geo(t, 150, 7)
+	radius := a.Diameter() / 2
+	tr := buildTree(t, a, 0, radius, 0)
+	pairs := make([]Pair[int], len(tr.Members))
+	for i, v := range tr.Members {
+		pairs[i] = Pair[int]{Key: v, Data: v}
+	}
+	tr.Store(pairs)
+	for _, v := range tr.Members {
+		_, found, trail := tr.Search(v)
+		if !found {
+			t.Fatalf("key %d not found", v)
+		}
+		if c := tr.VirtualCost(trail); c > (1+tr.Eps)*radius+1e-9 {
+			t.Fatalf("descent cost %v > (1+eps)r = %v", c, (1+tr.Eps)*radius)
+		}
+	}
+}
+
+func TestSingletonTree(t *testing.T) {
+	_, a := geo(t, 50, 8)
+	tr := buildTree(t, a, 9, 0, 0)
+	if len(tr.Members) != 1 {
+		t.Fatalf("radius-0 tree has %d members", len(tr.Members))
+	}
+	tr.Store([]Pair[int]{{Key: 42, Data: 7}})
+	d, found, trail := tr.Search(42)
+	if !found || d != 7 || len(trail) != 1 {
+		t.Fatalf("singleton search = %d,%v,%v", d, found, trail)
+	}
+}
+
+func TestCappedLevelsBuildTails(t *testing.T) {
+	_, a := geo(t, 200, 9)
+	tr := buildTree(t, a, 0, a.Diameter(), 2)
+	if len(tr.Levels) > 3 { // levels 0,1,2
+		t.Fatalf("levels = %d, want <= 3", len(tr.Levels))
+	}
+	// All ball members must still be in the tree.
+	ball := a.Ball(0, a.Diameter())
+	if len(tr.Members) != len(ball) {
+		t.Fatalf("capped tree lost members: %d vs %d", len(tr.Members), len(ball))
+	}
+	tails := 0
+	for _, s := range tr.TailSites {
+		tails += len(tr.TailOf[s])
+		// Tail nodes must be assigned to their nearest site.
+		for _, v := range tr.TailOf[s] {
+			got, _ := a.Nearest(v, tr.Levels[len(tr.Levels)-1])
+			if got != s {
+				t.Fatalf("tail node %d under site %d, nearest is %d", v, s, got)
+			}
+		}
+	}
+	if tails == 0 {
+		t.Fatal("capping at 2 levels should have produced tails")
+	}
+	// Tail paths use the fixed virtual weight.
+	if tr.TailEdgeW != 2*tr.Eps*tr.Radius/float64(a.N()) {
+		t.Fatalf("tail edge weight %v", tr.TailEdgeW)
+	}
+	// Height stays (1+O(eps))r: tails add at most 2*eps*r in total.
+	if h := tr.Height(); h > (1+3*tr.Eps)*tr.Radius {
+		t.Fatalf("capped height %v > (1+3eps)r", h)
+	}
+	// Search still finds everything.
+	pairs := make([]Pair[int], len(tr.Members))
+	for i, v := range tr.Members {
+		pairs[i] = Pair[int]{Key: v, Data: v}
+	}
+	tr.Store(pairs)
+	for _, v := range tr.Members {
+		if d, found, _ := tr.Search(v); !found || d != v {
+			t.Fatalf("capped Search(%d) = %d,%v", v, d, found)
+		}
+	}
+}
+
+func TestRealizerWalksAndStorage(t *testing.T) {
+	g, a := geo(t, 150, 10)
+	tr := buildTree(t, a, 0, a.Diameter(), 3)
+	pairs := make([]Pair[int], len(tr.Members))
+	for i, v := range tr.Members {
+		pairs[i] = Pair[int]{Key: v, Data: v}
+	}
+	tr.Store(pairs)
+	rz, err := NewRealizer(a, tr, func(sites []int) ([]int, []int) {
+		owner, _, parent := metric.Voronoi(g, sites)
+		return owner, parent
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		v := tr.Members[rng.Intn(len(tr.Members))]
+		_, found, trail := tr.Search(v)
+		if !found {
+			t.Fatalf("key %d missing", v)
+		}
+		// Realize the whole descent; each hop must be a graph edge.
+		cur := trail[0]
+		for i := 1; i < len(trail); i++ {
+			phys, err := rz.Walk(cur, trail[i])
+			if err != nil {
+				t.Fatalf("Walk(%d,%d): %v", cur, trail[i], err)
+			}
+			if phys[0] != cur || phys[len(phys)-1] != trail[i] {
+				t.Fatalf("Walk endpoints wrong: %v", phys)
+			}
+			for j := 1; j < len(phys); j++ {
+				if _, ok := g.EdgeWeight(phys[j-1], phys[j]); !ok {
+					t.Fatalf("Walk uses non-edge %d-%d", phys[j-1], phys[j])
+				}
+			}
+			cur = trail[i]
+		}
+	}
+	// Storage must be accounted somewhere.
+	total := 0
+	for v := 0; v < a.N(); v++ {
+		total += rz.StorageBits(v)
+	}
+	if total == 0 {
+		t.Fatal("realizer reports zero storage")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	_, a := geo(t, 50, 12)
+	if _, err := New[int](a, 0, 1, Config{Eps: 0, MinNetRadius: 1}); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := New[int](a, 0, 1, Config{Eps: 1.5, MinNetRadius: 1}); err == nil {
+		t.Fatal("eps=1.5 accepted")
+	}
+	if _, err := New[int](a, 0, 1, Config{Eps: 0.5, MinNetRadius: 0}); err == nil {
+		t.Fatal("MinNetRadius=0 accepted")
+	}
+}
+
+func TestMaxDegreeBounded(t *testing.T) {
+	// Degree is bounded by the doubling constant to the O(log 1/eps):
+	// assert a loose numeric cap on a planar metric to catch blowups.
+	_, a := geo(t, 250, 13)
+	tr := buildTree(t, a, 0, a.Diameter()/2, 0)
+	if d := tr.MaxDegree(); d > 150 {
+		t.Fatalf("search tree degree %d", d)
+	}
+}

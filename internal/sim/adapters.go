@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"compactrouting/internal/baseline"
+	"compactrouting/internal/labeled"
+	"compactrouting/internal/nameind"
+)
+
+// SimpleLabeledRouter adapts the simple labeled scheme's step function
+// to the simulator (destinations are labels).
+type SimpleLabeledRouter struct {
+	S *labeled.Simple
+}
+
+var _ Router[labeled.SimpleHeader] = SimpleLabeledRouter{}
+
+// Prepare implements Router.
+func (r SimpleLabeledRouter) Prepare(dst int) (labeled.SimpleHeader, error) {
+	return r.S.PrepareHeader(dst)
+}
+
+// Step implements Router.
+func (r SimpleLabeledRouter) Step(node int, h labeled.SimpleHeader) (int, labeled.SimpleHeader, bool, error) {
+	return r.S.Step(node, h)
+}
+
+// FullTableRouter adapts the full-table baseline (destinations are
+// node ids).
+type FullTableRouter struct {
+	S *baseline.FullTable
+}
+
+var _ Router[baseline.Destination] = FullTableRouter{}
+
+// Prepare implements Router.
+func (r FullTableRouter) Prepare(dst int) (baseline.Destination, error) {
+	return r.S.PrepareHeader(dst)
+}
+
+// Step implements Router.
+func (r FullTableRouter) Step(node int, h baseline.Destination) (int, baseline.Destination, bool, error) {
+	return r.S.Step(node, h)
+}
+
+// SingleTreeRouter adapts the single-tree baseline (destinations are
+// node ids; the header carries the tree label).
+type SingleTreeRouter struct {
+	S *baseline.SingleTree
+}
+
+var _ Router[baseline.TreeHeader] = SingleTreeRouter{}
+
+// Prepare implements Router.
+func (r SingleTreeRouter) Prepare(dst int) (baseline.TreeHeader, error) {
+	return r.S.PrepareHeader(dst)
+}
+
+// Step implements Router.
+func (r SingleTreeRouter) Step(node int, h baseline.TreeHeader) (int, baseline.TreeHeader, bool, error) {
+	return r.S.Step(node, h)
+}
+
+// ScaleFreeLabeledRouter adapts the Theorem 1.2 scheme's step function
+// (destinations are labels).
+type ScaleFreeLabeledRouter struct {
+	S *labeled.ScaleFree
+}
+
+var _ Router[labeled.SFHeader] = ScaleFreeLabeledRouter{}
+
+// Prepare implements Router.
+func (r ScaleFreeLabeledRouter) Prepare(dst int) (labeled.SFHeader, error) {
+	return r.S.PrepareHeader(dst)
+}
+
+// Step implements Router.
+func (r ScaleFreeLabeledRouter) Step(node int, h labeled.SFHeader) (int, labeled.SFHeader, bool, error) {
+	return r.S.Step(node, h)
+}
+
+// NameIndependentRouter adapts the Theorem 1.4 name-independent
+// scheme's step function (destinations are ORIGINAL NAMES).
+type NameIndependentRouter struct {
+	S *nameind.Simple
+}
+
+var _ Router[nameind.NIHeader] = NameIndependentRouter{}
+
+// Prepare implements Router; dst is a node name.
+func (r NameIndependentRouter) Prepare(dst int) (nameind.NIHeader, error) {
+	return r.S.PrepareHeader(dst)
+}
+
+// Step implements Router.
+func (r NameIndependentRouter) Step(node int, h nameind.NIHeader) (int, nameind.NIHeader, bool, error) {
+	return r.S.Step(node, h)
+}
+
+// ScaleFreeNameIndependentRouter adapts the Theorem 1.1 scheme's step
+// function (destinations are ORIGINAL NAMES).
+type ScaleFreeNameIndependentRouter struct {
+	S *nameind.ScaleFree
+}
+
+var _ Router[nameind.SFNIHeader] = ScaleFreeNameIndependentRouter{}
+
+// Prepare implements Router; dst is a node name.
+func (r ScaleFreeNameIndependentRouter) Prepare(dst int) (nameind.SFNIHeader, error) {
+	return r.S.PrepareHeader(dst)
+}
+
+// Step implements Router.
+func (r ScaleFreeNameIndependentRouter) Step(node int, h nameind.SFNIHeader) (int, nameind.SFNIHeader, bool, error) {
+	return r.S.Step(node, h)
+}

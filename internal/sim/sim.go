@@ -1,0 +1,164 @@
+// Package sim runs routing schemes under a concurrent message-passing
+// model: every node is a goroutine owning only its local state, packets
+// are messages between neighbor mailboxes, and a forwarding decision is
+// a pure step function of (node table, packet header).
+//
+// The sequential traces produced by the schemes' RouteTo* methods
+// already make only local decisions, but a central loop drives them;
+// this simulator removes the loop. Running the same scheme both ways
+// and getting identical paths demonstrates that no hidden shared state
+// leaks between hops — the distributed-correctness claim behind every
+// compact routing result.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"compactrouting/internal/graph"
+)
+
+// Header is an opaque packet header with a measurable size.
+type Header interface {
+	Bits() int
+}
+
+// Router is a routing scheme factored into per-node step functions.
+type Router[H Header] interface {
+	// Prepare returns the initial header for a delivery addressed by
+	// dst (a label or a name, depending on the scheme).
+	Prepare(dst int) (H, error)
+	// Step performs one local forwarding decision at node: the next
+	// hop and updated header, or arrived == true.
+	Step(node int, h H) (next int, nh H, arrived bool, err error)
+}
+
+// Result is the outcome of one simulated delivery.
+type Result struct {
+	Src, Dst int
+	// Path is the walk taken (Path[0] == Src).
+	Path []int
+	// Cost is the summed edge weight.
+	Cost float64
+	// MaxHeaderBits is the largest header en route.
+	MaxHeaderBits int
+	// Err reports a routing failure (nil on delivery).
+	Err error
+}
+
+// packet is an in-flight message.
+type packet[H Header] struct {
+	id     int
+	header H
+	path   []int
+	cost   float64
+	maxHdr int
+}
+
+// Delivery is one requested route: from Src to the node addressed by
+// Dst (label or name, matching the Router).
+type Delivery struct {
+	Src, Dst int
+}
+
+// Run executes the deliveries concurrently over the graph: one
+// goroutine per node, one message per packet hop. It blocks until all
+// packets arrive or fail, and returns results indexed like deliveries.
+//
+// Packets that exceed maxHops (pass <= 0 for 4·n·log n-ish default)
+// fail rather than loop forever.
+func Run[H Header](g *graph.Graph, r Router[H], deliveries []Delivery, maxHops int) []Result {
+	n := g.N()
+	if maxHops <= 0 {
+		maxHops = 8 * n
+	}
+	results := make([]Result, len(deliveries))
+	inbox := make([]chan packet[H], n)
+	for i := range inbox {
+		inbox[i] = make(chan packet[H], 8)
+	}
+	var wg sync.WaitGroup // outstanding packets
+	var nodeWG sync.WaitGroup
+	done := make(chan struct{})
+
+	finish := func(id int, p packet[H], err error) {
+		res := &results[id]
+		res.Path = p.path
+		res.Cost = p.cost
+		res.MaxHeaderBits = p.maxHdr
+		res.Err = err
+		if err == nil {
+			res.Dst = p.path[len(p.path)-1]
+		}
+		wg.Done()
+	}
+
+	// forward delivers a packet to a mailbox without blocking the node
+	// goroutine (mailboxes are bounded; a detached send avoids deadlock
+	// when many packets converge on one node).
+	var forward func(to int, p packet[H])
+	forward = func(to int, p packet[H]) {
+		select {
+		case inbox[to] <- p:
+		default:
+			go func() { inbox[to] <- p }()
+		}
+	}
+
+	node := func(self int) {
+		defer nodeWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			case p := <-inbox[self]:
+				next, nh, arrived, err := r.Step(self, p.header)
+				if err != nil {
+					finish(p.id, p, fmt.Errorf("sim: step at %d: %w", self, err))
+					continue
+				}
+				if arrived {
+					finish(p.id, p, nil)
+					continue
+				}
+				if len(p.path) > maxHops {
+					finish(p.id, p, fmt.Errorf("sim: packet exceeded %d hops", maxHops))
+					continue
+				}
+				w, ok := g.EdgeWeight(self, next)
+				if !ok {
+					finish(p.id, p, fmt.Errorf("sim: step at %d forwarded to non-neighbor %d", self, next))
+					continue
+				}
+				if b := nh.Bits(); b > p.maxHdr {
+					p.maxHdr = b
+				}
+				p.header = nh
+				p.path = append(p.path, next)
+				p.cost += w
+				forward(next, p)
+			}
+		}
+	}
+	nodeWG.Add(n)
+	for v := 0; v < n; v++ {
+		go node(v)
+	}
+
+	wg.Add(len(deliveries))
+	for id, d := range deliveries {
+		h, err := r.Prepare(d.Dst)
+		if err != nil {
+			results[id] = Result{Src: d.Src, Err: err}
+			wg.Done()
+			continue
+		}
+		results[id].Src = d.Src
+		p := packet[H]{id: id, header: h, path: []int{d.Src}, maxHdr: h.Bits()}
+		forward(d.Src, p)
+	}
+	wg.Wait()
+	close(done)
+	nodeWG.Wait()
+	return results
+}

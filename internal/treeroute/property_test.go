@@ -1,0 +1,136 @@
+package treeroute
+
+import (
+	"testing"
+	"testing/quick"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+)
+
+// TestQuickRandomTreesRouteOptimally: over random trees, roots and
+// pairs, routes follow the unique tree path (checked by cost equality
+// with the tree metric, which characterizes the path in a tree).
+func TestQuickRandomTreesRouteOptimally(t *testing.T) {
+	f := func(seed int64, rootRaw, aRaw, bRaw uint8, order bool) bool {
+		n := 20 + int(uint16(seed)%80)
+		g, err := graph.RandomTree(n, 3, seed)
+		if err != nil {
+			return false
+		}
+		a := metric.NewAPSP(g)
+		root := int(rootRaw) % n
+		spt := metric.Dijkstra(g, root)
+		parent := make([]int, n)
+		copy(parent, spt.Parent)
+		parent[root] = -1
+		ord := HeavyFirst
+		if order {
+			ord = IDOrder
+		}
+		s, err := NewOrdered(parent, root, ord)
+		if err != nil {
+			return false
+		}
+		u, v := int(aRaw)%n, int(bRaw)%n
+		path, err := s.Route(u, s.Label(v))
+		if err != nil {
+			return false
+		}
+		cost := 0.0
+		for i := 1; i < len(path); i++ {
+			w, ok := g.EdgeWeight(path[i-1], path[i])
+			if !ok {
+				return false
+			}
+			cost += w
+		}
+		return path[0] == u && path[len(path)-1] == v &&
+			cost <= a.Dist(u, v)+1e-9 && cost >= a.Dist(u, v)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLabelRoundTrip: labels survive encode/decode over random
+// trees and both child orders.
+func TestQuickLabelRoundTrip(t *testing.T) {
+	f := func(seed int64, order bool) bool {
+		n := 20 + int(uint16(seed)%60)
+		g, err := graph.RandomTree(n, 2, seed)
+		if err != nil {
+			return false
+		}
+		spt := metric.Dijkstra(g, 0)
+		parent := make([]int, n)
+		copy(parent, spt.Parent)
+		parent[0] = -1
+		ord := HeavyFirst
+		if order {
+			ord = IDOrder
+		}
+		s, err := NewOrdered(parent, 0, ord)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			l := s.Label(v)
+			var w bits.Writer
+			l.Encode(&w)
+			if w.Len() != l.Bits() {
+				return false
+			}
+			got, err := DecodeLabel(bits.NewReader(w.Bytes(), w.Len()))
+			if err != nil || got.In != l.In || len(got.Light) != len(l.Light) {
+				return false
+			}
+			for i := range got.Light {
+				if got.Light[i] != l.Light[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIDOrderLabelsLargerOnPaths: on a path rooted at one end, id
+// order happens to match heavy order, but on a caterpillar the id
+// order can pick a leaf as "heavy", pushing the spine into light
+// entries — labels must never be smaller than the heavy-first ones in
+// the worst case over nodes.
+func TestIDOrderLabelsWorseOnCaterpillar(t *testing.T) {
+	g, err := graph.CaterpillarTree(40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spt := metric.Dijkstra(g, 0)
+	parent := make([]int, g.N())
+	copy(parent, spt.Parent)
+	parent[0] = -1
+	heavy, err := NewOrdered(parent, 0, HeavyFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ido, err := NewOrdered(parent, 0, IDOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxH, maxI := 0, 0
+	for v := 0; v < g.N(); v++ {
+		if b := len(heavy.Label(v).Light); b > maxH {
+			maxH = b
+		}
+		if b := len(ido.Label(v).Light); b > maxI {
+			maxI = b
+		}
+	}
+	if maxI < maxH {
+		t.Fatalf("id-order light entries (%d) beat heavy-first (%d)?", maxI, maxH)
+	}
+}

@@ -1,0 +1,297 @@
+package treeroute
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+)
+
+// treeParents roots the tree graph g at root and returns the parent
+// array New expects.
+func treeParents(t *testing.T, g *graph.Graph, root int) []int {
+	t.Helper()
+	spt := metric.Dijkstra(g, root)
+	parent := make([]int, g.N())
+	for v := range parent {
+		parent[v] = spt.Parent[v]
+	}
+	parent[root] = -1
+	return parent
+}
+
+// treePath returns the unique path between u and v in the tree given by
+// parent (toward root).
+func treePath(parent []int, u, v int) []int {
+	depth := func(x int) int {
+		d := 0
+		for parent[x] >= 0 {
+			x = parent[x]
+			d++
+		}
+		return d
+	}
+	du, dv := depth(u), depth(v)
+	var up, down []int
+	for du > dv {
+		up = append(up, u)
+		u = parent[u]
+		du--
+	}
+	for dv > du {
+		down = append(down, v)
+		v = parent[v]
+		dv--
+	}
+	for u != v {
+		up = append(up, u)
+		down = append(down, v)
+		u, v = parent[u], parent[v]
+	}
+	up = append(up, u)
+	for i := len(down) - 1; i >= 0; i-- {
+		up = append(up, down[i])
+	}
+	return up
+}
+
+func checkAllPairs(t *testing.T, s *Scheme, parent []int, n int) {
+	t.Helper()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			got, err := s.Route(u, s.Label(v))
+			if err != nil {
+				t.Fatalf("Route(%d -> %d): %v", u, v, err)
+			}
+			want := treePath(parent, u, v)
+			if len(got) != len(want) {
+				t.Fatalf("Route(%d -> %d) = %v, want %v", u, v, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Route(%d -> %d) = %v, want %v", u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteOnPath(t *testing.T) {
+	g, err := graph.Path(17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := treeParents(t, g, 8)
+	s, err := New(parent, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, s, parent, g.N())
+}
+
+func TestRouteOnCaterpillar(t *testing.T) {
+	g, err := graph.CaterpillarTree(8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := treeParents(t, g, 0)
+	s, err := New(parent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, s, parent, g.N())
+}
+
+func TestRouteOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 5; trial++ {
+		n := 30 + rng.Intn(70)
+		g, err := graph.RandomTree(n, 3, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := rng.Intn(n)
+		parent := treeParents(t, g, root)
+		s, err := New(parent, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAllPairs(t, s, parent, n)
+	}
+}
+
+func TestLightEntriesLogBound(t *testing.T) {
+	g, err := graph.RandomTree(1000, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := treeParents(t, g, 0)
+	s, err := New(parent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := int(math.Floor(math.Log2(1000)))
+	for v := 0; v < 1000; v++ {
+		if got := len(s.Label(v).Light); got > bound {
+			t.Fatalf("node %d has %d light entries > log2 n = %d", v, got, bound)
+		}
+	}
+}
+
+func TestSubsetTree(t *testing.T) {
+	// A tree over a strict subset of graph nodes (the Voronoi cell use
+	// case): nodes 10..19 of a 30-node id space.
+	parent := make([]int, 30)
+	for i := range parent {
+		parent[i] = NotInTree
+	}
+	parent[10] = -1
+	for v := 11; v < 20; v++ {
+		parent[v] = v - 1
+	}
+	s, err := New(parent, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 10 {
+		t.Fatalf("Size = %d, want 10", s.Size())
+	}
+	if s.Contains(5) || !s.Contains(15) {
+		t.Fatal("Contains wrong")
+	}
+	path, err := s.Route(19, s.Label(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 10 || path[0] != 19 || path[9] != 10 {
+		t.Fatalf("path = %v", path)
+	}
+	if _, _, err := s.NextHop(3, s.Label(10)); err != ErrNotInTree {
+		t.Fatalf("NextHop from non-member: %v", err)
+	}
+}
+
+func TestLabelEncodeDecode(t *testing.T) {
+	g, err := graph.RandomTree(200, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := treeParents(t, g, 3)
+	s, err := New(parent, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		l := s.Label(v)
+		var w bits.Writer
+		l.Encode(&w)
+		if w.Len() != l.Bits() {
+			t.Fatalf("node %d: encoded %d bits, Bits() says %d", v, w.Len(), l.Bits())
+		}
+		got, err := DecodeLabel(bits.NewReader(w.Bytes(), w.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.In != l.In || len(got.Light) != len(l.Light) {
+			t.Fatalf("node %d: decode mismatch %+v vs %+v", v, got, l)
+		}
+		for i := range got.Light {
+			if got.Light[i] != l.Light[i] {
+				t.Fatalf("node %d entry %d: %+v vs %+v", v, i, got.Light[i], l.Light[i])
+			}
+		}
+	}
+}
+
+func TestLabelBitsBound(t *testing.T) {
+	g, err := graph.RandomTree(1024, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := treeParents(t, g, 0)
+	s, err := New(parent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O(log^2 n) with small constants: allow 4 * log^2 n.
+	logn := math.Log2(1024)
+	bound := int(4 * logn * logn)
+	for v := 0; v < g.N(); v++ {
+		if b := s.LabelBits(v); b > bound {
+			t.Fatalf("label of %d is %d bits > %d", v, b, bound)
+		}
+		if b := s.TableBits(v); b > bound {
+			t.Fatalf("table of %d is %d bits > %d", v, b, bound)
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	// Root with a parent.
+	if _, err := New([]int{0, -1}, 0); err == nil {
+		t.Fatal("accepted root with parent")
+	}
+	// Two roots.
+	if _, err := New([]int{-1, -1}, 0); err == nil {
+		t.Fatal("accepted two roots")
+	}
+	// Cycle.
+	if _, err := New([]int{-1, 2, 3, 1}, 0); err == nil {
+		t.Fatal("accepted a cycle")
+	}
+	// Root out of range.
+	if _, err := New([]int{-1}, 5); err == nil {
+		t.Fatal("accepted out-of-range root")
+	}
+}
+
+func TestForeignLabelErrors(t *testing.T) {
+	parent1 := []int{-1, 0, 1}
+	s1, err := New(parent1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A label whose In is beyond this tree's range: at the root the
+	// destination looks outside the subtree and there is no parent.
+	bogus := Label{In: 99}
+	if _, _, err := s1.NextHop(0, bogus); err != ErrBadLabel {
+		t.Fatalf("foreign label: err = %v, want ErrBadLabel", err)
+	}
+}
+
+func TestRouteOptimalCost(t *testing.T) {
+	// Route cost along the tree equals the tree metric distance
+	// (optimal routing, the Lemma 4.1 guarantee).
+	g, err := graph.RandomTree(80, 5, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := metric.NewAPSP(g)
+	parent := treeParents(t, g, 0)
+	s, err := New(parent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		path, err := s.Route(u, s.Label(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := 0.0
+		for i := 0; i+1 < len(path); i++ {
+			w, ok := g.EdgeWeight(path[i], path[i+1])
+			if !ok {
+				t.Fatalf("route uses non-edge %d-%d", path[i], path[i+1])
+			}
+			cost += w
+		}
+		if math.Abs(cost-a.Dist(u, v)) > 1e-9 {
+			t.Fatalf("route cost %v != tree distance %v for %d->%d", cost, a.Dist(u, v), u, v)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package tz implements the Thorup–Zwick stretch-3 compact routing
+// scheme for general graphs (reference [29] of the paper, "Compact
+// routing schemes", SPAA 2001, k = 2), as a comparator: on general
+// graphs stretch below 3 requires Omega(sqrt(n)) tables, and TZ meets
+// stretch exactly 3 with ~O(sqrt(n log n)) tables — against which the
+// paper's doubling-metric schemes achieve (1+eps) with polylog tables.
+//
+// Construction: a random landmark sample A; every node u stores a next
+// hop toward every landmark and toward every member of its cluster
+// C(u) = { v : d(u, v) < d(v, A) }, plus its local tree-routing tables
+// for each landmark's shortest-path tree. The label of v names its
+// home landmark a(v) (the nearest in A) and v's tree-routing label in
+// a(v)'s tree. Routing tries the cluster (optimal paths) and otherwise
+// relays via the destination's home landmark: cost <= d(u,v) + 2
+// d(v,A) <= 3 d(u,v) whenever the cluster misses.
+package tz
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/core"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+	"compactrouting/internal/treeroute"
+)
+
+// Scheme is a compiled stretch-3 TZ routing scheme.
+type Scheme struct {
+	g *graph.Graph
+	a *metric.APSP
+	// landmarks, ascending id; landmarkIdx inverts it.
+	landmarks   []int
+	landmarkIdx map[int]int
+	// home[v] = index into landmarks of v's nearest landmark.
+	home []int32
+	// distA[v] = d(v, A).
+	distA []float64
+	// trees[l] = tree routing on the SPT of landmarks[l].
+	trees []*treeroute.Scheme
+	// cluster[u] maps cluster member -> next hop from u.
+	cluster []map[int32]int32
+	// toLandmark[u][l] = next hop from u toward landmarks[l].
+	toLandmark [][]int32
+	tblBits    []int
+	idBits     int
+}
+
+var _ core.LabeledScheme = (*Scheme)(nil)
+
+// New compiles the scheme. sampleFactor scales the landmark count
+// |A| = ceil(sampleFactor * sqrt(n * ln n)) (1 is the classic choice;
+// it balances the landmark table against the expected cluster size).
+func New(g *graph.Graph, a *metric.APSP, sampleFactor float64, seed int64) (*Scheme, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, fmt.Errorf("tz: need at least 2 nodes")
+	}
+	if sampleFactor <= 0 {
+		return nil, fmt.Errorf("tz: sampleFactor %v must be positive", sampleFactor)
+	}
+	count := int(math.Ceil(sampleFactor * math.Sqrt(float64(n)*math.Log(float64(n)))))
+	if count < 1 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	landmarks := append([]int(nil), perm[:count]...)
+	sort.Ints(landmarks)
+	s := &Scheme{
+		g: g, a: a,
+		landmarks:   landmarks,
+		landmarkIdx: make(map[int]int, count),
+		home:        make([]int32, n),
+		distA:       make([]float64, n),
+		trees:       make([]*treeroute.Scheme, count),
+		cluster:     make([]map[int32]int32, n),
+		toLandmark:  make([][]int32, n),
+		tblBits:     make([]int, n),
+		idBits:      bits.UintBits(n),
+	}
+	for i, l := range landmarks {
+		s.landmarkIdx[l] = i
+	}
+	// Home landmarks and d(v, A); ties by landmark id (ascending scan).
+	for v := 0; v < n; v++ {
+		best, bd := -1, math.Inf(1)
+		for i, l := range landmarks {
+			if d := a.Dist(v, l); d < bd {
+				best, bd = i, d
+			}
+		}
+		s.home[v] = int32(best)
+		s.distA[v] = bd
+	}
+	// Landmark shortest-path trees with tree routing.
+	for i, l := range landmarks {
+		spt := metric.Dijkstra(g, l)
+		parent := make([]int, n)
+		copy(parent, spt.Parent)
+		parent[l] = -1
+		tr, err := treeroute.New(parent, l)
+		if err != nil {
+			return nil, fmt.Errorf("tz: landmark tree %d: %w", l, err)
+		}
+		s.trees[i] = tr
+	}
+	// Clusters C(u) = { v : d(u,v) < d(v,A) } with next hops, and the
+	// per-landmark next hops.
+	for u := 0; u < n; u++ {
+		s.cluster[u] = make(map[int32]int32)
+		for v := 0; v < n; v++ {
+			if u != v && a.Dist(u, v) < s.distA[v] {
+				s.cluster[u][int32(v)] = int32(a.NextHop(u, v))
+			}
+		}
+		s.toLandmark[u] = make([]int32, count)
+		for i, l := range landmarks {
+			if u == l {
+				s.toLandmark[u][i] = int32(u)
+			} else {
+				s.toLandmark[u][i] = int32(a.NextHop(u, l))
+			}
+		}
+	}
+	// Storage: landmark next hops, cluster entries, per-landmark tree
+	// tables, home landmark, d(v,A) quantized to an id-width field.
+	for u := 0; u < n; u++ {
+		b := s.idBits + 2*s.idBits // home + own tree label-ish state
+		b += count * s.idBits      // next hop per landmark
+		b += len(s.cluster[u]) * 2 * s.idBits
+		for i := range s.trees {
+			b += s.trees[i].TableBits(u)
+		}
+		s.tblBits[u] = b
+	}
+	return s, nil
+}
+
+// Landmarks returns the landmark count (for reports).
+func (s *Scheme) Landmarks() int { return len(s.landmarks) }
+
+// MaxClusterSize returns the largest cluster (the quantity the TZ
+// sampling argument bounds by ~4n/|A| whp).
+func (s *Scheme) MaxClusterSize() int {
+	max := 0
+	for _, c := range s.cluster {
+		if len(c) > max {
+			max = len(c)
+		}
+	}
+	return max
+}
+
+// SchemeName implements core.LabeledScheme.
+func (s *Scheme) SchemeName() string { return "tz/stretch-3" }
+
+// LabelOf returns v's label: we use v's id; the full routing label
+// (home landmark + tree label) is derived by the source from it at no
+// extra table cost because the header carries it (LabelBitsOf reports
+// the true label size).
+func (s *Scheme) LabelOf(v int) int { return v }
+
+// LabelBitsOf returns the size of v's full TZ label: v's id, its home
+// landmark, and its tree-routing label in the home landmark's tree.
+func (s *Scheme) LabelBitsOf(v int) int {
+	home := int(s.home[v])
+	return 2*s.idBits + s.trees[home].Label(v).Bits()
+}
+
+// TableBits returns u's table size in bits.
+func (s *Scheme) TableBits(v int) int { return s.tblBits[v] }
+
+// RouteToLabel routes from src to dst (= label): cluster next hops
+// while the destination is in the current node's cluster, otherwise
+// toward the destination's home landmark and down its tree.
+func (s *Scheme) RouteToLabel(src, label int) (*core.Route, error) {
+	n := s.g.N()
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("tz: source %d out of range", src)
+	}
+	if label < 0 || label >= n {
+		return nil, fmt.Errorf("tz: destination %d out of range", label)
+	}
+	dst := label
+	tr := core.NewTrace(s.g, src)
+	hdr := s.LabelBitsOf(dst) + 2
+	tr.Header(hdr)
+	homeIdx := int(s.home[dst])
+	homeTree := s.trees[homeIdx]
+	inTreePhase := false
+	maxSteps := 4 * n
+	for step := 0; ; step++ {
+		if step > maxSteps {
+			return nil, fmt.Errorf("tz: no progress routing to %d", dst)
+		}
+		u := tr.At()
+		if u == dst {
+			return tr.Finish(dst)
+		}
+		if !inTreePhase {
+			if next, ok := s.cluster[u][int32(dst)]; ok {
+				// Cluster phase: v ∈ C(u) persists along the shortest
+				// path (d(w,v) <= d(u,v) < d(v,A)), so this never
+				// dead-ends.
+				if err := tr.Hop(int(next)); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if u != s.landmarks[homeIdx] {
+				// Head for the destination's home landmark.
+				if err := tr.Hop(int(s.toLandmark[u][homeIdx])); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			inTreePhase = true
+		}
+		// Tree phase: descend the home landmark's SPT.
+		next, arrived, err := homeTree.NextHop(u, homeTree.Label(dst))
+		if err != nil {
+			return nil, err
+		}
+		if arrived {
+			return tr.Finish(dst)
+		}
+		if err := tr.Hop(next); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package tz
+
+import (
+	"math"
+	"testing"
+
+	"compactrouting/internal/core"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+)
+
+func fixtures(t *testing.T, n int, seed int64) (*graph.Graph, *metric.APSP) {
+	t.Helper()
+	g, _, err := graph.RandomGeometric(n, 0.2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, metric.NewAPSP(g)
+}
+
+func TestStretchAtMostThree(t *testing.T) {
+	g, a := fixtures(t, 150, 1)
+	s, err := New(g, a, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := core.EvaluateLabeled(s, a, core.AllPairs(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Max > 3+1e-9 {
+		t.Fatalf("TZ stretch %.4f exceeds 3", stats.Max)
+	}
+	t.Logf("TZ: max %.3f mean %.3f, landmarks %d, max cluster %d",
+		stats.Max, stats.Mean, s.Landmarks(), s.MaxClusterSize())
+}
+
+func TestStretchAtMostThreeOnRing(t *testing.T) {
+	// Rings are the classic bad case for tree routing; TZ must still
+	// hold 3.
+	g, err := graph.Ring(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := metric.NewAPSP(g)
+	s, err := New(g, a, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := core.EvaluateLabeled(s, a, core.AllPairs(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Max > 3+1e-9 {
+		t.Fatalf("TZ stretch %.4f exceeds 3 on the ring", stats.Max)
+	}
+}
+
+func TestClusterRoutesAreOptimal(t *testing.T) {
+	g, a := fixtures(t, 100, 2)
+	s, err := New(g, a, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for u := 0; u < g.N() && checked < 200; u++ {
+		for v := range s.cluster[u] {
+			r, err := s.RouteToLabel(u, int(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(r.Cost-a.Dist(u, int(v))) > 1e-9 {
+				t.Fatalf("cluster route %d->%d cost %v, optimal %v", u, v, r.Cost, a.Dist(u, int(v)))
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no cluster pairs found")
+	}
+}
+
+func TestClusterDefinition(t *testing.T) {
+	g, a := fixtures(t, 90, 3)
+	s, err := New(g, a, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			_, in := s.cluster[u][int32(v)]
+			want := u != v && a.Dist(u, v) < s.distA[v]
+			if in != want {
+				t.Fatalf("cluster[%d] membership of %d = %v, want %v", u, v, in, want)
+			}
+		}
+	}
+}
+
+func TestTableSizesSublinear(t *testing.T) {
+	// TZ tables are ~O(sqrt(n log n) log n) bits: much smaller than
+	// full tables, much larger than polylog. Check it sits strictly
+	// between on a moderate graph.
+	g, a := fixtures(t, 250, 4)
+	s, err := New(g, a, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := core.Tables(s.TableBits, g.N())
+	full := (g.N() - 1) * 8
+	if tb.MaxBits >= 4*full {
+		t.Fatalf("TZ tables %d not sublinear vs full %d", tb.MaxBits, full)
+	}
+	if tb.MaxBits <= 0 {
+		t.Fatal("no storage accounted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g, a := fixtures(t, 40, 5)
+	if _, err := New(g, a, 0, 1); err == nil {
+		t.Fatal("zero sample factor accepted")
+	}
+	s, err := New(g, a, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RouteToLabel(-1, 0); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := s.RouteToLabel(0, g.N()); err == nil {
+		t.Fatal("bad destination accepted")
+	}
+	if _, err := s.RouteToLabel(3, 3); err != nil {
+		t.Fatal("self route failed")
+	}
+}
+
+func TestLandmarkDestinations(t *testing.T) {
+	g, a := fixtures(t, 80, 6)
+	s, err := New(g, a, 1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range s.landmarks {
+		r, err := s.RouteToLabel(0, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Dst != l {
+			t.Fatalf("route to landmark %d ended at %d", l, r.Dst)
+		}
+		if r.Stretch(a.Dist(0, l)) > 3+1e-9 {
+			t.Fatalf("landmark route stretch %v", r.Stretch(a.Dist(0, l)))
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package compactrouting
+
+import (
+	"fmt"
+
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+)
+
+// EdgeSpec describes one undirected edge for NewNetwork.
+type EdgeSpec struct {
+	U, V   int
+	Weight float64
+}
+
+// Network is a preprocessed network: the graph plus its shortest-path
+// metric oracle. All scheme constructors hang off it, so the O(n²)
+// all-pairs computation is shared.
+type Network struct {
+	g    *graph.Graph
+	apsp *metric.APSP
+}
+
+// NewNetwork builds a network from an explicit edge list. The graph
+// must be connected, with positive finite weights, no self-loops.
+func NewNetwork(n int, edges []EdgeSpec) (*Network, error) {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.U, e.V, e.Weight); err != nil {
+			return nil, err
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+func wrap(g *graph.Graph) *Network {
+	return &Network{g: g, apsp: metric.NewAPSP(g)}
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return nw.g.N() }
+
+// M returns the number of edges.
+func (nw *Network) M() int { return nw.g.M() }
+
+// Dist returns the shortest-path distance between two nodes.
+func (nw *Network) Dist(u, v int) float64 { return nw.apsp.Dist(u, v) }
+
+// Diameter returns the largest pairwise distance.
+func (nw *Network) Diameter() float64 { return nw.apsp.Diameter() }
+
+// NormalizedDiameter returns Delta, the ratio of the largest to the
+// smallest pairwise distance.
+func (nw *Network) NormalizedDiameter() float64 { return nw.apsp.NormalizedDiameter() }
+
+// DoublingDimension estimates the metric's doubling dimension by
+// greedy half-radius covers over sampled balls (samples <= 0 sweeps
+// every node). The estimate alpha' satisfies alpha <= alpha' <=
+// 2*alpha for the true dimension alpha.
+func (nw *Network) DoublingDimension(samples int, seed int64) float64 {
+	return metric.EstimateDoublingDimension(nw.apsp, samples, seed)
+}
+
+// GridNetwork returns the rows x cols unit grid.
+func GridNetwork(rows, cols int) (*Network, error) {
+	g, err := graph.Grid(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// GridWithHolesNetwork returns the largest component of a grid with
+// each cell deleted with probability holeProb: the paper's canonical
+// doubling-but-not-growth-bounded family.
+func GridWithHolesNetwork(rows, cols int, holeProb float64, seed int64) (*Network, error) {
+	g, _, err := graph.GridWithHoles(rows, cols, holeProb, seed)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// RandomGeometricNetwork returns the largest component of a random
+// geometric graph on n points with the given connection radius,
+// weights scaled so the minimum edge weight is 1.
+func RandomGeometricNetwork(n int, radius float64, seed int64) (*Network, error) {
+	g, _, err := graph.RandomGeometric(n, radius, seed)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// PathNetwork returns a path with uniform edge weight.
+func PathNetwork(n int, weight float64) (*Network, error) {
+	g, err := graph.Path(n, weight)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// RingNetwork returns the unit-weight n-cycle.
+func RingNetwork(n int) (*Network, error) {
+	g, err := graph.Ring(n)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// ExponentialPathNetwork returns a path whose i-th edge weighs base^i:
+// a line metric whose normalized diameter is exponential in n — the
+// family separating scale-free from non-scale-free schemes.
+func ExponentialPathNetwork(n int, base float64) (*Network, error) {
+	g, err := graph.ExponentialPath(n, base)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// ExponentialStarNetwork returns a star of k arms whose j-th arm has
+// edges of weight base^j.
+func ExponentialStarNetwork(n, k int, base float64) (*Network, error) {
+	g, err := graph.ExponentialStar(n, k, base)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// Validate sanity-checks an externally supplied pair list against the
+// network size.
+func (nw *Network) Validate(pairs [][2]int) error {
+	for _, p := range pairs {
+		if p[0] < 0 || p[0] >= nw.g.N() || p[1] < 0 || p[1] >= nw.g.N() {
+			return fmt.Errorf("compactrouting: pair %v out of range [0, %d)", p, nw.g.N())
+		}
+	}
+	return nil
+}
