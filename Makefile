@@ -1,0 +1,32 @@
+# Tier-1 verification for this repository: `make check` is what CI and
+# every PR must keep green (see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench serve
+
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Machine-readable benchmark sweep (writes BENCH_routebench.json).
+bench:
+	$(GO) run ./cmd/routebench -json BENCH_routebench.json
+
+# Run the serving daemon on a default workload.
+serve:
+	$(GO) run ./cmd/routed -addr :8080

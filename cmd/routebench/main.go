@@ -6,8 +6,14 @@
 //
 //	routebench -exp all                     # everything, default sizes
 //	routebench -exp table1 -n 512 -eps 0.2  # one experiment, custom size
+//	routebench -json BENCH_routebench.json  # machine-readable bench sweep
 //
 // Experiments: table1, table2, fig1, fig2, fig3, storage, epsilon, all.
+//
+// With -json, the text experiments are skipped; instead every scheme is
+// benchmarked on the -graph workload and one JSON record per scheme
+// (stretch percentiles, table bits, ns/query) is written to the given
+// path, so benchmark trajectories can be compared across commits.
 package main
 
 import (
@@ -27,12 +33,42 @@ func main() {
 		pairs = flag.Int("pairs", 1000, "routed source-destination pairs per experiment (0 = all pairs)")
 		seed  = flag.Int64("seed", 1, "random seed for generators, namings and sampling")
 		graph = flag.String("graph", "geometric", "workload graph: geometric|grid-holes|exp-path")
+		jsonP = flag.String("json", "", "write a machine-readable bench sweep to this path and exit")
 	)
 	flag.Parse()
+	if *jsonP != "" {
+		if err := runJSON(*jsonP, *n, *eps, *pairs, *seed, *graph); err != nil {
+			fmt.Fprintln(os.Stderr, "routebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*which, *n, *eps, *pairs, *seed, *graph); err != nil {
 		fmt.Fprintln(os.Stderr, "routebench:", err)
 		os.Exit(1)
 	}
+}
+
+// runJSON benchmarks every scheme on the workload and writes the
+// records to path.
+func runJSON(path string, n int, eps float64, pairs int, seed int64, graphKind string) error {
+	env, err := buildEnv(graphKind, n, seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := exp.WriteBenchJSON(f, env, eps, pairs, seed); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("routebench: wrote %s (%s, n=%d, eps=%v, %d pairs)\n", path, env.Name, env.G.N(), eps, pairs)
+	return nil
 }
 
 func buildEnv(kind string, n int, seed int64) (*exp.Env, error) {

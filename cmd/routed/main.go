@@ -1,0 +1,133 @@
+// Command routed is the serving daemon: it builds (or loads) a network
+// once, compiles the configured routing schemes, and answers route and
+// stretch queries over HTTP/JSON until stopped — the
+// preprocess-once/query-many split compact routing schemes exist for.
+//
+// Usage:
+//
+//	routed -addr :8080 -graph geometric -n 256 -schemes simple-labeled,full-table
+//	routed -load net.txt -cache 65536
+//
+// Endpoints (see README "Serving mode" for examples):
+//
+//	POST /route        {"scheme":"simple-labeled","src":0,"dst":5}
+//	POST /route/batch  {"scheme":"full-table","pairs":[[0,5],[3,9]]}
+//	GET  /schemes      table/label bit accounting per scheme
+//	GET  /metrics      counters, latency histograms, cache hit rate
+//	POST /reload       {"seed":7} — regenerate the graph, drop the cache
+//	GET  /healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"compactrouting"
+	"compactrouting/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		kind    = flag.String("graph", "geometric", "generated workload: geometric|grid|grid-holes|ring|exp-path")
+		n       = flag.Int("n", 256, "target network size for generated graphs")
+		seed    = flag.Int64("seed", 1, "generator / naming seed")
+		eps     = flag.Float64("eps", 0.25, "stretch parameter epsilon (clamped per scheme)")
+		schemes = flag.String("schemes", strings.Join(server.SchemeNames, ","), "comma-separated schemes to compile")
+		load    = flag.String("load", "", "load an edge-list file (graphgen format) instead of generating")
+		cache   = flag.Int("cache", 1<<16, "route cache capacity in entries (0 disables)")
+		workers = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := run(*addr, *kind, *n, *seed, *eps, *schemes, *load, *cache, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "routed:", err)
+		os.Exit(1)
+	}
+}
+
+// buildFunc returns the network constructor the engine calls at startup
+// and on every /reload.
+func buildFunc(kind string, n int, load string) func(seed int64) (*compactrouting.Network, error) {
+	if load != "" {
+		return func(int64) (*compactrouting.Network, error) {
+			f, err := os.Open(load)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return compactrouting.ReadNetwork(f)
+		}
+	}
+	return func(seed int64) (*compactrouting.Network, error) {
+		switch kind {
+		case "geometric":
+			radius := 1.8 * math.Sqrt(math.Log(float64(n))/float64(n))
+			return compactrouting.RandomGeometricNetwork(n, radius, seed)
+		case "grid":
+			side := int(math.Ceil(math.Sqrt(float64(n))))
+			return compactrouting.GridNetwork(side, side)
+		case "grid-holes":
+			side := int(math.Ceil(math.Sqrt(float64(n))))
+			return compactrouting.GridWithHolesNetwork(side, side, 0.25, seed)
+		case "ring":
+			return compactrouting.RingNetwork(n)
+		case "exp-path":
+			return compactrouting.ExponentialPathNetwork(n, 4)
+		default:
+			return nil, fmt.Errorf("unknown graph kind %q", kind)
+		}
+	}
+}
+
+func run(addr, kind string, n int, seed int64, eps float64, schemes, load string, cache, workers int) error {
+	start := time.Now()
+	eng, err := server.New(server.Config{
+		Build:        buildFunc(kind, n, load),
+		Seed:         seed,
+		Eps:          eps,
+		Schemes:      strings.Split(schemes, ","),
+		CacheEntries: cache,
+		Workers:      workers,
+	})
+	if err != nil {
+		return err
+	}
+	gi := eng.Graph()
+	log.Printf("routed: serving n=%d m=%d network on %s (built in %v)", gi.Nodes, gi.Edges, addr, time.Since(start).Round(time.Millisecond))
+	for _, si := range eng.Schemes() {
+		log.Printf("routed: scheme %-28s %s, label %d bits, tables max %d / mean %.0f bits (compiled in %.0f ms)",
+			si.Name, si.Kind, si.LabelBits, si.TableMaxBits, si.TableMeanBits, si.BuildMillis)
+	}
+
+	srv := &http.Server{Addr: addr, Handler: eng.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("routed: %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

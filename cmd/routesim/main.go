@@ -56,6 +56,10 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 	pairs := core.SamplePairs(g.N(), packets, seed+1)
 	deliveries := make([]sim.Delivery, len(pairs))
 
+	// seqRoute replays pair i through the scheme's own sequential
+	// driver; the concurrent walk must match it hop for hop.
+	var seqRoute func(i int) (*core.Route, error)
+
 	var results []sim.Result
 	start := time.Now()
 	switch scheme {
@@ -68,6 +72,9 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 			deliveries[i] = sim.Delivery{Src: p[0], Dst: s.LabelOf(p[1])}
 		}
 		results = sim.Run[labeled.SimpleHeader](g, sim.SimpleLabeledRouter{S: s}, deliveries, 0)
+		seqRoute = func(i int) (*core.Route, error) {
+			return s.RouteToLabel(pairs[i][0], s.LabelOf(pairs[i][1]))
+		}
 	case "scale-free-labeled":
 		se := eps
 		if se > 0.25 {
@@ -81,6 +88,9 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 			deliveries[i] = sim.Delivery{Src: p[0], Dst: s.LabelOf(p[1])}
 		}
 		results = sim.Run[labeled.SFHeader](g, sim.ScaleFreeLabeledRouter{S: s}, deliveries, 64*g.N())
+		seqRoute = func(i int) (*core.Route, error) {
+			return s.RouteToLabel(pairs[i][0], s.LabelOf(pairs[i][1]))
+		}
 	case "name-independent":
 		ne := eps
 		if ne > 1.0/3 {
@@ -99,6 +109,9 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 			deliveries[i] = sim.Delivery{Src: p[0], Dst: nm.NameOf(p[1])}
 		}
 		results = sim.Run[nameind.NIHeader](g, sim.NameIndependentRouter{S: s}, deliveries, 256*g.N())
+		seqRoute = func(i int) (*core.Route, error) {
+			return s.RouteToName(pairs[i][0], nm.NameOf(pairs[i][1]))
+		}
 	case "scale-free-name-independent":
 		ne := eps
 		if ne > 0.25 {
@@ -117,12 +130,18 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 			deliveries[i] = sim.Delivery{Src: p[0], Dst: nm.NameOf(p[1])}
 		}
 		results = sim.Run[nameind.SFNIHeader](g, sim.ScaleFreeNameIndependentRouter{S: s}, deliveries, 512*g.N())
+		seqRoute = func(i int) (*core.Route, error) {
+			return s.RouteToName(pairs[i][0], nm.NameOf(pairs[i][1]))
+		}
 	case "full-table":
 		s := baseline.NewFullTable(g, a)
 		for i, p := range pairs {
 			deliveries[i] = sim.Delivery{Src: p[0], Dst: p[1]}
 		}
 		results = sim.Run[baseline.Destination](g, sim.FullTableRouter{S: s}, deliveries, 0)
+		seqRoute = func(i int) (*core.Route, error) {
+			return s.RouteToLabel(pairs[i][0], pairs[i][1])
+		}
 	case "single-tree":
 		s, err := baseline.NewSingleTree(g, 0)
 		if err != nil {
@@ -132,6 +151,9 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 			deliveries[i] = sim.Delivery{Src: p[0], Dst: p[1]}
 		}
 		results = sim.Run[baseline.TreeHeader](g, sim.SingleTreeRouter{S: s}, deliveries, 0)
+		seqRoute = func(i int) (*core.Route, error) {
+			return s.RouteToLabel(pairs[i][0], pairs[i][1])
+		}
 	default:
 		return fmt.Errorf("unknown scheme %q", scheme)
 	}
@@ -141,6 +163,10 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 	hops, maxHdr, failures := 0, 0, 0
 	for i, res := range results {
 		if res.Err != nil {
+			if failures == 0 {
+				fmt.Fprintf(os.Stderr, "routesim: FIRST FAILURE scheme=%s seed=%d pair=(%d,%d): %v\n",
+					scheme, seed, pairs[i][0], pairs[i][1], res.Err)
+			}
 			failures++
 			continue
 		}
@@ -154,7 +180,26 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 		}
 	}
 	if failures > 0 {
-		return fmt.Errorf("%d deliveries failed", failures)
+		return fmt.Errorf("scheme=%s seed=%d: %d of %d deliveries failed", scheme, seed, failures, len(results))
+	}
+
+	// Cross-check a sample of the concurrent walks against the
+	// sequential router: the two drive the SAME step functions, so any
+	// divergence means hidden shared state leaked between hops.
+	checked := len(results)
+	if checked > 200 {
+		checked = 200
+	}
+	for i := 0; i < checked; i++ {
+		seq, err := seqRoute(i)
+		if err != nil {
+			return fmt.Errorf("cross-check scheme=%s seed=%d pair=(%d,%d): sequential router failed: %w",
+				scheme, seed, pairs[i][0], pairs[i][1], err)
+		}
+		if diverged(results[i].Path, seq.Path) {
+			return fmt.Errorf("cross-check DIVERGED scheme=%s seed=%d pair=(%d,%d): concurrent path %v vs sequential %v",
+				scheme, seed, pairs[i][0], pairs[i][1], results[i].Path, seq.Path)
+		}
 	}
 	sort.Float64s(stretches)
 	mean := 0.0
@@ -168,5 +213,19 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 	fmt.Printf("stretch: max %.3f, mean %.3f, p99 %.3f | max header %d bits\n",
 		stretches[len(stretches)-1], mean,
 		stretches[int(math.Ceil(0.99*float64(len(stretches))))-1], maxHdr)
+	fmt.Printf("cross-check: %d/%d walks identical to the sequential router\n", checked, len(results))
 	return nil
+}
+
+// diverged reports whether the two walks differ anywhere.
+func diverged(sim, seq []int) bool {
+	if len(sim) != len(seq) {
+		return true
+	}
+	for k := range sim {
+		if sim[k] != seq[k] {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"compactrouting/internal/baseline"
+	"compactrouting/internal/core"
+)
+
+// BenchRecord is one scheme's machine-readable benchmark row, written
+// by cmd/routebench -json so runs can be tracked across commits.
+type BenchRecord struct {
+	Scheme        string  `json:"scheme"`
+	Graph         string  `json:"graph"`
+	N             int     `json:"n"`
+	M             int     `json:"m"`
+	Eps           float64 `json:"eps"`
+	Pairs         int     `json:"pairs"`
+	StretchMean   float64 `json:"stretch_mean"`
+	StretchP50    float64 `json:"stretch_p50"`
+	StretchP95    float64 `json:"stretch_p95"`
+	StretchP99    float64 `json:"stretch_p99"`
+	StretchMax    float64 `json:"stretch_max"`
+	MaxHeaderBits int     `json:"max_header_bits"`
+	TableMaxBits  int     `json:"table_max_bits"`
+	TableMeanBits float64 `json:"table_mean_bits"`
+	BuildMS       float64 `json:"build_ms"`
+	NsPerQuery    float64 `json:"ns_per_query"`
+}
+
+// Bench routes the sampled pairs through every scheme and returns one
+// record per scheme with stretch percentiles and wall-clock per query.
+func Bench(e *Env, eps float64, pairCount int, seed int64) ([]BenchRecord, error) {
+	pairs := e.Pairs(pairCount, seed)
+	var out []BenchRecord
+
+	record := func(name string, buildMS float64, tableBits func(int) int, route func() (core.StretchStats, error)) error {
+		start := time.Now()
+		st, err := route()
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		tb := core.Tables(tableBits, e.G.N())
+		out = append(out, BenchRecord{
+			Scheme:        name,
+			Graph:         e.Name,
+			N:             e.G.N(),
+			M:             e.G.M(),
+			Eps:           eps,
+			Pairs:         len(pairs),
+			StretchMean:   st.Mean,
+			StretchP50:    st.P50,
+			StretchP95:    st.P95,
+			StretchP99:    st.P99,
+			StretchMax:    st.Max,
+			MaxHeaderBits: st.MaxHeader,
+			TableMaxBits:  tb.MaxBits,
+			TableMeanBits: tb.MeanBits,
+			BuildMS:       buildMS,
+			NsPerQuery:    float64(elapsed.Nanoseconds()) / float64(len(pairs)),
+		})
+		return nil
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+	start := time.Now()
+	simple, err := buildLabeledSimple(e, minf(eps, 0.5))
+	if err != nil {
+		return nil, err
+	}
+	if err := record("simple-labeled", ms(time.Since(start)), simple.TableBits, func() (core.StretchStats, error) {
+		return core.EvaluateLabeled(simple, e.A, pairs)
+	}); err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	free, err := buildLabeledScaleFree(e, minf(eps, 0.25))
+	if err != nil {
+		return nil, err
+	}
+	if err := record("scale-free-labeled", ms(time.Since(start)), free.TableBits, func() (core.StretchStats, error) {
+		return core.EvaluateLabeled(free, e.A, pairs)
+	}); err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	ni, err := buildNameIndSimple(e, minf(eps, 1.0/3), seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := record("name-independent", ms(time.Since(start)), ni.TableBits, func() (core.StretchStats, error) {
+		return core.EvaluateNameIndependent(ni, e.A, pairs)
+	}); err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	sfni, err := buildNameIndScaleFree(e, minf(eps, 0.25), seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := record("scale-free-name-independent", ms(time.Since(start)), sfni.TableBits, func() (core.StretchStats, error) {
+		return core.EvaluateNameIndependent(sfni, e.A, pairs)
+	}); err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	full := baseline.NewFullTable(e.G, e.A)
+	if err := record("full-table", ms(time.Since(start)), full.TableBits, func() (core.StretchStats, error) {
+		return core.EvaluateLabeled(full, e.A, pairs)
+	}); err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	tree, err := baseline.NewSingleTree(e.G, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := record("single-tree", ms(time.Since(start)), tree.TableBits, func() (core.StretchStats, error) {
+		return core.EvaluateLabeled(tree, e.A, pairs)
+	}); err != nil {
+		return nil, err
+	}
+
+	return out, nil
+}
+
+// WriteBenchJSON runs Bench and writes the records as an indented JSON
+// array.
+func WriteBenchJSON(w io.Writer, e *Env, eps float64, pairCount int, seed int64) error {
+	records, err := Bench(e, eps, pairCount, seed)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}

@@ -85,6 +85,16 @@ func newTab(w io.Writer) *tabwriter.Writer {
 	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 }
 
+// buildLabeledSimple compiles the Lemma 3.1 labeled scheme on env.
+func buildLabeledSimple(e *Env, eps float64) (*labeled.Simple, error) {
+	return labeled.NewSimple(e.G, e.A, eps)
+}
+
+// buildLabeledScaleFree compiles the Theorem 1.2 scheme on env.
+func buildLabeledScaleFree(e *Env, eps float64) (*labeled.ScaleFree, error) {
+	return labeled.NewScaleFree(e.G, e.A, eps)
+}
+
 // buildNameIndSimple compiles the Theorem 1.4 scheme on env.
 func buildNameIndSimple(e *Env, eps float64, seed int64) (*nameind.Simple, error) {
 	under, err := labeled.NewSimple(e.G, e.A, eps)

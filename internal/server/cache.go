@@ -1,0 +1,129 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheKey identifies one route query. gen is the engine state
+// generation the route was computed against: reload advances the
+// generation, making every old entry unreachable (they age out of the
+// LRU instead of requiring a stop-the-world purge), and a slow query
+// that finishes against the old state can never poison the new one.
+type cacheKey struct {
+	scheme   string
+	src, dst int
+	gen      uint64
+}
+
+// routeCache is a sharded LRU over completed route results. Shards keep
+// lock contention off the hot path when many clients hit the cache
+// concurrently; each shard holds its own lock, map and recency list.
+type routeCache struct {
+	shards  []*cacheShard
+	mask    uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	evicted atomic.Uint64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	val *RouteResult
+}
+
+const cacheShards = 16 // power of two
+
+// newRouteCache builds a cache bounded at capacity entries total.
+// capacity <= 0 disables caching (every lookup misses).
+func newRouteCache(capacity int) *routeCache {
+	c := &routeCache{shards: make([]*cacheShard, cacheShards), mask: cacheShards - 1}
+	per := capacity / cacheShards
+	if capacity > 0 && per == 0 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{cap: per, ll: list.New(), m: make(map[cacheKey]*list.Element)}
+	}
+	return c
+}
+
+// hash mixes the key fields; FNV-1a over the scheme name plus the
+// endpoint coordinates is plenty for shard selection.
+func (c *routeCache) hash(k cacheKey) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k.scheme); i++ {
+		h = (h ^ uint64(k.scheme[i])) * 1099511628211
+	}
+	h = (h ^ uint64(k.src)) * 1099511628211
+	h = (h ^ uint64(k.dst)) * 1099511628211
+	h = (h ^ k.gen) * 1099511628211
+	return h
+}
+
+// Get returns the cached result for the key at the given generation.
+func (c *routeCache) Get(scheme string, src, dst int, gen uint64) (*RouteResult, bool) {
+	k := cacheKey{scheme: scheme, src: src, dst: dst, gen: gen}
+	s := c.shards[c.hash(k)&c.mask]
+	s.mu.Lock()
+	el, ok := s.m[k]
+	if ok {
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores a result under the given generation, evicting the least
+// recently used entry of the shard when full.
+func (c *routeCache) Put(scheme string, src, dst int, gen uint64, v *RouteResult) {
+	k := cacheKey{scheme: scheme, src: src, dst: dst, gen: gen}
+	s := c.shards[c.hash(k)&c.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cap <= 0 {
+		return
+	}
+	if el, ok := s.m[k]; ok {
+		el.Value.(*cacheEntry).val = v
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.m[k] = s.ll.PushFront(&cacheEntry{key: k, val: v})
+	if s.ll.Len() > s.cap {
+		old := s.ll.Back()
+		s.ll.Remove(old)
+		delete(s.m, old.Value.(*cacheEntry).key)
+		c.evicted.Add(1)
+	}
+}
+
+// Len returns the total resident entries (including not-yet-evicted
+// stale generations).
+func (c *routeCache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats reports cumulative counters.
+func (c *routeCache) Stats() (hits, misses, evicted uint64, size int) {
+	return c.hits.Load(), c.misses.Load(), c.evicted.Load(), c.Len()
+}

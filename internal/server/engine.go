@@ -1,0 +1,435 @@
+// Package server is the serving layer of the repository: it compiles a
+// set of routing schemes over one network ONCE and then answers
+// route/stretch queries concurrently, the preprocessing/query split
+// compact routing is designed around.
+//
+// The package is layered (see DESIGN.md §server architecture):
+//
+//	handlers (HTTP/JSON)  ->  Engine (schemes, worker pool)  ->  route cache (sharded LRU)
+//	                                 |
+//	                          sim.RouteOnce over sim.Router adapters
+//
+// Every scheme is driven through its internal/sim Router adapter — the
+// same pure (table, header) step functions validated by the concurrent
+// simulator — so a served route is byte-identical to the scheme's
+// analyzed walk. The engine is race-clean: scheme tables are immutable
+// after compilation, per-query state lives in the packet header, and
+// reload swaps the whole immutable state atomically.
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compactrouting"
+	"compactrouting/internal/baseline"
+	"compactrouting/internal/bits"
+	"compactrouting/internal/core"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/labeled"
+	"compactrouting/internal/metric"
+	"compactrouting/internal/nameind"
+	"compactrouting/internal/sim"
+)
+
+// SchemeNames are the schemes the engine can compile, in report order.
+var SchemeNames = []string{
+	"simple-labeled",
+	"scale-free-labeled",
+	"name-independent",
+	"scale-free-name-independent",
+	"full-table",
+	"single-tree",
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Build constructs the network for a given seed; called at startup
+	// and again on every reload. Required.
+	Build func(seed int64) (*compactrouting.Network, error)
+	// Seed is the initial Build seed (also salts the name-independent
+	// namings).
+	Seed int64
+	// Eps is the stretch parameter; clamped per scheme to its analyzed
+	// range. Zero selects 0.25.
+	Eps float64
+	// Schemes to compile; nil compiles all of SchemeNames.
+	Schemes []string
+	// CacheEntries bounds the route cache (<= 0 disables caching).
+	CacheEntries int
+	// Workers bounds the batch fan-out pool; <= 0 uses GOMAXPROCS.
+	Workers int
+}
+
+// RouteResult is one answered route query. Cached is set per response;
+// all other fields are immutable once computed and may be shared
+// between responses via the cache.
+type RouteResult struct {
+	Scheme        string  `json:"scheme"`
+	Src           int     `json:"src"`
+	Dst           int     `json:"dst"`
+	Path          []int   `json:"path,omitempty"`
+	Hops          int     `json:"hops"`
+	Cost          float64 `json:"cost"`
+	Optimal       float64 `json:"optimal"`
+	Stretch       float64 `json:"stretch"`
+	MaxHeaderBits int     `json:"max_header_bits"`
+	Cached        bool    `json:"cached"`
+}
+
+// SchemeInfo is the GET /schemes accounting for one compiled scheme,
+// with sizes in bits of the actual serialization (internal/bits).
+type SchemeInfo struct {
+	Name          string  `json:"name"`
+	Kind          string  `json:"kind"` // labeled | name-independent | baseline
+	LabelBits     int     `json:"label_bits"`
+	TableMaxBits  int     `json:"table_max_bits"`
+	TableMeanBits float64 `json:"table_mean_bits"`
+	TableTotal    int     `json:"table_total_bits"`
+	BuildMillis   float64 `json:"build_ms"`
+}
+
+// GraphInfo describes the currently served network.
+type GraphInfo struct {
+	Nodes              int     `json:"nodes"`
+	Edges              int     `json:"edges"`
+	Seed               int64   `json:"seed"`
+	Generation         uint64  `json:"generation"`
+	Diameter           float64 `json:"diameter"`
+	NormalizedDiameter float64 `json:"normalized_diameter"`
+}
+
+// scheme is one compiled scheme plus its type-erased query runner.
+type scheme struct {
+	info SchemeInfo
+	run  func(src, dst int) sim.Result
+}
+
+// state is the engine's immutable-after-build world; reload builds a
+// fresh one and swaps the pointer.
+type state struct {
+	nw      *compactrouting.Network
+	seed    int64
+	gen     uint64
+	schemes map[string]*scheme
+	order   []string
+}
+
+// Engine owns the compiled schemes, the route cache and the metrics.
+// All methods are safe for concurrent use.
+type Engine struct {
+	cfg     Config
+	cache   *routeCache
+	met     *metrics
+	workers int
+	st      atomic.Pointer[state]
+	reload  sync.Mutex // serializes Reload, not queries
+}
+
+// New builds the network via cfg.Build(cfg.Seed) and compiles the
+// configured schemes.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Build == nil {
+		return nil, fmt.Errorf("server: Config.Build is required")
+	}
+	if cfg.Eps == 0 {
+		cfg.Eps = 0.25
+	}
+	if len(cfg.Schemes) == 0 {
+		cfg.Schemes = SchemeNames
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		cache:   newRouteCache(cfg.CacheEntries),
+		met:     newMetrics(),
+		workers: workers,
+	}
+	st, err := e.build(cfg.Seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	e.st.Store(st)
+	return e, nil
+}
+
+// build constructs a full state: network plus every configured scheme.
+func (e *Engine) build(seed int64, gen uint64) (*state, error) {
+	nw, err := e.cfg.Build(seed)
+	if err != nil {
+		return nil, fmt.Errorf("server: build network: %w", err)
+	}
+	st := &state{nw: nw, seed: seed, gen: gen, schemes: make(map[string]*scheme)}
+	for _, name := range e.cfg.Schemes {
+		s, err := compileScheme(name, nw.Graph(), nw.APSP(), e.cfg.Eps, seed)
+		if err != nil {
+			return nil, fmt.Errorf("server: compile %s: %w", name, err)
+		}
+		st.schemes[name] = s
+		st.order = append(st.order, name)
+	}
+	return st, nil
+}
+
+// erase wraps a generic Router into the engine's uniform runner. addr
+// translates a destination NODE id into the scheme's address space (a
+// label or an original name), so every scheme serves the same API.
+func erase[H sim.Header](g *graph.Graph, r sim.Router[H], addr func(int) int, maxHops int) func(int, int) sim.Result {
+	return func(src, dst int) sim.Result {
+		return sim.RouteOnce(g, r, src, addr(dst), maxHops)
+	}
+}
+
+func clamp(eps, hi float64) float64 {
+	if eps > hi {
+		return hi
+	}
+	return eps
+}
+
+// compileScheme builds one scheme and its adapter-backed runner. The
+// hop budgets mirror cmd/routesim's per-scheme limits.
+func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, seed int64) (*scheme, error) {
+	n := g.N()
+	start := time.Now()
+	var (
+		run       func(int, int) sim.Result
+		kind      string
+		labelBits int
+		tableBits func(int) int
+	)
+	switch name {
+	case "simple-labeled":
+		s, err := labeled.NewSimple(g, a, clamp(eps, 0.5))
+		if err != nil {
+			return nil, err
+		}
+		run = erase(g, sim.SimpleLabeledRouter{S: s}, s.LabelOf, 0)
+		kind, labelBits, tableBits = "labeled", bits.UintBits(n), s.TableBits
+	case "scale-free-labeled":
+		s, err := labeled.NewScaleFree(g, a, clamp(eps, 0.25))
+		if err != nil {
+			return nil, err
+		}
+		run = erase(g, sim.ScaleFreeLabeledRouter{S: s}, s.LabelOf, 64*n)
+		kind, labelBits, tableBits = "labeled", bits.UintBits(n), s.TableBits
+	case "name-independent":
+		ne := clamp(eps, 1.0/3)
+		under, err := labeled.NewSimple(g, a, ne)
+		if err != nil {
+			return nil, err
+		}
+		nm := nameind.RandomNaming(n, seed+2)
+		s, err := nameind.NewSimple(g, a, nm, under, ne)
+		if err != nil {
+			return nil, err
+		}
+		run = erase(g, sim.NameIndependentRouter{S: s}, nm.NameOf, 256*n)
+		kind, labelBits, tableBits = "name-independent", bits.UintBits(nm.MaxName()+1), s.TableBits
+	case "scale-free-name-independent":
+		ne := clamp(eps, 0.25)
+		under, err := labeled.NewScaleFree(g, a, ne)
+		if err != nil {
+			return nil, err
+		}
+		nm := nameind.RandomNaming(n, seed+2)
+		s, err := nameind.NewScaleFree(g, a, nm, under, ne)
+		if err != nil {
+			return nil, err
+		}
+		run = erase(g, sim.ScaleFreeNameIndependentRouter{S: s}, nm.NameOf, 512*n)
+		kind, labelBits, tableBits = "name-independent", bits.UintBits(nm.MaxName()+1), s.TableBits
+	case "full-table":
+		s := baseline.NewFullTable(g, a)
+		run = erase(g, sim.FullTableRouter{S: s}, func(v int) int { return v }, 0)
+		kind, labelBits, tableBits = "baseline", bits.UintBits(n), s.TableBits
+	case "single-tree":
+		s, err := baseline.NewSingleTree(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		run = erase(g, sim.SingleTreeRouter{S: s}, func(v int) int { return v }, 0)
+		kind, labelBits, tableBits = "baseline", bits.UintBits(n), s.TableBits
+	default:
+		return nil, fmt.Errorf("unknown scheme %q (have %v)", name, SchemeNames)
+	}
+	tb := core.Tables(tableBits, n)
+	return &scheme{
+		info: SchemeInfo{
+			Name:          name,
+			Kind:          kind,
+			LabelBits:     labelBits,
+			TableMaxBits:  tb.MaxBits,
+			TableMeanBits: tb.MeanBits,
+			TableTotal:    tb.TotalBits,
+			BuildMillis:   float64(time.Since(start).Microseconds()) / 1000,
+		},
+		run: run,
+	}, nil
+}
+
+// Route answers one query, consulting the cache first. The result is
+// returned by value so callers may set Cached without racing the cached
+// copy; Path is shared and must not be mutated.
+func (e *Engine) Route(schemeName string, src, dst int) (RouteResult, error) {
+	st := e.st.Load()
+	s, ok := st.schemes[schemeName]
+	if !ok {
+		return RouteResult{}, fmt.Errorf("unknown scheme %q (have %v)", schemeName, st.order)
+	}
+	n := st.nw.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return RouteResult{}, fmt.Errorf("pair (%d, %d) out of range [0, %d)", src, dst, n)
+	}
+	if v, ok := e.cache.Get(schemeName, src, dst, st.gen); ok {
+		out := *v
+		out.Cached = true
+		return out, nil
+	}
+	res := s.run(src, dst)
+	if res.Err != nil {
+		return RouteResult{}, fmt.Errorf("route %d -> %d: %w", src, dst, res.Err)
+	}
+	opt := st.nw.Dist(src, dst)
+	out := &RouteResult{
+		Scheme:        schemeName,
+		Src:           src,
+		Dst:           dst,
+		Path:          res.Path,
+		Hops:          len(res.Path) - 1,
+		Cost:          res.Cost,
+		Optimal:       opt,
+		Stretch:       stretch(res.Cost, opt),
+		MaxHeaderBits: res.MaxHeaderBits,
+	}
+	e.cache.Put(schemeName, src, dst, st.gen, out)
+	return *out, nil
+}
+
+func stretch(cost, opt float64) float64 {
+	if opt == 0 {
+		return 1
+	}
+	return cost / opt
+}
+
+// BatchSummary aggregates one RouteBatch call.
+type BatchSummary struct {
+	Count       int     `json:"count"`
+	Errors      int     `json:"errors"`
+	CacheHits   int     `json:"cache_hits"`
+	TotalHops   int     `json:"total_hops"`
+	MeanStretch float64 `json:"mean_stretch"`
+	MaxStretch  float64 `json:"max_stretch"`
+}
+
+// RouteBatch fans the pairs out over the bounded worker pool and
+// returns per-pair results (index-aligned with pairs; failed queries
+// have an empty Scheme and count as summary errors).
+func (e *Engine) RouteBatch(schemeName string, pairs [][2]int) ([]RouteResult, BatchSummary) {
+	results := make([]RouteResult, len(pairs))
+	errs := make([]error, len(pairs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := e.workers
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) {
+					return
+				}
+				results[i], errs[i] = e.Route(schemeName, pairs[i][0], pairs[i][1])
+			}
+		}()
+	}
+	wg.Wait()
+
+	var sum BatchSummary
+	sum.Count = len(pairs)
+	var stretchSum float64
+	routed := 0
+	for i := range results {
+		if errs[i] != nil {
+			sum.Errors++
+			continue
+		}
+		routed++
+		if results[i].Cached {
+			sum.CacheHits++
+		}
+		sum.TotalHops += results[i].Hops
+		stretchSum += results[i].Stretch
+		if results[i].Stretch > sum.MaxStretch {
+			sum.MaxStretch = results[i].Stretch
+		}
+	}
+	if routed > 0 {
+		sum.MeanStretch = stretchSum / float64(routed)
+	}
+	return results, sum
+}
+
+// Reload rebuilds the network with the given seed, recompiles every
+// scheme and atomically swaps the serving state. The new state carries
+// a new generation, which invalidates every cached route: cache keys
+// include the generation, so entries computed against the old graph
+// are unreachable and age out under LRU pressure. In-flight queries
+// finish against the old state.
+func (e *Engine) Reload(seed int64) error {
+	e.reload.Lock()
+	defer e.reload.Unlock()
+	old := e.st.Load()
+	st, err := e.build(seed, old.gen+1)
+	if err != nil {
+		return err
+	}
+	e.st.Store(st)
+	e.met.reloads.Add(1)
+	return nil
+}
+
+// Graph describes the current network.
+func (e *Engine) Graph() GraphInfo {
+	st := e.st.Load()
+	return GraphInfo{
+		Nodes:              st.nw.N(),
+		Edges:              st.nw.M(),
+		Seed:               st.seed,
+		Generation:         st.gen,
+		Diameter:           st.nw.Diameter(),
+		NormalizedDiameter: st.nw.NormalizedDiameter(),
+	}
+}
+
+// Schemes lists the compiled schemes' accounting in compile order.
+func (e *Engine) Schemes() []SchemeInfo {
+	st := e.st.Load()
+	out := make([]SchemeInfo, 0, len(st.order))
+	for _, name := range st.order {
+		out = append(out, st.schemes[name].info)
+	}
+	return out
+}
+
+// Metrics snapshots the live counters.
+func (e *Engine) Metrics() MetricsSnapshot {
+	st := e.st.Load()
+	snap := e.met.snapshot(e.cache)
+	snap.Generation = st.gen
+	snap.Schemes = append([]string(nil), st.order...)
+	sort.Strings(snap.Schemes)
+	return snap
+}

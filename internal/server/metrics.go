@@ -1,0 +1,131 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsUS are the upper bounds (microseconds, inclusive) of
+// the fixed latency histogram; the last bucket is unbounded.
+var latencyBucketsUS = [...]int64{
+	10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10000, 25000, 50000,
+	100000, 250000, 500000, 1000000,
+}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent
+// observation.
+type histogram struct {
+	counts [len(latencyBucketsUS) + 1]atomic.Uint64
+	sumUS  atomic.Int64
+	n      atomic.Uint64
+}
+
+func (h *histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	h.sumUS.Add(us)
+	h.n.Add(1)
+	for i, ub := range latencyBucketsUS {
+		if us <= ub {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(latencyBucketsUS)].Add(1)
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	MeanUS  float64           `json:"mean_us"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket is one cumulative-free histogram bin.
+type HistogramBucket struct {
+	LEus  int64  `json:"le_us"` // upper bound in microseconds; -1 = +inf
+	Count uint64 `json:"count"`
+}
+
+func (h *histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.n.Load()}
+	if s.Count > 0 {
+		s.MeanUS = float64(h.sumUS.Load()) / float64(s.Count)
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		ub := int64(-1)
+		if i < len(latencyBucketsUS) {
+			ub = latencyBucketsUS[i]
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{LEus: ub, Count: c})
+	}
+	return s
+}
+
+// metrics aggregates the server's live counters. All fields are atomics
+// so handler goroutines never serialize on a metrics lock.
+type metrics struct {
+	start        time.Time
+	requests     atomic.Uint64 // HTTP requests accepted
+	routes       atomic.Uint64 // single route queries served
+	batchRoutes  atomic.Uint64 // routes served inside batches
+	routeErrors  atomic.Uint64 // route queries that failed
+	badRequests  atomic.Uint64 // malformed HTTP requests
+	reloads      atomic.Uint64 // graph reloads performed
+	inFlight     atomic.Int64  // requests currently being served
+	routeLatency histogram     // per-route latency (cache hits included)
+	batchLatency histogram     // whole-batch latency
+}
+
+// MetricsSnapshot is the GET /metrics response body.
+type MetricsSnapshot struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      uint64            `json:"requests"`
+	Routes        uint64            `json:"routes"`
+	BatchRoutes   uint64            `json:"batch_routes"`
+	RouteErrors   uint64            `json:"route_errors"`
+	BadRequests   uint64            `json:"bad_requests"`
+	Reloads       uint64            `json:"reloads"`
+	InFlight      int64             `json:"in_flight"`
+	Cache         CacheSnapshot     `json:"cache"`
+	RouteLatency  HistogramSnapshot `json:"route_latency"`
+	BatchLatency  HistogramSnapshot `json:"batch_latency"`
+	Generation    uint64            `json:"generation"`
+	Schemes       []string          `json:"schemes"`
+}
+
+// CacheSnapshot reports the route cache counters.
+type CacheSnapshot struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	Evicted uint64  `json:"evicted"`
+	Size    int     `json:"size"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+func newMetrics() *metrics { return &metrics{start: time.Now()} }
+
+func (m *metrics) snapshot(c *routeCache) MetricsSnapshot {
+	hits, misses, evicted, size := c.Stats()
+	cs := CacheSnapshot{Hits: hits, Misses: misses, Evicted: evicted, Size: size}
+	if total := hits + misses; total > 0 {
+		cs.HitRate = float64(hits) / float64(total)
+	}
+	return MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      m.requests.Load(),
+		Routes:        m.routes.Load(),
+		BatchRoutes:   m.batchRoutes.Load(),
+		RouteErrors:   m.routeErrors.Load(),
+		BadRequests:   m.badRequests.Load(),
+		Reloads:       m.reloads.Load(),
+		InFlight:      m.inFlight.Load(),
+		Cache:         cs,
+		RouteLatency:  m.routeLatency.Snapshot(),
+		BatchLatency:  m.batchLatency.Snapshot(),
+	}
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"compactrouting/internal/baseline"
+	"compactrouting/internal/core"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/labeled"
+	"compactrouting/internal/metric"
+	"compactrouting/internal/nameind"
+)
+
+// TestAdaptersMatchSequentialRouters drives every adapter in
+// adapters.go through RouteOnce on a small fixed graph and asserts the
+// walk is identical to the scheme's own RouteTo* method: the adapters
+// must be pure plumbing, never a second routing implementation.
+func TestAdaptersMatchSequentialRouters(t *testing.T) {
+	g, err := graph.Grid(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := metric.NewAPSP(g)
+	n := g.N()
+
+	simple, err := labeled.NewSimple(g, a, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := labeled.NewScaleFree(g, a, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := nameind.RandomNaming(n, 3)
+	niUnder, err := labeled.NewSimple(g, a, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni, err := nameind.NewSimple(g, a, nm, niUnder, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfUnder, err := labeled.NewScaleFree(g, a, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfni, err := nameind.NewScaleFree(g, a, nm, sfUnder, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := baseline.NewFullTable(g, a)
+	tree, err := baseline.NewSingleTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each case erases the adapter's header type behind a closure so
+	// one table drives all six adapters.
+	cases := []struct {
+		name string
+		// addr maps a destination node to the adapter's address space.
+		addr func(dst int) int
+		// adapter routes src -> addr(dst) through RouteOnce.
+		adapter func(src, addr int) Result
+		// sequential is the scheme's own driver for the same address.
+		sequential func(src, addr int) (*core.Route, error)
+	}{
+		{
+			name: "SimpleLabeledRouter",
+			addr: simple.LabelOf,
+			adapter: func(src, addr int) Result {
+				return RouteOnce[labeled.SimpleHeader](g, SimpleLabeledRouter{S: simple}, src, addr, 0)
+			},
+			sequential: simple.RouteToLabel,
+		},
+		{
+			name: "ScaleFreeLabeledRouter",
+			addr: free.LabelOf,
+			adapter: func(src, addr int) Result {
+				return RouteOnce[labeled.SFHeader](g, ScaleFreeLabeledRouter{S: free}, src, addr, 64*n)
+			},
+			sequential: free.RouteToLabel,
+		},
+		{
+			name: "NameIndependentRouter",
+			addr: nm.NameOf,
+			adapter: func(src, addr int) Result {
+				return RouteOnce[nameind.NIHeader](g, NameIndependentRouter{S: ni}, src, addr, 256*n)
+			},
+			sequential: ni.RouteToName,
+		},
+		{
+			name: "ScaleFreeNameIndependentRouter",
+			addr: nm.NameOf,
+			adapter: func(src, addr int) Result {
+				return RouteOnce[nameind.SFNIHeader](g, ScaleFreeNameIndependentRouter{S: sfni}, src, addr, 512*n)
+			},
+			sequential: sfni.RouteToName,
+		},
+		{
+			name: "FullTableRouter",
+			addr: func(dst int) int { return dst },
+			adapter: func(src, addr int) Result {
+				return RouteOnce[baseline.Destination](g, FullTableRouter{S: full}, src, addr, 0)
+			},
+			sequential: full.RouteToLabel,
+		},
+		{
+			name: "SingleTreeRouter",
+			addr: func(dst int) int { return dst },
+			adapter: func(src, addr int) Result {
+				return RouteOnce[baseline.TreeHeader](g, SingleTreeRouter{S: tree}, src, addr, 0)
+			},
+			sequential: tree.RouteToLabel,
+		},
+	}
+
+	pairs := core.SamplePairs(n, 120, 9)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, p := range pairs {
+				addr := tc.addr(p[1])
+				got := tc.adapter(p[0], addr)
+				if got.Err != nil {
+					t.Fatalf("pair %v: adapter failed: %v", p, got.Err)
+				}
+				want, err := tc.sequential(p[0], addr)
+				if err != nil {
+					t.Fatalf("pair %v: sequential failed: %v", p, err)
+				}
+				if got.Dst != p[1] {
+					t.Fatalf("pair %v: arrived at %d", p, got.Dst)
+				}
+				if len(got.Path) != len(want.Path) {
+					t.Fatalf("pair %v: adapter path %v vs sequential %v", p, got.Path, want.Path)
+				}
+				for k := range got.Path {
+					if got.Path[k] != want.Path[k] {
+						t.Fatalf("pair %v: paths diverge at hop %d: %v vs %v", p, k, got.Path, want.Path)
+					}
+				}
+				if math.Abs(got.Cost-want.Cost) > 1e-9 {
+					t.Fatalf("pair %v: cost %v vs %v", p, got.Cost, want.Cost)
+				}
+				// Header byte layouts differ between the step-function
+				// headers and the sequential traces' accounting, so only
+				// require that the adapter accounted something.
+				if got.MaxHeaderBits <= 0 {
+					t.Fatalf("pair %v: no header accounting", p)
+				}
+			}
+		})
+	}
+}
+
+// TestRouteOnceHopLimit mirrors Run's hop-limit behavior for the
+// sequential driver.
+func TestRouteOnceHopLimit(t *testing.T) {
+	g, err := graph.Path(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := metric.NewAPSP(g)
+	s := baseline.NewFullTable(g, a)
+	res := RouteOnce[baseline.Destination](g, FullTableRouter{S: s}, 0, 9, 3)
+	if res.Err == nil {
+		t.Fatal("hop limit not enforced")
+	}
+	res = RouteOnce[baseline.Destination](g, FullTableRouter{S: s}, 0, 9, 0)
+	if res.Err != nil || res.Dst != 9 || len(res.Path) != 10 {
+		t.Fatalf("default hop limit run: %+v", res)
+	}
+}

@@ -61,6 +61,57 @@ type Delivery struct {
 	Src, Dst int
 }
 
+// RouteOnce drives one delivery through the router's step function
+// sequentially: Prepare, then Step until arrival, validating every hop
+// against the graph. It is the cheap per-query path used by serving
+// layers (internal/server), while Run is the goroutine-per-node
+// distributed check. Both execute the exact same step functions, so a
+// route agreed on by the two is a pure function of (tables, header).
+//
+// dst is a label or a name, matching the Router. maxHops <= 0 selects
+// the same default as Run.
+func RouteOnce[H Header](g *graph.Graph, r Router[H], src, dst, maxHops int) Result {
+	if maxHops <= 0 {
+		maxHops = 8 * g.N()
+	}
+	res := Result{Src: src}
+	h, err := r.Prepare(dst)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Path = []int{src}
+	res.MaxHeaderBits = h.Bits()
+	at := src
+	for {
+		next, nh, arrived, err := r.Step(at, h)
+		if err != nil {
+			res.Err = fmt.Errorf("sim: step at %d: %w", at, err)
+			return res
+		}
+		if arrived {
+			res.Dst = at
+			return res
+		}
+		if len(res.Path) > maxHops {
+			res.Err = fmt.Errorf("sim: packet exceeded %d hops", maxHops)
+			return res
+		}
+		w, ok := g.EdgeWeight(at, next)
+		if !ok {
+			res.Err = fmt.Errorf("sim: step at %d forwarded to non-neighbor %d", at, next)
+			return res
+		}
+		if b := nh.Bits(); b > res.MaxHeaderBits {
+			res.MaxHeaderBits = b
+		}
+		h = nh
+		res.Path = append(res.Path, next)
+		res.Cost += w
+		at = next
+	}
+}
+
 // Run executes the deliveries concurrently over the graph: one
 // goroutine per node, one message per packet hop. It blocks until all
 // packets arrive or fail, and returns results indexed like deliveries.

@@ -1,7 +1,10 @@
 package compactrouting
 
 import (
+	"bufio"
 	"fmt"
+	"io"
+	"strings"
 
 	"compactrouting/internal/graph"
 	"compactrouting/internal/metric"
@@ -40,6 +43,15 @@ func NewNetwork(n int, edges []EdgeSpec) (*Network, error) {
 func wrap(g *graph.Graph) *Network {
 	return &Network{g: g, apsp: metric.NewAPSP(g)}
 }
+
+// Graph returns the underlying graph. The returned value is shared and
+// must be treated as read-only; serving layers (internal/server) use it
+// to drive step functions without rebuilding adjacency.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// APSP returns the shortest-path metric oracle. Shared, read-only after
+// construction — safe for concurrent Dist queries.
+func (nw *Network) APSP() *metric.APSP { return nw.apsp }
 
 // N returns the number of nodes.
 func (nw *Network) N() int { return nw.g.N() }
@@ -129,6 +141,51 @@ func ExponentialPathNetwork(n int, base float64) (*Network, error) {
 // edges of weight base^j.
 func ExponentialStarNetwork(n, k int, base float64) (*Network, error) {
 	g, err := graph.ExponentialStar(n, k, base)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// ReadNetwork parses the plain edge-list format emitted by
+// cmd/graphgen: an "n <count>" header line followed by one "u v weight"
+// line per undirected edge. Blank lines and lines starting with '#' are
+// skipped. The graph must be connected.
+func ReadNetwork(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var b *graph.Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if b == nil {
+			var n int
+			if _, err := fmt.Sscanf(text, "n %d", &n); err != nil {
+				return nil, fmt.Errorf("compactrouting: line %d: want \"n <count>\" header, got %q", line, text)
+			}
+			b = graph.NewBuilder(n)
+			continue
+		}
+		var u, v int
+		var w float64
+		if _, err := fmt.Sscanf(text, "%d %d %g", &u, &v, &w); err != nil {
+			return nil, fmt.Errorf("compactrouting: line %d: bad edge %q: %w", line, text, err)
+		}
+		if err := b.AddEdge(u, v, w); err != nil {
+			return nil, fmt.Errorf("compactrouting: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("compactrouting: empty network stream")
+	}
+	g, err := b.Build()
 	if err != nil {
 		return nil, err
 	}
