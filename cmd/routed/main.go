@@ -59,13 +59,26 @@ func main() {
 // and on every /reload.
 func buildFunc(kind string, n int, load string) func(seed int64) (*compactrouting.Network, error) {
 	if load != "" {
+		// The first call is the startup build; /reload would only
+		// re-read the same file (new namings, same graph), so reject it
+		// rather than bump the generation for an identical network.
+		// Build is called once in server.New and then only under the
+		// engine's reload mutex, so the flag needs no synchronization.
+		loaded := false
 		return func(int64) (*compactrouting.Network, error) {
+			if loaded {
+				return nil, fmt.Errorf("reload is not supported with -load %s: restart routed to pick up file changes", load)
+			}
 			f, err := os.Open(load)
 			if err != nil {
 				return nil, err
 			}
 			defer f.Close()
-			return compactrouting.ReadNetwork(f)
+			nw, err := compactrouting.ReadNetwork(f)
+			if err == nil {
+				loaded = true
+			}
+			return nw, err
 		}
 	}
 	return func(seed int64) (*compactrouting.Network, error) {

@@ -43,13 +43,16 @@ type cacheEntry struct {
 const cacheShards = 16 // power of two
 
 // newRouteCache builds a cache bounded at capacity entries total.
-// capacity <= 0 disables caching (every lookup misses).
+// capacity <= 0 disables caching (every lookup misses). Capacities
+// below cacheShards get fewer shards (the largest power of two not
+// exceeding capacity) so the shards*per bound never exceeds capacity.
 func newRouteCache(capacity int) *routeCache {
-	c := &routeCache{shards: make([]*cacheShard, cacheShards), mask: cacheShards - 1}
-	per := capacity / cacheShards
-	if capacity > 0 && per == 0 {
-		per = 1
+	shards := cacheShards
+	for capacity > 0 && shards > capacity {
+		shards /= 2
 	}
+	c := &routeCache{shards: make([]*cacheShard, shards), mask: uint64(shards - 1)}
+	per := capacity / shards
 	for i := range c.shards {
 		c.shards[i] = &cacheShard{cap: per, ll: list.New(), m: make(map[cacheKey]*list.Element)}
 	}
@@ -75,8 +78,12 @@ func (c *routeCache) Get(scheme string, src, dst int, gen uint64) (*RouteResult,
 	s := c.shards[c.hash(k)&c.mask]
 	s.mu.Lock()
 	el, ok := s.m[k]
+	var v *RouteResult
 	if ok {
 		s.ll.MoveToFront(el)
+		// Read val under the lock: Put overwrites it in place when the
+		// key already exists, so reading after Unlock would race.
+		v = el.Value.(*cacheEntry).val
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -84,7 +91,7 @@ func (c *routeCache) Get(scheme string, src, dst int, gen uint64) (*RouteResult,
 		return nil, false
 	}
 	c.hits.Add(1)
-	return el.Value.(*cacheEntry).val, true
+	return v, true
 }
 
 // Put stores a result under the given generation, evicting the least

@@ -91,7 +91,16 @@ func (e *Engine) badRequest(w http.ResponseWriter, format string, args ...any) {
 	writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-func decode(r *http.Request, v any) error {
+// Request-body byte limits, enforced before JSON decoding so an
+// oversized request is rejected without buffering hundreds of MB (the
+// MaxBatchPairs check alone would only run after a full decode).
+const (
+	maxRouteBody = 1 << 20            // single-query and reload bodies
+	maxBatchBody = MaxBatchPairs * 32 // ~32 bytes per encoded pair
+)
+
+func decode(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
@@ -103,7 +112,7 @@ func (e *Engine) handleRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req RouteRequest
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req, maxRouteBody); err != nil {
 		e.badRequest(w, "bad request body: %v", err)
 		return
 	}
@@ -128,7 +137,7 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req BatchRequest
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req, maxBatchBody); err != nil {
 		e.badRequest(w, "bad request body: %v", err)
 		return
 	}
@@ -175,7 +184,7 @@ func (e *Engine) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req ReloadRequest
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req, maxRouteBody); err != nil {
 		e.badRequest(w, "bad request body: %v", err)
 		return
 	}

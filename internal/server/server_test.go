@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"compactrouting"
 	"compactrouting/internal/core"
@@ -359,6 +360,72 @@ func TestHammerConcurrentClients(t *testing.T) {
 	}
 	if m.Routes == 0 || m.BatchRoutes == 0 {
 		t.Fatalf("hammer recorded no traffic: %+v", m)
+	}
+}
+
+func TestCacheGetPutSameKeyRace(t *testing.T) {
+	// Put overwrites an existing entry's val in place under the shard
+	// lock; Get must read it under the same lock. Regression for a race
+	// on hot keys flagged by -race.
+	c := newRouteCache(64)
+	c.Put("s", 1, 2, 0, &RouteResult{Hops: 1})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if w%2 == 0 {
+					c.Put("s", 1, 2, 0, &RouteResult{Hops: i})
+				} else if v, ok := c.Get("s", 1, 2, 0); !ok || v == nil {
+					t.Error("hot key vanished")
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(done)
+	wg.Wait()
+}
+
+func TestSmallCacheCapacityBound(t *testing.T) {
+	// Capacities below the shard count must still bound total entries
+	// at the configured capacity (fewer shards, not a rounded-up cap).
+	for _, capEntries := range []int{1, 2, 3, 5, 15} {
+		c := newRouteCache(capEntries)
+		for i := 0; i < 20*capEntries; i++ {
+			c.Put("s", i, i+1, 0, &RouteResult{Hops: i})
+		}
+		if got := c.Len(); got > capEntries {
+			t.Errorf("capacity %d: cache holds %d entries", capEntries, got)
+		}
+	}
+}
+
+func TestOversizedBodyRejected(t *testing.T) {
+	// Body limits trip before JSON decoding buffers the request.
+	eng := newTestEngine(t, []string{"full-table"}, 0)
+	ts := httptest.NewServer(eng.Handler())
+	defer ts.Close()
+
+	pairs := bytes.Repeat([]byte("[0,1],"), maxBatchBody/6+1)
+	body := append([]byte(`{"scheme":"full-table","pairs":[`), pairs...)
+	body = append(body[:len(body)-1], []byte("]}")...)
+	resp, err := http.Post(ts.URL+"/route/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch body: status %d, want 400", resp.StatusCode)
 	}
 }
 
