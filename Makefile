@@ -3,9 +3,12 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench serve
+.PHONY: check fmt vet build test race bench serve chaos-determinism
 
-check: fmt vet build race
+# The gate: vet, build and -race cover every package (./...), including
+# internal/faultsim and cmd/chaossim; chaos-determinism asserts the
+# fault injector's seed guarantee end to end.
+check: fmt vet build race chaos-determinism
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -23,9 +26,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Machine-readable benchmark sweep (writes BENCH_routebench.json).
+# Machine-readable benchmark sweeps (write BENCH_*.json).
 bench:
 	$(GO) run ./cmd/routebench -json BENCH_routebench.json
+	$(GO) run ./cmd/chaossim -json BENCH_chaossim.json
+
+# chaossim must be seed-deterministic: the same seed produces a
+# byte-identical JSON sweep. Run a small sweep twice and diff.
+chaos-determinism:
+	@tmp1=$$(mktemp) && tmp2=$$(mktemp) && \
+	$(GO) run ./cmd/chaossim -n 48 -pairs 60 -loss 0,0.1 -fail 0,0.1 -seed 11 -json $$tmp1 >/dev/null && \
+	$(GO) run ./cmd/chaossim -n 48 -pairs 60 -loss 0,0.1 -fail 0,0.1 -seed 11 -json $$tmp2 >/dev/null && \
+	{ cmp -s $$tmp1 $$tmp2 || { echo "chaossim -json is not seed-deterministic"; rm -f $$tmp1 $$tmp2; exit 1; }; } && \
+	rm -f $$tmp1 $$tmp2 && echo "chaossim determinism: ok"
 
 # Run the serving daemon on a default workload.
 serve:

@@ -7,6 +7,12 @@
 //
 //	routed -addr :8080 -graph geometric -n 256 -schemes simple-labeled,full-table
 //	routed -load net.txt -cache 65536
+//	routed -chaos 0.05 -chaos-retries 4    # inject 5% per-hop loss, retry
+//
+// With -chaos, every served route runs through internal/faultsim: hops
+// are dropped with the given probability, the source retries with
+// exponential backoff, the route cache is bypassed, and /metrics gains
+// drop/retry/failed-delivery counters — graceful degradation end to end.
 //
 // Endpoints (see README "Serving mode" for examples):
 //
@@ -47,9 +53,17 @@ func main() {
 		load    = flag.String("load", "", "load an edge-list file (graphgen format) instead of generating")
 		cache   = flag.Int("cache", 1<<16, "route cache capacity in entries (0 disables)")
 		workers = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+
+		chaosLoss    = flag.Float64("chaos", 0, "per-hop packet-loss probability to inject on served routes (0 disables fault injection)")
+		chaosSeed    = flag.Int64("chaos-seed", 0, "seed for the fault draws (0 = -seed)")
+		chaosRetries = flag.Int("chaos-retries", 0, "max transmissions per query under -chaos (0 = faultsim default)")
 	)
 	flag.Parse()
-	if err := run(*addr, *kind, *n, *seed, *eps, *schemes, *load, *cache, *workers); err != nil {
+	var chaos *server.ChaosParams
+	if *chaosLoss > 0 {
+		chaos = &server.ChaosParams{Loss: *chaosLoss, Seed: *chaosSeed, MaxAttempts: *chaosRetries}
+	}
+	if err := run(*addr, *kind, *n, *seed, *eps, *schemes, *load, *cache, *workers, chaos); err != nil {
 		fmt.Fprintln(os.Stderr, "routed:", err)
 		os.Exit(1)
 	}
@@ -102,7 +116,7 @@ func buildFunc(kind string, n int, load string) func(seed int64) (*compactroutin
 	}
 }
 
-func run(addr, kind string, n int, seed int64, eps float64, schemes, load string, cache, workers int) error {
+func run(addr, kind string, n int, seed int64, eps float64, schemes, load string, cache, workers int, chaos *server.ChaosParams) error {
 	start := time.Now()
 	eng, err := server.New(server.Config{
 		Build:        buildFunc(kind, n, load),
@@ -111,12 +125,16 @@ func run(addr, kind string, n int, seed int64, eps float64, schemes, load string
 		Schemes:      strings.Split(schemes, ","),
 		CacheEntries: cache,
 		Workers:      workers,
+		Chaos:        chaos,
 	})
 	if err != nil {
 		return err
 	}
 	gi := eng.Graph()
 	log.Printf("routed: serving n=%d m=%d network on %s (built in %v)", gi.Nodes, gi.Edges, addr, time.Since(start).Round(time.Millisecond))
+	if chaos != nil {
+		log.Printf("routed: CHAOS MODE — injecting %.1f%% per-hop loss (route cache bypassed, drops/retries on /metrics)", 100*chaos.Loss)
+	}
 	for _, si := range eng.Schemes() {
 		log.Printf("routed: scheme %-28s %s, label %d bits, tables max %d / mean %.0f bits (compiled in %.0f ms)",
 			si.Name, si.Kind, si.LabelBits, si.TableMaxBits, si.TableMeanBits, si.BuildMillis)

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+func newChaosEngine(t testing.TB, p *ChaosParams, cacheEntries int) *Engine {
+	t.Helper()
+	eng, err := New(Config{
+		Build:        geometricBuild(80),
+		Seed:         1,
+		Eps:          0.25,
+		Schemes:      []string{"full-table", "simple-labeled"},
+		CacheEntries: cacheEntries,
+		Chaos:        p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestChaosZeroLossMatchesPlainRoute pins that the chaos path runs the
+// same step functions: with loss 0 every query delivers first try with
+// the exact walk the plain engine serves.
+func TestChaosZeroLossMatchesPlainRoute(t *testing.T) {
+	plain := newTestEngine(t, []string{"full-table"}, 0)
+	chaotic := newChaosEngine(t, &ChaosParams{Loss: 0}, 0)
+	for dst := 1; dst < 20; dst++ {
+		want, err := plain.Route("full-table", 0, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := chaotic.Route("full-table", 0, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cost != want.Cost || got.Hops != want.Hops || got.Stretch != want.Stretch {
+			t.Fatalf("dst %d: chaos (cost %v, hops %d) vs plain (cost %v, hops %d)",
+				dst, got.Cost, got.Hops, want.Cost, want.Hops)
+		}
+		if got.Attempts != 1 || got.Drops != 0 {
+			t.Fatalf("dst %d: zero-loss chaos reported attempts=%d drops=%d", dst, got.Attempts, got.Drops)
+		}
+	}
+}
+
+// TestChaosRetriesAndCounters drives enough queries through a lossy
+// engine that drops and retries must both occur, and checks the
+// /metrics counters and that the cache is bypassed.
+func TestChaosRetriesAndCounters(t *testing.T) {
+	eng := newChaosEngine(t, &ChaosParams{Loss: 0.3, Seed: 7}, 1024)
+	delivered := 0
+	for i := 0; i < 200; i++ {
+		dst := 1 + i%40
+		res, err := eng.Route("simple-labeled", 0, dst)
+		if err == nil {
+			delivered++
+			if res.Cached {
+				t.Fatal("chaos route served from cache")
+			}
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("no deliveries at 30% loss with retries")
+	}
+	snap := eng.Metrics()
+	if !snap.Chaos.Enabled || snap.Chaos.Loss != 0.3 {
+		t.Fatalf("chaos snapshot not populated: %+v", snap.Chaos)
+	}
+	if snap.Chaos.Drops == 0 || snap.Chaos.Retries == 0 {
+		t.Fatalf("no drops/retries recorded at 30%% loss: %+v", snap.Chaos)
+	}
+	if snap.Cache.Hits != 0 || snap.Cache.Misses != 0 {
+		t.Fatalf("chaos routes touched the cache: %+v", snap.Cache)
+	}
+}
+
+// TestChaosFailedDeliveriesSurface forces total loss: every query must
+// fail with an explicit error (not a panic, not a bogus path) and be
+// counted.
+func TestChaosFailedDeliveriesSurface(t *testing.T) {
+	eng := newChaosEngine(t, &ChaosParams{Loss: 1, MaxAttempts: 3}, 0)
+	for i := 0; i < 10; i++ {
+		if _, err := eng.Route("full-table", 0, 1+i); err == nil {
+			t.Fatal("delivered across loss-1 links")
+		}
+	}
+	snap := eng.Metrics()
+	if snap.Chaos.FailedDeliveries != 10 {
+		t.Fatalf("failed deliveries %d, want 10", snap.Chaos.FailedDeliveries)
+	}
+	if snap.Chaos.Drops != 30 {
+		t.Fatalf("drops %d, want 30 (10 queries x 3 attempts)", snap.Chaos.Drops)
+	}
+}
+
+// TestChaosOverHTTP exercises the full daemon path: a lossy engine
+// behind the HTTP handler still answers /route, and /metrics exposes
+// the chaos counters.
+func TestChaosOverHTTP(t *testing.T) {
+	eng := newChaosEngine(t, &ChaosParams{Loss: 0.2, Seed: 3}, 0)
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+
+	okCount, failCount := 0, 0
+	for i := 0; i < 100; i++ {
+		var out RouteResult
+		code := postJSON(t, srv.URL+"/route", RouteRequest{Scheme: "full-table", Src: i % 30, Dst: (i + 7) % 30}, &out)
+		switch code {
+		case 200:
+			okCount++
+		case 422:
+			failCount++
+		default:
+			t.Fatalf("unexpected status %d", code)
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("no successful deliveries at 20% loss")
+	}
+	var snap MetricsSnapshot
+	if code := getJSON(t, srv.URL+"/metrics", &snap); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if !snap.Chaos.Enabled {
+		t.Fatal("chaos not reported enabled on /metrics")
+	}
+	if snap.Chaos.Drops == 0 {
+		t.Fatal("no drops on /metrics at 20% loss")
+	}
+	if int(snap.Chaos.FailedDeliveries) != failCount {
+		t.Fatalf("failed deliveries %d on /metrics, saw %d 422s", snap.Chaos.FailedDeliveries, failCount)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"compactrouting/internal/baseline"
 	"compactrouting/internal/bits"
 	"compactrouting/internal/core"
+	"compactrouting/internal/faultsim"
 	"compactrouting/internal/graph"
 	"compactrouting/internal/labeled"
 	"compactrouting/internal/metric"
@@ -63,6 +64,46 @@ type Config struct {
 	CacheEntries int
 	// Workers bounds the batch fan-out pool; <= 0 uses GOMAXPROCS.
 	Workers int
+	// Chaos, when non-nil, injects per-hop packet loss into every served
+	// route (with source-side retries) so the daemon's degradation under
+	// faults can be observed live on /metrics.
+	Chaos *ChaosParams
+}
+
+// ChaosParams configures the daemon's fault injection (routed -chaos).
+type ChaosParams struct {
+	// Loss is the per-hop drop probability in [0, 1].
+	Loss float64
+	// Seed keys the deterministic fault draws (0 uses Config.Seed).
+	Seed int64
+	// MaxAttempts bounds transmissions per query; <= 0 uses the
+	// faultsim default policy's attempts.
+	MaxAttempts int
+}
+
+// chaosRuntime is the compiled injection state shared by every scheme.
+type chaosRuntime struct {
+	in  *faultsim.Injector
+	rel faultsim.Reliability
+	seq atomic.Uint64 // per-query delivery ids: each query gets fresh draws
+}
+
+func newChaosRuntime(p *ChaosParams, fallbackSeed int64) *chaosRuntime {
+	if p == nil {
+		return nil
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = fallbackSeed
+	}
+	rel := faultsim.DefaultReliability
+	if p.MaxAttempts > 0 {
+		rel.MaxAttempts = p.MaxAttempts
+	}
+	return &chaosRuntime{
+		in:  faultsim.NewInjector(faultsim.FaultPlan{Seed: seed, Loss: p.Loss}),
+		rel: rel,
+	}
 }
 
 // RouteResult is one answered route query. Cached is set per response;
@@ -79,6 +120,10 @@ type RouteResult struct {
 	Stretch       float64 `json:"stretch"`
 	MaxHeaderBits int     `json:"max_header_bits"`
 	Cached        bool    `json:"cached"`
+	// Attempts and Drops report the reliability layer's work when the
+	// engine runs with fault injection (zero otherwise).
+	Attempts int `json:"attempts,omitempty"`
+	Drops    int `json:"drops,omitempty"`
 }
 
 // SchemeInfo is the GET /schemes accounting for one compiled scheme,
@@ -103,10 +148,13 @@ type GraphInfo struct {
 	NormalizedDiameter float64 `json:"normalized_diameter"`
 }
 
-// scheme is one compiled scheme plus its type-erased query runner.
+// scheme is one compiled scheme plus its type-erased query runners.
 type scheme struct {
 	info SchemeInfo
 	run  func(src, dst int) sim.Result
+	// chaos runs the same step functions under fault injection; nil
+	// unless the engine was configured with ChaosParams.
+	chaos func(src, dst int, id uint64) faultsim.Result
 }
 
 // state is the engine's immutable-after-build world; reload builds a
@@ -126,6 +174,7 @@ type Engine struct {
 	cache   *routeCache
 	met     *metrics
 	workers int
+	chaos   *chaosRuntime // nil when fault injection is off
 	st      atomic.Pointer[state]
 	reload  sync.Mutex // serializes Reload, not queries
 }
@@ -151,6 +200,7 @@ func New(cfg Config) (*Engine, error) {
 		cache:   newRouteCache(cfg.CacheEntries),
 		met:     newMetrics(),
 		workers: workers,
+		chaos:   newChaosRuntime(cfg.Chaos, cfg.Seed),
 	}
 	st, err := e.build(cfg.Seed, 0)
 	if err != nil {
@@ -168,7 +218,7 @@ func (e *Engine) build(seed int64, gen uint64) (*state, error) {
 	}
 	st := &state{nw: nw, seed: seed, gen: gen, schemes: make(map[string]*scheme)}
 	for _, name := range e.cfg.Schemes {
-		s, err := compileScheme(name, nw.Graph(), nw.APSP(), e.cfg.Eps, seed)
+		s, err := compileScheme(name, nw.Graph(), nw.APSP(), e.cfg.Eps, seed, e.chaos)
 		if err != nil {
 			return nil, fmt.Errorf("server: compile %s: %w", name, err)
 		}
@@ -178,12 +228,20 @@ func (e *Engine) build(seed int64, gen uint64) (*state, error) {
 	return st, nil
 }
 
-// erase wraps a generic Router into the engine's uniform runner. addr
+// bind wraps a generic Router into the engine's uniform runners. addr
 // translates a destination NODE id into the scheme's address space (a
-// label or an original name), so every scheme serves the same API.
-func erase[H sim.Header](g *graph.Graph, r sim.Router[H], addr func(int) int, maxHops int) func(int, int) sim.Result {
-	return func(src, dst int) sim.Result {
+// label or an original name), so every scheme serves the same API. The
+// second runner drives the identical step functions through
+// faultsim.Deliver and is nil when chaos is off.
+func bind[H sim.Header](g *graph.Graph, r sim.Router[H], addr func(int) int, maxHops int, ch *chaosRuntime) (func(int, int) sim.Result, func(int, int, uint64) faultsim.Result) {
+	run := func(src, dst int) sim.Result {
 		return sim.RouteOnce(g, r, src, addr(dst), maxHops)
+	}
+	if ch == nil {
+		return run, nil
+	}
+	return run, func(src, dst int, id uint64) faultsim.Result {
+		return faultsim.Deliver(g, r, src, addr(dst), maxHops, ch.in, ch.rel, id)
 	}
 }
 
@@ -194,13 +252,14 @@ func clamp(eps, hi float64) float64 {
 	return eps
 }
 
-// compileScheme builds one scheme and its adapter-backed runner. The
+// compileScheme builds one scheme and its adapter-backed runners. The
 // hop budgets mirror cmd/routesim's per-scheme limits.
-func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, seed int64) (*scheme, error) {
+func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, seed int64, ch *chaosRuntime) (*scheme, error) {
 	n := g.N()
 	start := time.Now()
 	var (
 		run       func(int, int) sim.Result
+		chaos     func(int, int, uint64) faultsim.Result
 		kind      string
 		labelBits int
 		tableBits func(int) int
@@ -211,14 +270,14 @@ func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, see
 		if err != nil {
 			return nil, err
 		}
-		run = erase(g, sim.SimpleLabeledRouter{S: s}, s.LabelOf, 0)
+		run, chaos = bind(g, sim.SimpleLabeledRouter{S: s}, s.LabelOf, 0, ch)
 		kind, labelBits, tableBits = "labeled", bits.UintBits(n), s.TableBits
 	case "scale-free-labeled":
 		s, err := labeled.NewScaleFree(g, a, clamp(eps, 0.25))
 		if err != nil {
 			return nil, err
 		}
-		run = erase(g, sim.ScaleFreeLabeledRouter{S: s}, s.LabelOf, 64*n)
+		run, chaos = bind(g, sim.ScaleFreeLabeledRouter{S: s}, s.LabelOf, 64*n, ch)
 		kind, labelBits, tableBits = "labeled", bits.UintBits(n), s.TableBits
 	case "name-independent":
 		ne := clamp(eps, 1.0/3)
@@ -231,7 +290,7 @@ func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, see
 		if err != nil {
 			return nil, err
 		}
-		run = erase(g, sim.NameIndependentRouter{S: s}, nm.NameOf, 256*n)
+		run, chaos = bind(g, sim.NameIndependentRouter{S: s}, nm.NameOf, 256*n, ch)
 		kind, labelBits, tableBits = "name-independent", bits.UintBits(nm.MaxName()+1), s.TableBits
 	case "scale-free-name-independent":
 		ne := clamp(eps, 0.25)
@@ -244,18 +303,18 @@ func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, see
 		if err != nil {
 			return nil, err
 		}
-		run = erase(g, sim.ScaleFreeNameIndependentRouter{S: s}, nm.NameOf, 512*n)
+		run, chaos = bind(g, sim.ScaleFreeNameIndependentRouter{S: s}, nm.NameOf, 512*n, ch)
 		kind, labelBits, tableBits = "name-independent", bits.UintBits(nm.MaxName()+1), s.TableBits
 	case "full-table":
 		s := baseline.NewFullTable(g, a)
-		run = erase(g, sim.FullTableRouter{S: s}, func(v int) int { return v }, 0)
+		run, chaos = bind(g, sim.FullTableRouter{S: s}, func(v int) int { return v }, 0, ch)
 		kind, labelBits, tableBits = "baseline", bits.UintBits(n), s.TableBits
 	case "single-tree":
 		s, err := baseline.NewSingleTree(g, 0)
 		if err != nil {
 			return nil, err
 		}
-		run = erase(g, sim.SingleTreeRouter{S: s}, func(v int) int { return v }, 0)
+		run, chaos = bind(g, sim.SingleTreeRouter{S: s}, func(v int) int { return v }, 0, ch)
 		kind, labelBits, tableBits = "baseline", bits.UintBits(n), s.TableBits
 	default:
 		return nil, fmt.Errorf("unknown scheme %q (have %v)", name, SchemeNames)
@@ -271,7 +330,8 @@ func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, see
 			TableTotal:    tb.TotalBits,
 			BuildMillis:   float64(time.Since(start).Microseconds()) / 1000,
 		},
-		run: run,
+		run:   run,
+		chaos: chaos,
 	}, nil
 }
 
@@ -287,6 +347,9 @@ func (e *Engine) Route(schemeName string, src, dst int) (RouteResult, error) {
 	n := st.nw.N()
 	if src < 0 || src >= n || dst < 0 || dst >= n {
 		return RouteResult{}, fmt.Errorf("pair (%d, %d) out of range [0, %d)", src, dst, n)
+	}
+	if e.chaos != nil {
+		return e.routeChaos(st, s, schemeName, src, dst)
 	}
 	if v, ok := e.cache.Get(schemeName, src, dst, st.gen); ok {
 		out := *v
@@ -311,6 +374,41 @@ func (e *Engine) Route(schemeName string, src, dst int) (RouteResult, error) {
 	}
 	e.cache.Put(schemeName, src, dst, st.gen, out)
 	return *out, nil
+}
+
+// routeChaos serves one query through the fault injector. Chaos routes
+// bypass the cache entirely: every query draws its own faults (a fresh
+// delivery id), so two queries for the same pair legitimately differ in
+// attempts, drops, and even outcome.
+func (e *Engine) routeChaos(st *state, s *scheme, schemeName string, src, dst int) (RouteResult, error) {
+	id := e.chaos.seq.Add(1)
+	res := s.chaos(src, dst, id)
+	e.met.chaosDrops.Add(uint64(res.Drops))
+	if res.Attempts > 1 {
+		e.met.chaosRetries.Add(uint64(res.Attempts - 1))
+	}
+	if !res.Delivered {
+		e.met.chaosFailed.Add(1)
+		if res.Sim.Err != nil {
+			return RouteResult{}, fmt.Errorf("route %d -> %d: %w", src, dst, res.Sim.Err)
+		}
+		return RouteResult{}, fmt.Errorf("route %d -> %d: delivery failed after %d attempts (%d packets dropped)",
+			src, dst, res.Attempts, res.Drops)
+	}
+	opt := st.nw.Dist(src, dst)
+	return RouteResult{
+		Scheme:        schemeName,
+		Src:           src,
+		Dst:           dst,
+		Path:          res.Sim.Path,
+		Hops:          len(res.Sim.Path) - 1,
+		Cost:          res.Sim.Cost,
+		Optimal:       opt,
+		Stretch:       stretch(res.Sim.Cost, opt),
+		MaxHeaderBits: res.Sim.MaxHeaderBits,
+		Attempts:      res.Attempts,
+		Drops:         res.Drops,
+	}, nil
 }
 
 func stretch(cost, opt float64) float64 {
@@ -428,6 +526,11 @@ func (e *Engine) Schemes() []SchemeInfo {
 func (e *Engine) Metrics() MetricsSnapshot {
 	st := e.st.Load()
 	snap := e.met.snapshot(e.cache)
+	if e.chaos != nil {
+		snap.Chaos.Enabled = true
+		snap.Chaos.Loss = e.chaos.in.Plan().Loss
+		snap.Chaos.MaxAttempts = e.chaos.rel.MaxAttempts
+	}
 	snap.Generation = st.gen
 	snap.Schemes = append([]string(nil), st.order...)
 	sort.Strings(snap.Schemes)

@@ -79,6 +79,9 @@ type metrics struct {
 	inFlight     atomic.Int64  // requests currently being served
 	routeLatency histogram     // per-route latency (cache hits included)
 	batchLatency histogram     // whole-batch latency
+	chaosDrops   atomic.Uint64 // packets lost to injected faults
+	chaosRetries atomic.Uint64 // extra transmissions the retry layer spent
+	chaosFailed  atomic.Uint64 // deliveries that failed every attempt
 }
 
 // MetricsSnapshot is the GET /metrics response body.
@@ -94,8 +97,20 @@ type MetricsSnapshot struct {
 	Cache         CacheSnapshot     `json:"cache"`
 	RouteLatency  HistogramSnapshot `json:"route_latency"`
 	BatchLatency  HistogramSnapshot `json:"batch_latency"`
+	Chaos         ChaosSnapshot     `json:"chaos"`
 	Generation    uint64            `json:"generation"`
 	Schemes       []string          `json:"schemes"`
+}
+
+// ChaosSnapshot reports the fault-injection counters (routed -chaos):
+// what the injector destroyed and what the retry layer absorbed.
+type ChaosSnapshot struct {
+	Enabled          bool    `json:"enabled"`
+	Loss             float64 `json:"loss,omitempty"`
+	MaxAttempts      int     `json:"max_attempts,omitempty"`
+	Drops            uint64  `json:"drops"`
+	Retries          uint64  `json:"retries"`
+	FailedDeliveries uint64  `json:"failed_deliveries"`
 }
 
 // CacheSnapshot reports the route cache counters.
@@ -127,5 +142,10 @@ func (m *metrics) snapshot(c *routeCache) MetricsSnapshot {
 		Cache:         cs,
 		RouteLatency:  m.routeLatency.Snapshot(),
 		BatchLatency:  m.batchLatency.Snapshot(),
+		Chaos: ChaosSnapshot{
+			Drops:            m.chaosDrops.Load(),
+			Retries:          m.chaosRetries.Load(),
+			FailedDeliveries: m.chaosFailed.Load(),
+		},
 	}
 }

@@ -61,6 +61,15 @@ type Delivery struct {
 	Src, Dst int
 }
 
+// HopLimitError is the error a delivery fails with when its walk would
+// exceed the hop budget. RouteOnce, Run and internal/faultsim all use
+// it, so the budget semantics are pinned in one place: a walk may take
+// at most maxHops hops (the arrival step at the final node is free),
+// and the packet fails when a further forward would be hop maxHops+1.
+func HopLimitError(maxHops int) error {
+	return fmt.Errorf("sim: packet exceeded hop budget %d", maxHops)
+}
+
 // RouteOnce drives one delivery through the router's step function
 // sequentially: Prepare, then Step until arrival, validating every hop
 // against the graph. It is the cheap per-query path used by serving
@@ -94,7 +103,7 @@ func RouteOnce[H Header](g *graph.Graph, r Router[H], src, dst, maxHops int) Res
 			return res
 		}
 		if len(res.Path) > maxHops {
-			res.Err = fmt.Errorf("sim: packet exceeded %d hops", maxHops)
+			res.Err = HopLimitError(maxHops)
 			return res
 		}
 		w, ok := g.EdgeWeight(at, next)
@@ -146,13 +155,20 @@ func Run[H Header](g *graph.Graph, r Router[H], deliveries []Delivery, maxHops i
 
 	// forward delivers a packet to a mailbox without blocking the node
 	// goroutine (mailboxes are bounded; a detached send avoids deadlock
-	// when many packets converge on one node).
+	// when many packets converge on one node). The detached send must
+	// also select on done: a bare `inbox[to] <- p` blocks forever if the
+	// run winds down while the mailbox is full, leaking the goroutine.
 	var forward func(to int, p packet[H])
 	forward = func(to int, p packet[H]) {
 		select {
 		case inbox[to] <- p:
 		default:
-			go func() { inbox[to] <- p }()
+			go func() {
+				select {
+				case inbox[to] <- p:
+				case <-done:
+				}
+			}()
 		}
 	}
 
@@ -173,7 +189,7 @@ func Run[H Header](g *graph.Graph, r Router[H], deliveries []Delivery, maxHops i
 					continue
 				}
 				if len(p.path) > maxHops {
-					finish(p.id, p, fmt.Errorf("sim: packet exceeded %d hops", maxHops))
+					finish(p.id, p, HopLimitError(maxHops))
 					continue
 				}
 				w, ok := g.EdgeWeight(self, next)
