@@ -3,12 +3,13 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench serve chaos-determinism
+.PHONY: check fmt vet build test race bench serve profile chaos-determinism routebench-determinism
 
 # The gate: vet, build and -race cover every package (./...), including
-# internal/faultsim and cmd/chaossim; chaos-determinism asserts the
-# fault injector's seed guarantee end to end.
-check: fmt vet build race chaos-determinism
+# internal/faultsim and cmd/chaossim; the determinism targets assert
+# that the parallel build pipeline and the fault injector's seed
+# guarantee produce byte-identical JSON across runs.
+check: fmt vet build race chaos-determinism routebench-determinism
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -39,6 +40,23 @@ chaos-determinism:
 	$(GO) run ./cmd/chaossim -n 48 -pairs 60 -loss 0,0.1 -fail 0,0.1 -seed 11 -json $$tmp2 >/dev/null && \
 	{ cmp -s $$tmp1 $$tmp2 || { echo "chaossim -json is not seed-deterministic"; rm -f $$tmp1 $$tmp2; exit 1; }; } && \
 	rm -f $$tmp1 $$tmp2 && echo "chaossim determinism: ok"
+
+# The bench sweep now builds schemes and routes cells in parallel
+# (internal/par); with -timing=false the JSON must still be a pure
+# function of the flags. Run a small sweep twice and diff.
+routebench-determinism:
+	@tmp1=$$(mktemp) && tmp2=$$(mktemp) && \
+	$(GO) run ./cmd/routebench -json $$tmp1 -n 48 -pairs 60 -seed 11 -timing=false >/dev/null && \
+	$(GO) run ./cmd/routebench -json $$tmp2 -n 48 -pairs 60 -seed 11 -timing=false >/dev/null && \
+	{ cmp -s $$tmp1 $$tmp2 || { echo "routebench -json is not deterministic"; rm -f $$tmp1 $$tmp2; exit 1; }; } && \
+	rm -f $$tmp1 $$tmp2 && echo "routebench determinism: ok"
+
+# Capture a CPU profile of a full build+sweep (APSP, all scheme tables,
+# routed pairs) and print the hottest frames. Inspect interactively with
+# `go tool pprof cpu.prof`.
+profile:
+	$(GO) run ./cmd/routebench -json /tmp/routebench_profile.json -n 512 -cpuprofile cpu.prof
+	$(GO) tool pprof -top -nodecount 15 cpu.prof
 
 # Run the serving daemon on a default workload.
 serve:

@@ -12,32 +12,56 @@
 //
 // With -json, the text experiments are skipped; instead every scheme is
 // benchmarked on the -graph workload and one JSON record per scheme
-// (stretch percentiles, table bits, ns/query) is written to the given
-// path, so benchmark trajectories can be compared across commits.
+// (stretch percentiles, table bits, per-phase build wall times,
+// ns/query) is written to the given path, so benchmark trajectories can
+// be compared across commits. -timing=false zeroes the wall-clock
+// fields, making the file a pure function of the flags (`make check`
+// double-runs it and diffs). -cpuprofile captures a CPU profile of the
+// whole build+sweep (`make profile`).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"compactrouting/internal/exp"
 )
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment: table1|table2|fig1|fig2|fig3|storage|epsilon|ablation|overhead|dimension|oracle|all")
-		n     = flag.Int("n", 256, "target network size")
-		eps   = flag.Float64("eps", 0.25, "stretch parameter epsilon")
-		pairs = flag.Int("pairs", 1000, "routed source-destination pairs per experiment (0 = all pairs)")
-		seed  = flag.Int64("seed", 1, "random seed for generators, namings and sampling")
-		graph = flag.String("graph", "geometric", "workload graph: geometric|grid-holes|exp-path")
-		jsonP = flag.String("json", "", "write a machine-readable bench sweep to this path and exit")
+		which   = flag.String("exp", "all", "experiment: table1|table2|fig1|fig2|fig3|storage|epsilon|ablation|overhead|dimension|oracle|all")
+		n       = flag.Int("n", 256, "target network size")
+		eps     = flag.Float64("eps", 0.25, "stretch parameter epsilon")
+		pairs   = flag.Int("pairs", 1000, "routed source-destination pairs per experiment (0 = all pairs)")
+		seed    = flag.Int64("seed", 1, "random seed for generators, namings and sampling")
+		graph   = flag.String("graph", "geometric", "workload graph: geometric|grid-holes|exp-path")
+		jsonP   = flag.String("json", "", "write a machine-readable bench sweep to this path and exit")
+		timing  = flag.Bool("timing", true, "record wall-clock fields (apsp_ms, build_ms, total_ms, ns_per_query) in -json records; false makes the output seed-deterministic")
+		profile = flag.String("cpuprofile", "", "write a CPU profile of the full build+sweep to this path")
 	)
 	flag.Parse()
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routebench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "routebench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("routebench: wrote CPU profile to %s\n", *profile)
+		}()
+	}
 	if *jsonP != "" {
-		if err := runJSON(*jsonP, *n, *eps, *pairs, *seed, *graph); err != nil {
+		if err := runJSON(*jsonP, *n, *eps, *pairs, *seed, *graph, *timing); err != nil {
 			fmt.Fprintln(os.Stderr, "routebench:", err)
 			os.Exit(1)
 		}
@@ -50,17 +74,21 @@ func main() {
 }
 
 // runJSON benchmarks every scheme on the workload and writes the
-// records to path.
-func runJSON(path string, n int, eps float64, pairs int, seed int64, graphKind string) error {
+// records to path, reporting the build pipeline's per-phase wall time.
+func runJSON(path string, n int, eps float64, pairs int, seed int64, graphKind string, timing bool) error {
+	start := time.Now()
 	env, err := buildEnv(graphKind, n, seed)
 	if err != nil {
 		return err
 	}
+	apspMS := float64(time.Since(start).Microseconds()) / 1000
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := exp.WriteBenchJSON(f, env, eps, pairs, seed); err != nil {
+	opt := exp.BenchOpts{Eps: eps, Pairs: pairs, Seed: seed, Timing: timing, ApspMS: apspMS}
+	sweepStart := time.Now()
+	if err := exp.WriteBenchJSON(f, env, opt); err != nil {
 		f.Close()
 		return err
 	}
@@ -68,6 +96,11 @@ func runJSON(path string, n int, eps float64, pairs int, seed int64, graphKind s
 		return err
 	}
 	fmt.Printf("routebench: wrote %s (%s, n=%d, eps=%v, %d pairs)\n", path, env.Name, env.G.N(), eps, pairs)
+	if timing {
+		fmt.Printf("routebench: phases: apsp %.0f ms, schemes+sweep %.0f ms, total %.0f ms\n",
+			apspMS, float64(time.Since(sweepStart).Microseconds())/1000,
+			float64(time.Since(start).Microseconds())/1000)
+	}
 	return nil
 }
 

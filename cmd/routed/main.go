@@ -8,6 +8,7 @@
 //	routed -addr :8080 -graph geometric -n 256 -schemes simple-labeled,full-table
 //	routed -load net.txt -cache 65536
 //	routed -chaos 0.05 -chaos-retries 4    # inject 5% per-hop loss, retry
+//	routed -pprof localhost:6060           # net/http/pprof debug listener
 //
 // With -chaos, every served route runs through internal/faultsim: hops
 // are dropped with the given probability, the source retries with
@@ -32,6 +33,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	_ "net/http/pprof" // debug handlers for the -pprof listener
 	"os"
 	"os/signal"
 	"strings"
@@ -53,6 +55,7 @@ func main() {
 		load    = flag.String("load", "", "load an edge-list file (graphgen format) instead of generating")
 		cache   = flag.Int("cache", 1<<16, "route cache capacity in entries (0 disables)")
 		workers = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		pprofA  = flag.String("pprof", "", "serve net/http/pprof on this separate debug address (e.g. localhost:6060); empty disables")
 
 		chaosLoss    = flag.Float64("chaos", 0, "per-hop packet-loss probability to inject on served routes (0 disables fault injection)")
 		chaosSeed    = flag.Int64("chaos-seed", 0, "seed for the fault draws (0 = -seed)")
@@ -63,7 +66,7 @@ func main() {
 	if *chaosLoss > 0 {
 		chaos = &server.ChaosParams{Loss: *chaosLoss, Seed: *chaosSeed, MaxAttempts: *chaosRetries}
 	}
-	if err := run(*addr, *kind, *n, *seed, *eps, *schemes, *load, *cache, *workers, chaos); err != nil {
+	if err := run(*addr, *kind, *n, *seed, *eps, *schemes, *load, *cache, *workers, *pprofA, chaos); err != nil {
 		fmt.Fprintln(os.Stderr, "routed:", err)
 		os.Exit(1)
 	}
@@ -116,7 +119,7 @@ func buildFunc(kind string, n int, load string) func(seed int64) (*compactroutin
 	}
 }
 
-func run(addr, kind string, n int, seed int64, eps float64, schemes, load string, cache, workers int, chaos *server.ChaosParams) error {
+func run(addr, kind string, n int, seed int64, eps float64, schemes, load string, cache, workers int, pprofAddr string, chaos *server.ChaosParams) error {
 	start := time.Now()
 	eng, err := server.New(server.Config{
 		Build:        buildFunc(kind, n, load),
@@ -138,6 +141,18 @@ func run(addr, kind string, n int, seed int64, eps float64, schemes, load string
 	for _, si := range eng.Schemes() {
 		log.Printf("routed: scheme %-28s %s, label %d bits, tables max %d / mean %.0f bits (compiled in %.0f ms)",
 			si.Name, si.Kind, si.LabelBits, si.TableMaxBits, si.TableMeanBits, si.BuildMillis)
+	}
+
+	if pprofAddr != "" {
+		// The pprof handlers live on their own listener (and the default
+		// mux, which the API server never uses) so profiling exposure is
+		// separable from serving traffic.
+		go func() {
+			log.Printf("routed: pprof debug listener on http://%s/debug/pprof/", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				log.Printf("routed: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{Addr: addr, Handler: eng.Handler()}

@@ -7,6 +7,7 @@ import (
 
 	"compactrouting/internal/baseline"
 	"compactrouting/internal/core"
+	"compactrouting/internal/par"
 )
 
 // BenchRecord is one scheme's machine-readable benchmark row, written
@@ -26,30 +27,112 @@ type BenchRecord struct {
 	MaxHeaderBits int     `json:"max_header_bits"`
 	TableMaxBits  int     `json:"table_max_bits"`
 	TableMeanBits float64 `json:"table_mean_bits"`
-	BuildMS       float64 `json:"build_ms"`
-	NsPerQuery    float64 `json:"ns_per_query"`
+	// Build-phase wall times: ApspMS is the shared oracle build (phase
+	// 1, identical on every row), BuildMS the scheme's table
+	// compilation (phase 2), TotalMS their sum. All timing fields are
+	// zero when BenchOpts.Timing is off.
+	ApspMS     float64 `json:"apsp_ms"`
+	BuildMS    float64 `json:"build_ms"`
+	TotalMS    float64 `json:"total_ms"`
+	NsPerQuery float64 `json:"ns_per_query"`
 }
 
-// Bench routes the sampled pairs through every scheme and returns one
-// record per scheme with stretch percentiles and wall-clock per query.
-func Bench(e *Env, eps float64, pairCount int, seed int64) ([]BenchRecord, error) {
-	pairs := e.Pairs(pairCount, seed)
-	var out []BenchRecord
+// BenchOpts parameterizes a bench sweep.
+type BenchOpts struct {
+	Eps   float64
+	Pairs int
+	Seed  int64
+	// Timing records wall-clock fields (apsp_ms, build_ms, total_ms,
+	// ns_per_query). With Timing false they are zeroed, which makes the
+	// JSON a pure function of (env, opts) — the `make check` double-run
+	// diff relies on that.
+	Timing bool
+	// ApspMS is the caller-measured oracle build time (the env carries
+	// a prebuilt APSP, so only the caller saw that phase's clock).
+	ApspMS float64
+}
 
-	record := func(name string, buildMS float64, tableBits func(int) int, route func() (core.StretchStats, error)) error {
+// benchCell is one scheme's build+evaluate job: build compiles the
+// scheme and returns its table accounting plus the routing closure.
+type benchCell struct {
+	name  string
+	build func() (tableBits func(int) int, eval func() (core.StretchStats, error), err error)
+}
+
+// benchCells lists the sweep's schemes in report order.
+func benchCells(e *Env, eps float64, pairs [][2]int, seed int64) []benchCell {
+	return []benchCell{
+		{"simple-labeled", func() (func(int) int, func() (core.StretchStats, error), error) {
+			s, err := buildLabeledSimple(e, minf(eps, 0.5))
+			if err != nil {
+				return nil, nil, err
+			}
+			return s.TableBits, func() (core.StretchStats, error) { return core.EvaluateLabeled(s, e.A, pairs) }, nil
+		}},
+		{"scale-free-labeled", func() (func(int) int, func() (core.StretchStats, error), error) {
+			s, err := buildLabeledScaleFree(e, minf(eps, 0.25))
+			if err != nil {
+				return nil, nil, err
+			}
+			return s.TableBits, func() (core.StretchStats, error) { return core.EvaluateLabeled(s, e.A, pairs) }, nil
+		}},
+		{"name-independent", func() (func(int) int, func() (core.StretchStats, error), error) {
+			s, err := buildNameIndSimple(e, minf(eps, 1.0/3), seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			return s.TableBits, func() (core.StretchStats, error) { return core.EvaluateNameIndependent(s, e.A, pairs) }, nil
+		}},
+		{"scale-free-name-independent", func() (func(int) int, func() (core.StretchStats, error), error) {
+			s, err := buildNameIndScaleFree(e, minf(eps, 0.25), seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			return s.TableBits, func() (core.StretchStats, error) { return core.EvaluateNameIndependent(s, e.A, pairs) }, nil
+		}},
+		{"full-table", func() (func(int) int, func() (core.StretchStats, error), error) {
+			s := baseline.NewFullTable(e.G, e.A)
+			return s.TableBits, func() (core.StretchStats, error) { return core.EvaluateLabeled(s, e.A, pairs) }, nil
+		}},
+		{"single-tree", func() (func(int) int, func() (core.StretchStats, error), error) {
+			s, err := baseline.NewSingleTree(e.G, 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			return s.TableBits, func() (core.StretchStats, error) { return core.EvaluateLabeled(s, e.A, pairs) }, nil
+		}},
+	}
+}
+
+// Bench builds every scheme and routes the sampled pairs through it,
+// returning one record per scheme with stretch percentiles and (when
+// opt.Timing) per-phase wall clocks. The scheme cells run in parallel;
+// record order and every non-timing field are identical to a serial
+// run (asserted by the `make check` double-run diff).
+func Bench(e *Env, opt BenchOpts) ([]BenchRecord, error) {
+	pairs := e.Pairs(opt.Pairs, opt.Seed)
+	cells := benchCells(e, opt.Eps, pairs, opt.Seed)
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return par.MapErr(len(cells), func(i int) (BenchRecord, error) {
 		start := time.Now()
-		st, err := route()
+		tableBits, eval, err := cells[i].build()
 		if err != nil {
-			return err
+			return BenchRecord{}, err
+		}
+		buildMS := ms(time.Since(start))
+		start = time.Now()
+		st, err := eval()
+		if err != nil {
+			return BenchRecord{}, err
 		}
 		elapsed := time.Since(start)
 		tb := core.Tables(tableBits, e.G.N())
-		out = append(out, BenchRecord{
-			Scheme:        name,
+		rec := BenchRecord{
+			Scheme:        cells[i].name,
 			Graph:         e.Name,
 			N:             e.G.N(),
 			M:             e.G.M(),
-			Eps:           eps,
+			Eps:           opt.Eps,
 			Pairs:         len(pairs),
 			StretchMean:   st.Mean,
 			StretchP50:    st.P50,
@@ -59,83 +142,21 @@ func Bench(e *Env, eps float64, pairCount int, seed int64) ([]BenchRecord, error
 			MaxHeaderBits: st.MaxHeader,
 			TableMaxBits:  tb.MaxBits,
 			TableMeanBits: tb.MeanBits,
-			BuildMS:       buildMS,
-			NsPerQuery:    float64(elapsed.Nanoseconds()) / float64(len(pairs)),
-		})
-		return nil
-	}
-	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-
-	start := time.Now()
-	simple, err := buildLabeledSimple(e, minf(eps, 0.5))
-	if err != nil {
-		return nil, err
-	}
-	if err := record("simple-labeled", ms(time.Since(start)), simple.TableBits, func() (core.StretchStats, error) {
-		return core.EvaluateLabeled(simple, e.A, pairs)
-	}); err != nil {
-		return nil, err
-	}
-
-	start = time.Now()
-	free, err := buildLabeledScaleFree(e, minf(eps, 0.25))
-	if err != nil {
-		return nil, err
-	}
-	if err := record("scale-free-labeled", ms(time.Since(start)), free.TableBits, func() (core.StretchStats, error) {
-		return core.EvaluateLabeled(free, e.A, pairs)
-	}); err != nil {
-		return nil, err
-	}
-
-	start = time.Now()
-	ni, err := buildNameIndSimple(e, minf(eps, 1.0/3), seed)
-	if err != nil {
-		return nil, err
-	}
-	if err := record("name-independent", ms(time.Since(start)), ni.TableBits, func() (core.StretchStats, error) {
-		return core.EvaluateNameIndependent(ni, e.A, pairs)
-	}); err != nil {
-		return nil, err
-	}
-
-	start = time.Now()
-	sfni, err := buildNameIndScaleFree(e, minf(eps, 0.25), seed)
-	if err != nil {
-		return nil, err
-	}
-	if err := record("scale-free-name-independent", ms(time.Since(start)), sfni.TableBits, func() (core.StretchStats, error) {
-		return core.EvaluateNameIndependent(sfni, e.A, pairs)
-	}); err != nil {
-		return nil, err
-	}
-
-	start = time.Now()
-	full := baseline.NewFullTable(e.G, e.A)
-	if err := record("full-table", ms(time.Since(start)), full.TableBits, func() (core.StretchStats, error) {
-		return core.EvaluateLabeled(full, e.A, pairs)
-	}); err != nil {
-		return nil, err
-	}
-
-	start = time.Now()
-	tree, err := baseline.NewSingleTree(e.G, 0)
-	if err != nil {
-		return nil, err
-	}
-	if err := record("single-tree", ms(time.Since(start)), tree.TableBits, func() (core.StretchStats, error) {
-		return core.EvaluateLabeled(tree, e.A, pairs)
-	}); err != nil {
-		return nil, err
-	}
-
-	return out, nil
+		}
+		if opt.Timing {
+			rec.ApspMS = opt.ApspMS
+			rec.BuildMS = buildMS
+			rec.TotalMS = opt.ApspMS + buildMS
+			rec.NsPerQuery = float64(elapsed.Nanoseconds()) / float64(len(pairs))
+		}
+		return rec, nil
+	})
 }
 
 // WriteBenchJSON runs Bench and writes the records as an indented JSON
 // array.
-func WriteBenchJSON(w io.Writer, e *Env, eps float64, pairCount int, seed int64) error {
-	records, err := Bench(e, eps, pairCount, seed)
+func WriteBenchJSON(w io.Writer, e *Env, opt BenchOpts) error {
+	records, err := Bench(e, opt)
 	if err != nil {
 		return err
 	}

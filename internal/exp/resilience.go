@@ -9,6 +9,7 @@ import (
 	"compactrouting/internal/baseline"
 	"compactrouting/internal/faultsim"
 	"compactrouting/internal/graph"
+	"compactrouting/internal/par"
 	"compactrouting/internal/sim"
 )
 
@@ -80,34 +81,46 @@ func chaosErase[H sim.Header](name string, g *graph.Graph, r sim.Router[H], addr
 }
 
 // chaosSchemes compiles the resilience cohort: the full-table baseline
-// against the paper's labeled and name-independent schemes.
+// against the paper's labeled and name-independent schemes. The five
+// schemes build in parallel; the returned order is fixed.
 func chaosSchemes(e *Env, eps float64, seed int64) ([]chaosScheme, error) {
 	n := e.G.N()
 	self := func(v int) int { return v }
-	full := baseline.NewFullTable(e.G, e.A)
-	simple, err := buildLabeledSimple(e, minf(eps, 0.5))
-	if err != nil {
-		return nil, err
+	builders := []func() (chaosScheme, error){
+		func() (chaosScheme, error) {
+			full := baseline.NewFullTable(e.G, e.A)
+			return chaosErase("full-table", e.G, sim.FullTableRouter{S: full}, self, 0), nil
+		},
+		func() (chaosScheme, error) {
+			simple, err := buildLabeledSimple(e, minf(eps, 0.5))
+			if err != nil {
+				return chaosScheme{}, err
+			}
+			return chaosErase("simple-labeled", e.G, sim.SimpleLabeledRouter{S: simple}, simple.LabelOf, 0), nil
+		},
+		func() (chaosScheme, error) {
+			free, err := buildLabeledScaleFree(e, minf(eps, 0.25))
+			if err != nil {
+				return chaosScheme{}, err
+			}
+			return chaosErase("scale-free-labeled", e.G, sim.ScaleFreeLabeledRouter{S: free}, free.LabelOf, 64*n), nil
+		},
+		func() (chaosScheme, error) {
+			ni, err := buildNameIndSimple(e, minf(eps, 1.0/3), seed)
+			if err != nil {
+				return chaosScheme{}, err
+			}
+			return chaosErase("name-independent", e.G, sim.NameIndependentRouter{S: ni}, ni.NameOf, 256*n), nil
+		},
+		func() (chaosScheme, error) {
+			sfni, err := buildNameIndScaleFree(e, minf(eps, 0.25), seed)
+			if err != nil {
+				return chaosScheme{}, err
+			}
+			return chaosErase("scale-free-name-independent", e.G, sim.ScaleFreeNameIndependentRouter{S: sfni}, sfni.NameOf, 512*n), nil
+		},
 	}
-	free, err := buildLabeledScaleFree(e, minf(eps, 0.25))
-	if err != nil {
-		return nil, err
-	}
-	ni, err := buildNameIndSimple(e, minf(eps, 1.0/3), seed)
-	if err != nil {
-		return nil, err
-	}
-	sfni, err := buildNameIndScaleFree(e, minf(eps, 0.25), seed)
-	if err != nil {
-		return nil, err
-	}
-	return []chaosScheme{
-		chaosErase("full-table", e.G, sim.FullTableRouter{S: full}, self, 0),
-		chaosErase("simple-labeled", e.G, sim.SimpleLabeledRouter{S: simple}, simple.LabelOf, 0),
-		chaosErase("scale-free-labeled", e.G, sim.ScaleFreeLabeledRouter{S: free}, free.LabelOf, 64*n),
-		chaosErase("name-independent", e.G, sim.NameIndependentRouter{S: ni}, ni.NameOf, 256*n),
-		chaosErase("scale-free-name-independent", e.G, sim.ScaleFreeNameIndependentRouter{S: sfni}, sfni.NameOf, 512*n),
-	}, nil
+	return par.MapErr(len(builders), func(i int) (chaosScheme, error) { return builders[i]() })
 }
 
 // failedEdges deterministically selects floor(frac * M) edges and takes
@@ -171,59 +184,67 @@ func ChaosSweep(e *Env, cfg ChaosConfig, eps float64, pairCount int, seed int64)
 		return sum / float64(n)
 	}
 
-	var out []ChaosRecord
-	for _, sc := range schemes {
-		base := runAll(sc, faultsim.NewInjector(faultsim.FaultPlan{}), faultsim.Reliability{})
-		baseStretch := meanStretch(base)
-		for fi, frac := range cfg.FailFracs {
-			outages := failedEdges(e.G, frac, seed+int64(fi))
-			for li, loss := range cfg.LossRates {
-				plan := faultsim.FaultPlan{
-					Seed:        seed + int64(1000*fi+li),
-					Loss:        loss,
-					HopLatency:  cfg.HopLatency,
-					EdgeOutages: outages,
-				}
-				in := faultsim.NewInjector(plan)
-				once := runAll(sc, in, faultsim.Reliability{MaxAttempts: 1})
-				retried := runAll(sc, in, cfg.Rel)
-				rec := ChaosRecord{
-					Scheme:           sc.name,
-					Graph:            e.Name,
-					N:                e.G.N(),
-					M:                e.G.M(),
-					Eps:              eps,
-					Seed:             seed,
-					Pairs:            len(pairs),
-					Loss:             loss,
-					EdgeFailFrac:     frac,
-					FailedEdges:      len(outages),
-					MaxAttempts:      cfg.Rel.MaxAttempts,
-					StretchFaultFree: baseStretch,
-				}
-				var attempts, drops int
-				for i := range retried {
-					if once[i].Delivered {
-						rec.DeliveredNoRetry++
-					}
-					if retried[i].Delivered {
-						rec.DeliveredRetry++
-					}
-					attempts += retried[i].Attempts
-					drops += retried[i].Drops
-				}
-				rec.RateNoRetry = float64(rec.DeliveredNoRetry) / float64(len(pairs))
-				rec.RateRetry = float64(rec.DeliveredRetry) / float64(len(pairs))
-				rec.MeanAttempts = float64(attempts) / float64(len(pairs))
-				rec.TotalDrops = drops
-				rec.StretchDelivered = meanStretch(retried)
-				if baseStretch > 0 && rec.StretchDelivered > 0 {
-					rec.StretchDegradation = rec.StretchDelivered / baseStretch
-				}
-				out = append(out, rec)
-			}
+	// Fault-free baselines, one per scheme, in parallel.
+	baselines := par.Map(len(schemes), func(si int) float64 {
+		return meanStretch(runAll(schemes[si], faultsim.NewInjector(faultsim.FaultPlan{}), faultsim.Reliability{}))
+	})
+	// Every (scheme, failed-edge fraction, loss rate) cell owns its
+	// injector and fault draws (a pure hash of seed/delivery/attempt/
+	// hop), so the cells run in parallel and the ordered Map keeps the
+	// record order — and every value — identical to the serial triple
+	// loop this replaces; `make check` double-run-diffs the JSON.
+	nCells := len(cfg.FailFracs) * len(cfg.LossRates)
+	out := par.Map(len(schemes)*nCells, func(cell int) ChaosRecord {
+		si := cell / nCells
+		fi := (cell % nCells) / len(cfg.LossRates)
+		li := cell % len(cfg.LossRates)
+		sc, frac, loss := schemes[si], cfg.FailFracs[fi], cfg.LossRates[li]
+		baseStretch := baselines[si]
+		outages := failedEdges(e.G, frac, seed+int64(fi))
+		plan := faultsim.FaultPlan{
+			Seed:        seed + int64(1000*fi+li),
+			Loss:        loss,
+			HopLatency:  cfg.HopLatency,
+			EdgeOutages: outages,
 		}
-	}
+		in := faultsim.NewInjector(plan)
+		once := runAll(sc, in, faultsim.Reliability{MaxAttempts: 1})
+		retried := runAll(sc, in, cfg.Rel)
+		rec := ChaosRecord{
+			Scheme:           sc.name,
+			Graph:            e.Name,
+			N:                e.G.N(),
+			M:                e.G.M(),
+			Eps:              eps,
+			Seed:             seed,
+			Pairs:            len(pairs),
+			Loss:             loss,
+			EdgeFailFrac:     frac,
+			FailedEdges:      len(outages),
+			MaxAttempts:      cfg.Rel.MaxAttempts,
+			StretchFaultFree: baseStretch,
+		}
+		var attempts, drops int
+		for i := range retried {
+			if once[i].Delivered {
+				rec.DeliveredNoRetry++
+			}
+			if retried[i].Delivered {
+				rec.DeliveredRetry++
+			}
+			attempts += retried[i].Attempts
+			drops += retried[i].Drops
+		}
+		rec.RateNoRetry = float64(rec.DeliveredNoRetry) / float64(len(pairs))
+		rec.RateRetry = float64(rec.DeliveredRetry) / float64(len(pairs))
+		rec.MeanAttempts = float64(attempts) / float64(len(pairs))
+		rec.TotalDrops = drops
+		rec.StretchDelivered = meanStretch(retried)
+		if baseStretch > 0 && rec.StretchDelivered > 0 {
+			rec.StretchDegradation = rec.StretchDelivered / baseStretch
+		}
+		return rec
+	})
 	return out, nil
 }
 

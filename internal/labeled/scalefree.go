@@ -9,6 +9,7 @@ import (
 	"compactrouting/internal/core"
 	"compactrouting/internal/graph"
 	"compactrouting/internal/metric"
+	"compactrouting/internal/par"
 	"compactrouting/internal/rnet"
 	"compactrouting/internal/searchtree"
 	"compactrouting/internal/treeroute"
@@ -109,8 +110,10 @@ func (s *ScaleFree) buildCells() error {
 		for v := 0; v < n; v++ {
 			s.ownerBall[j][v] = int32(owner[v])
 		}
-		s.cells[j] = make([]*cell, len(balls))
-		for k := range balls {
+		// Every ball's cell machinery reads only the oracle and the
+		// level's Voronoi partition, so the per-ball loop parallelizes
+		// with ordered output (cells[j][k] is a pure function of (j, k)).
+		cells, err := par.MapErr(len(balls), func(k int) (*cell, error) {
 			c := balls[k].Center
 			pa := make([]int, n)
 			for v := range pa {
@@ -123,7 +126,7 @@ func (s *ScaleFree) buildCells() error {
 			pa[c] = -1
 			tree, err := treeroute.NewPortScheme(pa, c)
 			if err != nil {
-				return fmt.Errorf("labeled: cell tree (j=%d, ball=%d): %w", j, k, err)
+				return nil, fmt.Errorf("labeled: cell tree (j=%d, ball=%d): %w", j, k, err)
 			}
 			st, err := searchtree.New[treeroute.PortLabel](s.a, c, balls[k].Radius, searchtree.Config{
 				Eps:          s.eps,
@@ -131,7 +134,7 @@ func (s *ScaleFree) buildCells() error {
 				MinNetRadius: s.h.Base(),
 			})
 			if err != nil {
-				return fmt.Errorf("labeled: search tree (j=%d, ball=%d): %w", j, k, err)
+				return nil, fmt.Errorf("labeled: search tree (j=%d, ball=%d): %w", j, k, err)
 			}
 			// Pairs: global label -> local tree label, for cell members
 			// within B_c(r_c(j+1)).
@@ -151,10 +154,14 @@ func (s *ScaleFree) buildCells() error {
 				return ow, pr
 			})
 			if err != nil {
-				return fmt.Errorf("labeled: realizer (j=%d, ball=%d): %w", j, k, err)
+				return nil, fmt.Errorf("labeled: realizer (j=%d, ball=%d): %w", j, k, err)
 			}
-			s.cells[j][k] = &cell{center: c, tree: tree, st: st, rz: rz}
+			return &cell{center: c, tree: tree, st: st, rz: rz}, nil
+		})
+		if err != nil {
+			return err
 		}
+		s.cells[j] = cells
 	}
 	return nil
 }
@@ -169,7 +176,10 @@ func (s *ScaleFree) buildRings() {
 	L := s.h.TopLevel()
 	maxJ := s.pk.MaxJ()
 	s.levels = make([][]sfLevel, n)
-	for v := 0; v < n; v++ {
+	// Node v's stored levels depend only on the oracle and the shared
+	// hierarchy/packing; iteration v writes levels[v] alone.
+	par.For(n, func(v int) {
+		var scratch []int // ball buffer reused across the node's levels
 		rv := make([]float64, maxJ+1)
 		for j := 0; j <= maxJ; j++ {
 			rv[j] = s.a.RadiusOfSize(v, s.pk.Size(j))
@@ -206,18 +216,20 @@ func (s *ScaleFree) buildRings() {
 			s.levels[v] = append(s.levels[v], sfLevel{
 				i:       i,
 				j:       ji,
-				entries: s.ringEntriesAt(v, i),
+				entries: s.ringEntriesAt(v, i, &scratch),
 			})
 		}
-	}
+	})
 }
 
 // ringEntriesAt builds X_i(v) = B_v(Radius(i)/eps) ∩ Y_i with the far
-// bit of Algorithm 5's line-3 test.
-func (s *ScaleFree) ringEntriesAt(v, i int) []ringEntry {
+// bit of Algorithm 5's line-3 test. scratch is a reusable ball buffer
+// owned by the calling goroutine.
+func (s *ScaleFree) ringEntriesAt(v, i int, scratch *[]int) []ringEntry {
 	radius := s.h.Radius(i) / s.eps
+	*scratch = s.a.AppendBall((*scratch)[:0], v, radius)
 	var out []ringEntry
-	for _, x := range s.a.Ball(v, radius) {
+	for _, x := range *scratch {
 		if !s.h.InLevel(x, i) {
 			continue
 		}
@@ -241,7 +253,10 @@ func (s *ScaleFree) ringEntriesAt(v, i int) []ringEntry {
 func (s *ScaleFree) accountStorage() {
 	n := s.g.N()
 	s.tblBits = make([]int, n)
-	for v := 0; v < n; v++ {
+	// The per-node pass reads only the (now immutable) cells and rings
+	// and writes tblBits[v]; the cross-node search-tree residency pass
+	// below stays serial because it scatters into arbitrary entries.
+	par.For(n, func(v int) {
 		b := s.idBits // own label
 		for _, lv := range s.levels[v] {
 			b += bits.UvarintLen(uint64(lv.i)) + bits.UvarintLen(uint64(lv.j))
@@ -259,7 +274,7 @@ func (s *ScaleFree) accountStorage() {
 			b += cl.tree.TableBits(v) + cl.tree.PortMapBits(v, s.idBits)
 		}
 		s.tblBits[v] = b
-	}
+	})
 	// Search-tree residency: structure bits live at the hosting nodes.
 	for j := range s.cells {
 		for _, cl := range s.cells[j] {

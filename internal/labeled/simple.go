@@ -27,6 +27,7 @@ import (
 	"compactrouting/internal/core"
 	"compactrouting/internal/graph"
 	"compactrouting/internal/metric"
+	"compactrouting/internal/par"
 	"compactrouting/internal/rnet"
 )
 
@@ -106,26 +107,32 @@ func NewSimpleRingFactor(g *graph.Graph, a *metric.APSP, eps, factor float64) (*
 		tblBit:     make([]int, g.N()),
 		idBits:     bits.UintBits(g.N()),
 	}
-	for v := 0; v < g.N(); v++ {
+	// Per-node table compilation is embarrassingly parallel: iteration v
+	// writes only rings[v] and tblBit[v], so the tables are bit-identical
+	// to a serial build (see TestSimpleParallelEquivalence).
+	par.For(g.N(), func(v int) {
 		s.rings[v] = make([][]ringEntry, h.TopLevel()+1)
 		// Level count + own label (see EncodeTable for the layout this
 		// accounting mirrors bit for bit).
 		bitsHere := bits.UvarintLen(uint64(h.TopLevel()+1)) + s.idBits
+		var scratch []int // ball buffer reused across the node's levels
 		for i := 0; i <= h.TopLevel(); i++ {
-			ring := s.ringAt(v, i)
+			ring := s.ringAt(v, i, &scratch)
 			s.rings[v][i] = ring
 			bitsHere += bits.UvarintLen(uint64(len(ring))) + len(ring)*ringBits(s.idBits)
 		}
 		s.tblBit[v] = bitsHere
-	}
+	})
 	return s, nil
 }
 
-// ringAt builds node v's level-i ring entries.
-func (s *Simple) ringAt(v, i int) []ringEntry {
+// ringAt builds node v's level-i ring entries. scratch is a reusable
+// ball buffer owned by the calling goroutine.
+func (s *Simple) ringAt(v, i int, scratch *[]int) []ringEntry {
 	radius := s.ringFactor * s.h.Radius(i) / s.eps
+	*scratch = s.a.AppendBall((*scratch)[:0], v, radius)
 	var out []ringEntry
-	for _, x := range s.a.Ball(v, radius) {
+	for _, x := range *scratch {
 		if !s.h.InLevel(x, i) {
 			continue
 		}

@@ -2,12 +2,10 @@ package metric
 
 import (
 	"math"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"compactrouting/internal/graph"
+	"compactrouting/internal/par"
 )
 
 // APSP holds all-pairs shortest-path data: the full distance matrix,
@@ -36,7 +34,7 @@ func NewAPSP(g *graph.Graph) *APSP {
 		nextHop: make([]int32, n*n),
 		order:   make([]int32, n*n),
 	}
-	parallelFor(n, func(t int) {
+	par.For(n, func(t int) {
 		spt := Dijkstra(g, t)
 		// spt.Parent[v] is v's next hop toward t; transpose into rows.
 		for v := 0; v < n; v++ {
@@ -44,7 +42,7 @@ func NewAPSP(g *graph.Graph) *APSP {
 			a.nextHop[v*n+t] = int32(spt.Parent[v])
 		}
 	})
-	parallelFor(n, func(u int) {
+	par.For(n, func(u int) {
 		perm := a.order[u*n : (u+1)*n]
 		for i := range perm {
 			perm[i] = int32(i)
@@ -59,37 +57,6 @@ func NewAPSP(g *graph.Graph) *APSP {
 		})
 	})
 	return a
-}
-
-// parallelFor runs body(i) for i in [0, n) across GOMAXPROCS workers.
-// Iterations must touch disjoint state.
-func parallelFor(n int, body func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				body(i)
-			}
-		}()
-	}
-	wg.Wait()
 }
 
 // N returns the number of nodes.
@@ -122,27 +89,38 @@ func (a *APSP) RadiusOfSize(u, size int) float64 {
 // canonical "ball of size exactly size around u" used wherever the paper
 // assumes |B_u(r_u(j))| = 2^j (ties are resolved by node id).
 func (a *APSP) BallOfSize(u, size int) []int {
+	return a.AppendBallOfSize(nil, u, size)
+}
+
+// AppendBallOfSize is BallOfSize appending into dst, so hot loops can
+// reuse one buffer instead of allocating per call.
+func (a *APSP) AppendBallOfSize(dst []int, u, size int) []int {
 	if size > a.n {
 		size = a.n
 	}
-	out := make([]int, size)
 	for i := 0; i < size; i++ {
-		out[i] = int(a.order[u*a.n+i])
+		dst = append(dst, int(a.order[u*a.n+i]))
 	}
-	return out
+	return dst
 }
 
 // Ball returns all nodes within distance r of u, i.e. B_u(r), in
 // increasing distance order.
 func (a *APSP) Ball(u int, r float64) []int {
+	return a.AppendBall(nil, u, r)
+}
+
+// AppendBall is Ball appending into dst: the scheme constructors call
+// it once per (node, level) in their hottest loops, reusing a per-node
+// scratch buffer instead of allocating a fresh slice each time.
+func (a *APSP) AppendBall(dst []int, u int, r float64) []int {
 	row := a.order[u*a.n : (u+1)*a.n]
 	dr := a.dist[u*a.n : (u+1)*a.n]
 	k := sort.Search(a.n, func(i int) bool { return dr[row[i]] > r })
-	out := make([]int, k)
 	for i := 0; i < k; i++ {
-		out[i] = int(row[i])
+		dst = append(dst, int(row[i]))
 	}
-	return out
+	return dst
 }
 
 // BallSize returns |B_u(r)|.

@@ -1,0 +1,95 @@
+package metric
+
+import (
+	"math"
+	"testing"
+
+	"compactrouting/internal/graph"
+)
+
+// benchOracle builds a geometric oracle for the ball benchmarks.
+func benchOracle(tb testing.TB, n int) *APSP {
+	tb.Helper()
+	radius := 1.8 * math.Sqrt(math.Log(float64(n))/float64(n))
+	g, _, err := graph.RandomGeometric(n, radius, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return NewAPSP(g)
+}
+
+// BenchmarkBall measures the allocating accessor the scheme
+// constructors used to call per (node, level).
+func BenchmarkBall(b *testing.B) {
+	a := benchOracle(b, 256)
+	r := a.Diameter() / 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Ball(i%a.N(), r)
+	}
+}
+
+// BenchmarkAppendBall measures the buffer-reusing variant; it must
+// report zero allocs/op once the buffer has grown to ball size.
+func BenchmarkAppendBall(b *testing.B) {
+	a := benchOracle(b, 256)
+	r := a.Diameter() / 4
+	buf := make([]int, 0, a.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = a.AppendBall(buf[:0], i%a.N(), r)
+	}
+	_ = buf
+}
+
+func BenchmarkBallOfSize(b *testing.B) {
+	a := benchOracle(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.BallOfSize(i%a.N(), 64)
+	}
+}
+
+func BenchmarkAppendBallOfSize(b *testing.B) {
+	a := benchOracle(b, 256)
+	buf := make([]int, 0, a.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = a.AppendBallOfSize(buf[:0], i%a.N(), 64)
+	}
+	_ = buf
+}
+
+// TestAppendBallMatchesBall pins the append variants to the allocating
+// ones.
+func TestAppendBallMatchesBall(t *testing.T) {
+	a := benchOracle(t, 64)
+	buf := make([]int, 0, a.N())
+	for u := 0; u < a.N(); u++ {
+		r := a.RadiusOfSize(u, 1+u%a.N())
+		want := a.Ball(u, r)
+		buf = a.AppendBall(buf[:0], u, r)
+		if len(buf) != len(want) {
+			t.Fatalf("u=%d: AppendBall len %d, Ball len %d", u, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("u=%d: AppendBall[%d] = %d, want %d", u, i, buf[i], want[i])
+			}
+		}
+		wantK := a.BallOfSize(u, 17)
+		gotK := a.AppendBallOfSize(buf[:0], u, 17)
+		if len(gotK) != len(wantK) {
+			t.Fatalf("u=%d: AppendBallOfSize len %d, want %d", u, len(gotK), len(wantK))
+		}
+		for i := range wantK {
+			if gotK[i] != wantK[i] {
+				t.Fatalf("u=%d: AppendBallOfSize[%d] = %d, want %d", u, i, gotK[i], wantK[i])
+			}
+		}
+	}
+}

@@ -135,9 +135,12 @@ func (b *base) pairsFor(members []int) []searchtree.Pair[int] {
 	return pairs
 }
 
-// newSearchTree builds a Definition 3.2 (uncapped) search tree on
-// B_center(radius) holding the (name, label) pairs of its members.
-func (b *base) newSearchTree(center int, radius float64) (*searchtree.Tree[int], error) {
+// buildSearchTree builds a Definition 3.2 (uncapped) search tree on
+// B_center(radius) holding the (name, label) pairs of its members. It
+// only reads shared state, so tree constructions run in parallel; the
+// caller charges storage afterwards with treeStorageBits in a serial,
+// deterministically ordered pass (tblBits is shared across nodes).
+func (b *base) buildSearchTree(center int, radius float64) (*searchtree.Tree[int], error) {
 	t, err := searchtree.New[int](b.a, center, radius, searchtree.Config{
 		Eps:          b.eps,
 		MinNetRadius: b.h.Base(),
@@ -146,7 +149,6 @@ func (b *base) newSearchTree(center int, radius float64) (*searchtree.Tree[int],
 		return nil, err
 	}
 	t.Store(b.pairsFor(t.Members))
-	b.treeStorageBits(t)
 	return t, nil
 }
 

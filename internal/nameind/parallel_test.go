@@ -1,0 +1,80 @@
+package nameind
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"compactrouting/internal/labeled"
+)
+
+// withGOMAXPROCS runs f under the given GOMAXPROCS (1 = the serial
+// reference schedule of internal/par) and restores the old value.
+func withGOMAXPROCS(n int, f func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+// TestSimpleParallelEquivalence: a parallel nameind.Simple build must
+// be bit-identical to a GOMAXPROCS=1 serial build — search trees,
+// stored pairs, and the per-node storage accounting.
+func TestSimpleParallelEquivalence(t *testing.T) {
+	f := geoFixture(t, 96, 7)
+	build := func() *Simple {
+		under, err := labeled.NewSimple(f.g, f.a, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSimple(f.g, f.a, RandomNaming(f.g.N(), 3), under, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	var serial, parallel *Simple
+	withGOMAXPROCS(1, func() { serial = build() })
+	withGOMAXPROCS(8, func() { parallel = build() })
+	if !reflect.DeepEqual(serial.tblBits, parallel.tblBits) {
+		t.Fatal("parallel build produced different storage accounting than serial build")
+	}
+	if !reflect.DeepEqual(serial.trees, parallel.trees) {
+		t.Fatal("parallel build produced different search trees than serial build")
+	}
+}
+
+// TestScaleFreeParallelEquivalence: same bit-identity constraint for
+// the Theorem 1.1 scheme's ball trees, zoom trees and H-links.
+func TestScaleFreeParallelEquivalence(t *testing.T) {
+	f := geoFixture(t, 96, 7)
+	build := func() *ScaleFree {
+		under, err := labeled.NewScaleFree(f.g, f.a, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewScaleFree(f.g, f.a, RandomNaming(f.g.N(), 3), under, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	var serial, parallel *ScaleFree
+	withGOMAXPROCS(1, func() { serial = build() })
+	withGOMAXPROCS(8, func() { parallel = build() })
+	if serial.ownCount != parallel.ownCount || serial.delegatedCount != parallel.delegatedCount {
+		t.Fatalf("own/delegated counts differ: serial %d/%d, parallel %d/%d",
+			serial.ownCount, serial.delegatedCount, parallel.ownCount, parallel.delegatedCount)
+	}
+	if !reflect.DeepEqual(serial.hLinks, parallel.hLinks) {
+		t.Fatal("parallel build produced different H-links than serial build")
+	}
+	if !reflect.DeepEqual(serial.tblBits, parallel.tblBits) {
+		t.Fatal("parallel build produced different storage accounting than serial build")
+	}
+	if !reflect.DeepEqual(serial.ballTrees, parallel.ballTrees) {
+		t.Fatal("parallel build produced different ball trees than serial build")
+	}
+	if !reflect.DeepEqual(serial.ownTrees, parallel.ownTrees) {
+		t.Fatal("parallel build produced different zoom trees than serial build")
+	}
+}

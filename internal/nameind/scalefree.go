@@ -9,6 +9,7 @@ import (
 	"compactrouting/internal/core"
 	"compactrouting/internal/graph"
 	"compactrouting/internal/metric"
+	"compactrouting/internal/par"
 	"compactrouting/internal/searchtree"
 )
 
@@ -78,23 +79,38 @@ func NewScaleFree(g *graph.Graph, a *metric.APSP, nm *Naming, under Underlying, 
 // stores about four pairs.
 func (s *ScaleFree) buildBallTrees() error {
 	s.ballTrees = make([][]*searchtree.Tree[int], s.pk.MaxJ()+1)
+	type job struct{ j, k int }
+	var jobs []job
 	for j := 0; j <= s.pk.MaxJ(); j++ {
-		balls := s.pk.Balls[j]
-		s.ballTrees[j] = make([]*searchtree.Tree[int], len(balls))
-		for k := range balls {
-			c := balls[k].Center
-			t, err := searchtree.New[int](s.a, c, balls[k].Radius, searchtree.Config{
-				Eps:          s.eps,
-				MinNetRadius: s.h.Base(),
-			})
-			if err != nil {
-				return fmt.Errorf("nameind: ball tree (j=%d, k=%d): %w", j, k, err)
-			}
-			indexed := s.a.Ball(c, s.a.RadiusOfSize(c, s.pk.Size(j+2)))
-			t.Store(s.pairsFor(indexed))
-			s.treeStorageBits(t)
-			s.ballTrees[j][k] = t
+		s.ballTrees[j] = make([]*searchtree.Tree[int], len(s.pk.Balls[j]))
+		for k := range s.pk.Balls[j] {
+			jobs = append(jobs, job{j, k})
 		}
+	}
+	// Construct every ball's tree in parallel (pure reads of the shared
+	// oracle/packing), then charge storage serially in job order so the
+	// shared tblBits accumulation is schedule-independent.
+	trees, err := par.MapErr(len(jobs), func(t int) (*searchtree.Tree[int], error) {
+		j, k := jobs[t].j, jobs[t].k
+		ball := &s.pk.Balls[j][k]
+		c := ball.Center
+		tr, err := searchtree.New[int](s.a, c, ball.Radius, searchtree.Config{
+			Eps:          s.eps,
+			MinNetRadius: s.h.Base(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("nameind: ball tree (j=%d, k=%d): %w", j, k, err)
+		}
+		indexed := s.a.Ball(c, s.a.RadiusOfSize(c, s.pk.Size(j+2)))
+		tr.Store(s.pairsFor(indexed))
+		return tr, nil
+	})
+	if err != nil {
+		return err
+	}
+	for t, tr := range trees {
+		s.ballTrees[jobs[t].j][jobs[t].k] = tr
+		s.treeStorageBits(tr)
 	}
 	return nil
 }
@@ -109,26 +125,51 @@ func (s *ScaleFree) buildZoomTrees() error {
 	h := s.h
 	s.ownTrees = make([][]*searchtree.Tree[int], h.TopLevel()+1)
 	s.hLinks = make([][]hlink, h.TopLevel()+1)
+	type job struct{ i, k, y int }
+	var jobs []job
 	for i := 0; i <= h.TopLevel(); i++ {
 		s.ownTrees[i] = make([]*searchtree.Tree[int], len(h.Levels[i]))
 		s.hLinks[i] = make([]hlink, len(h.Levels[i]))
-		outer := h.Radius(i) * (1/s.eps + 1)
-		inner := h.Radius(i) / s.eps
 		for k, y := range h.Levels[i] {
-			if j, idx, found := s.findH(y, outer, inner); found {
-				s.hLinks[i][k] = hlink{j: j, idx: idx}
-				s.delegatedCount++
-				// y stores the center's id and label plus the level j.
-				s.tblBits[y] += 2*s.idBits + bits.UvarintLen(uint64(j))
-				continue
-			}
-			t, err := s.newSearchTree(y, inner)
-			if err != nil {
-				return fmt.Errorf("nameind: zoom tree (%d, %d): %w", i, y, err)
-			}
-			s.ownTrees[i][k] = t
-			s.ownCount++
+			jobs = append(jobs, job{i, k, y})
 		}
+	}
+	// The delegate-or-own decision (findH) and an own tree's
+	// construction read only shared immutable state; resolve every
+	// (level, net point) in parallel, then apply counters and storage
+	// charges serially in job order.
+	type zoom struct {
+		hl   hlink
+		tree *searchtree.Tree[int] // nil when delegated via hl
+	}
+	resolved, err := par.MapErr(len(jobs), func(t int) (zoom, error) {
+		jb := jobs[t]
+		outer := h.Radius(jb.i) * (1/s.eps + 1)
+		inner := h.Radius(jb.i) / s.eps
+		if j, idx, found := s.findH(jb.y, outer, inner); found {
+			return zoom{hl: hlink{j: j, idx: idx}}, nil
+		}
+		tr, err := s.buildSearchTree(jb.y, inner)
+		if err != nil {
+			return zoom{}, fmt.Errorf("nameind: zoom tree (%d, %d): %w", jb.i, jb.y, err)
+		}
+		return zoom{tree: tr}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for t, z := range resolved {
+		jb := jobs[t]
+		if z.tree == nil {
+			s.hLinks[jb.i][jb.k] = z.hl
+			s.delegatedCount++
+			// y stores the center's id and label plus the level j.
+			s.tblBits[jb.y] += 2*s.idBits + bits.UvarintLen(uint64(z.hl.j))
+			continue
+		}
+		s.ownTrees[jb.i][jb.k] = z.tree
+		s.treeStorageBits(z.tree)
+		s.ownCount++
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"compactrouting/internal/core"
 	"compactrouting/internal/graph"
 	"compactrouting/internal/metric"
+	"compactrouting/internal/par"
 	"compactrouting/internal/searchtree"
 )
 
@@ -34,15 +35,31 @@ func NewSimple(g *graph.Graph, a *metric.APSP, nm *Naming, under Underlying, eps
 	s := &Simple{base: b}
 	h := b.h
 	s.trees = make([][]*searchtree.Tree[int], h.TopLevel()+1)
+	type job struct{ i, k, y int }
+	var jobs []job
 	for i := 0; i <= h.TopLevel(); i++ {
 		s.trees[i] = make([]*searchtree.Tree[int], len(h.Levels[i]))
 		for k, y := range h.Levels[i] {
-			t, err := b.newSearchTree(y, h.Radius(i)/eps)
-			if err != nil {
-				return nil, fmt.Errorf("nameind: search tree (%d, %d): %w", i, y, err)
-			}
-			s.trees[i][k] = t
+			jobs = append(jobs, job{i, k, y})
 		}
+	}
+	// Tree construction only reads the oracle and hierarchy; build all
+	// (level, net point) trees in parallel, then charge storage in the
+	// serial job order so tblBits accumulates deterministically.
+	trees, err := par.MapErr(len(jobs), func(t int) (*searchtree.Tree[int], error) {
+		j := jobs[t]
+		tr, err := b.buildSearchTree(j.y, h.Radius(j.i)/eps)
+		if err != nil {
+			return nil, fmt.Errorf("nameind: search tree (%d, %d): %w", j.i, j.y, err)
+		}
+		return tr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for t, tr := range trees {
+		s.trees[jobs[t].i][jobs[t].k] = tr
+		b.treeStorageBits(tr)
 	}
 	return s, nil
 }

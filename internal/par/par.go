@@ -1,0 +1,151 @@
+// Package par is the repository's single worker-pool implementation:
+// every parallel build path (the APSP oracle, the four scheme
+// constructors, the net hierarchy, the server's scheme set, the exp
+// sweeps) schedules through it.
+//
+// The package is built for deterministic parallelism. None of the
+// primitives impose an iteration order, so callers must keep outputs a
+// pure function of the index: For/Map bodies write only state owned by
+// their index, accumulation into shared state happens in a serial pass
+// afterwards, and MapErr surfaces the lowest-index error regardless of
+// which worker hit it first. Under that discipline a build is
+// bit-identical at GOMAXPROCS=1 and GOMAXPROCS=64 (see DESIGN.md
+// §Parallel build pipeline, and the *_parallel_test.go equivalence
+// tests per scheme).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs body(i) for every i in [0, n) across up to GOMAXPROCS
+// workers. Workers steal shrinking index blocks from a shared cursor
+// (guided self-scheduling), so heterogeneous per-index costs still
+// balance. Iterations must only write state owned by their index; the
+// call returns after every iteration completed (and establishes a
+// happens-before edge with all of them).
+func For(n int, body func(i int)) {
+	Workers(runtime.GOMAXPROCS(0), n, body)
+}
+
+// Workers is For with an explicit worker bound. workers <= 1 runs the
+// plain serial loop, which is the reference schedule the equivalence
+// tests compare against.
+func Workers(workers, n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				// Claim roughly 1/(4*workers) of the remaining range,
+				// never less than one index: big blocks early for low
+				// contention, single indices near the tail for balance.
+				grab := (int64(n) - cursor.Load()) / int64(4*workers)
+				if grab < 1 {
+					grab = 1
+				}
+				end := cursor.Add(grab)
+				start := end - grab
+				if start >= int64(n) {
+					return
+				}
+				if end > int64(n) {
+					end = int64(n)
+				}
+				for i := start; i < end; i++ {
+					body(int(i))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs f(i) for every i in [0, n) in parallel and returns the
+// results in index order, regardless of the schedule.
+func Map[T any](n int, f func(i int) T) []T {
+	out := make([]T, n)
+	For(n, func(i int) { out[i] = f(i) })
+	return out
+}
+
+// MapErr is Map with error propagation. All iterations run to
+// completion; if any failed, the error of the lowest failing index is
+// returned (a deterministic choice — the same input fails the same way
+// under every schedule) and the results are discarded.
+func MapErr[T any](n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	For(n, func(i int) { out[i], errs[i] = f(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Group runs heterogeneous tasks on at most limit concurrent
+// goroutines and reports the first error observed. Unlike MapErr it
+// accepts tasks incrementally; Go blocks while limit tasks are already
+// in flight, bounding both goroutines and the memory their results
+// pin.
+type Group struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+	mu  sync.Mutex
+	err error
+}
+
+// NewGroup returns a Group bounded to limit concurrent tasks
+// (GOMAXPROCS if limit <= 0).
+func NewGroup(limit int) *Group {
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	return &Group{sem: make(chan struct{}, limit)}
+}
+
+// Go schedules fn, blocking until a worker slot frees up.
+func (g *Group) Go(fn func() error) {
+	g.sem <- struct{}{}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		if err := fn(); err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = err
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every scheduled task finished and returns the
+// first error any of them reported.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}

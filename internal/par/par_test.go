@@ -1,0 +1,128 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 10000} {
+		counts := make([]atomic.Int32, n)
+		For(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestWorkersForcedParallelCoversEveryIndexOnce(t *testing.T) {
+	// Force more workers than GOMAXPROCS so the stealing path runs even
+	// on a single-CPU machine.
+	const n = 5000
+	counts := make([]atomic.Int32, n)
+	Workers(16, n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestWorkersSerialFallback(t *testing.T) {
+	// workers <= 1 must run in index order (the reference schedule).
+	var got []int
+	Workers(1, 5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial schedule out of order: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("serial schedule covered %d of 5", len(got))
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	out := Map(1000, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	// Indices 100, 3, and 77 fail; index 3's error must win under every
+	// schedule.
+	for trial := 0; trial < 10; trial++ {
+		_, err := MapErr(200, func(i int) (int, error) {
+			if i == 100 || i == 3 || i == 77 {
+				return 0, fmt.Errorf("fail at %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "fail at 3" {
+			t.Fatalf("trial %d: got error %v, want fail at 3", trial, err)
+		}
+	}
+}
+
+func TestMapErrNoError(t *testing.T) {
+	out, err := MapErr(50, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestGroupBoundsConcurrency(t *testing.T) {
+	const limit = 3
+	g := NewGroup(limit)
+	var inFlight, peak atomic.Int32
+	for i := 0; i < 50; i++ {
+		g.Go(func() error {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			runtime.Gosched()
+			inFlight.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak concurrency %d exceeds limit %d", p, limit)
+	}
+}
+
+func TestGroupPropagatesError(t *testing.T) {
+	g := NewGroup(2)
+	want := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		i := i
+		g.Go(func() error {
+			if i == 4 {
+				return want
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, want) {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+}

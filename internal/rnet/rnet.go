@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"compactrouting/internal/metric"
+	"compactrouting/internal/par"
 )
 
 // Net greedily computes an r-net of candidates (all nodes if nil) seeded
@@ -31,9 +32,29 @@ func Net(a *metric.APSP, r float64, seed, candidates []int) []int {
 			candidates[i] = i
 		}
 	}
-	for _, v := range candidates {
+	// Rejection against the fixed seed set commutes with the greedy
+	// scan (a candidate within r of a seed is rejected no matter what
+	// was accepted before it), so that part of the work parallelizes;
+	// the order-dependent greedy over the survivors stays serial and
+	// only needs to check the members it accepted itself.
+	nearSeed := make([]bool, len(candidates))
+	if len(seed) > 0 {
+		par.For(len(candidates), func(i int) {
+			for _, y := range seed {
+				if a.Dist(candidates[i], y) < r {
+					nearSeed[i] = true
+					return
+				}
+			}
+		})
+	}
+	accepted := out[len(seed):]
+	for i, v := range candidates {
+		if nearSeed[i] {
+			continue
+		}
 		ok := true
-		for _, y := range out {
+		for _, y := range accepted {
 			if a.Dist(v, y) < r {
 				ok = false
 				break
@@ -41,6 +62,7 @@ func Net(a *metric.APSP, r float64, seed, candidates []int) []int {
 		}
 		if ok {
 			out = append(out, v)
+			accepted = out[len(seed):]
 		}
 	}
 	return out
@@ -114,10 +136,14 @@ func NewHierarchy(a *metric.APSP, root int) *Hierarchy {
 		for v := range h.zoomParent[i] {
 			h.zoomParent[i][v] = -1
 		}
-		for _, v := range h.Levels[i] {
-			p, _ := a.Nearest(v, h.Levels[i+1])
-			h.zoomParent[i][v] = int32(p)
-		}
+		// Each member's nearest coarser-level node is independent of the
+		// others (Nearest breaks ties by least id), so the dominant
+		// O(|Y_i| * |Y_{i+1}|) scan parallelizes per member.
+		lv := h.Levels[i]
+		par.For(len(lv), func(k int) {
+			p, _ := a.Nearest(lv[k], h.Levels[i+1])
+			h.zoomParent[i][lv[k]] = int32(p)
+		})
 	}
 	return h
 }

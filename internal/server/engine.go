@@ -34,6 +34,7 @@ import (
 	"compactrouting/internal/labeled"
 	"compactrouting/internal/metric"
 	"compactrouting/internal/nameind"
+	"compactrouting/internal/par"
 	"compactrouting/internal/sim"
 )
 
@@ -217,12 +218,23 @@ func (e *Engine) build(seed int64, gen uint64) (*state, error) {
 		return nil, fmt.Errorf("server: build network: %w", err)
 	}
 	st := &state{nw: nw, seed: seed, gen: gen, schemes: make(map[string]*scheme)}
-	for _, name := range e.cfg.Schemes {
+	// Schemes compile independently (shared graph/oracle are read-only),
+	// so the whole set builds in parallel on startup and /reload; the
+	// ordered MapErr keeps compile order — and any error — identical to
+	// the serial loop it replaced.
+	compiled, err := par.MapErr(len(e.cfg.Schemes), func(i int) (*scheme, error) {
+		name := e.cfg.Schemes[i]
 		s, err := compileScheme(name, nw.Graph(), nw.APSP(), e.cfg.Eps, seed, e.chaos)
 		if err != nil {
 			return nil, fmt.Errorf("server: compile %s: %w", name, err)
 		}
-		st.schemes[name] = s
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range e.cfg.Schemes {
+		st.schemes[name] = compiled[i]
 		st.order = append(st.order, name)
 	}
 	return st, nil

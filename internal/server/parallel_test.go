@@ -1,0 +1,32 @@
+package server
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestEngineParallelBuildEquivalence: the engine compiles its scheme set
+// with a parallel fan-out; everything it reports about the compiled
+// schemes (bit accounting, order) must match a GOMAXPROCS=1 serial
+// build. BuildMillis is wall clock and is excluded.
+func TestEngineParallelBuildEquivalence(t *testing.T) {
+	build := func() []SchemeInfo {
+		eng := newTestEngine(t, SchemeNames, 0)
+		return eng.Schemes()
+	}
+	old := runtime.GOMAXPROCS(1)
+	serial := build()
+	runtime.GOMAXPROCS(8)
+	parallel := build()
+	runtime.GOMAXPROCS(old)
+	if len(serial) != len(parallel) {
+		t.Fatalf("scheme count differs: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		s.BuildMillis, p.BuildMillis = 0, 0
+		if s != p {
+			t.Fatalf("scheme %d (%s): parallel build info %+v differs from serial %+v", i, s.Name, p, s)
+		}
+	}
+}
