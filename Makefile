@@ -3,13 +3,15 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench serve profile chaos-determinism routebench-determinism
+.PHONY: check fmt vet build test race lint bench serve profile chaos-determinism routebench-determinism
 
 # The gate: vet, build and -race cover every package (./...), including
-# internal/faultsim and cmd/chaossim; the determinism targets assert
-# that the parallel build pipeline and the fault injector's seed
-# guarantee produce byte-identical JSON across runs.
-check: fmt vet build race chaos-determinism routebench-determinism
+# internal/faultsim and cmd/chaossim; lint runs the repo's own static
+# analyzers (determinism and concurrency contracts, see DESIGN.md
+# §Static analysis); the determinism targets assert that the parallel
+# build pipeline and the fault injector's seed guarantee produce
+# byte-identical JSON across runs.
+check: fmt vet lint build race chaos-determinism routebench-determinism
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -26,6 +28,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The repo's own static-analysis suite (cmd/determinlint): maprange,
+# wallclock, parbody, guardedfield, floateq. Run one analyzer with
+# `go run ./cmd/determinlint -run <name>`.
+lint:
+	$(GO) run ./cmd/determinlint
 
 # Machine-readable benchmark sweeps (write BENCH_*.json).
 bench:

@@ -1,0 +1,25 @@
+// Command determinlint runs the repository's custom static-analysis
+// suite (internal/lint): vet-style analyzers that enforce the
+// determinism and concurrency contracts — no unordered map iteration
+// feeding deterministic output, no wall clock or global rand in seeded
+// paths, index-owned writes inside par bodies, mutex annotations on
+// guarded fields, and no exact float equality in stretch accounting.
+//
+// Usage:
+//
+//	determinlint [-run analyzer[,analyzer]] [-list] [module-dir]
+//
+// It exits 0 on a clean tree, 1 with file:line:col diagnostics when
+// any analyzer finds a violation, and 2 on load errors. `make lint`
+// runs it over the module as part of `make check`.
+package main
+
+import (
+	"os"
+
+	"compactrouting/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

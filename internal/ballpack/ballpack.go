@@ -8,6 +8,12 @@
 // r-net hierarchy has O(log Δ) levels, but the packing hierarchy has
 // only O(log n) levels, and it is indexed by how many nodes a ball
 // holds rather than how wide it is.
+//
+// This package is bound by the repo's deterministic ruleset: its
+// outputs must be a pure function of explicit seeds (determinlint
+// enforces the source-level contract; see DESIGN.md §Static analysis).
+//
+//determinlint:deterministic
 package ballpack
 
 import (
@@ -104,6 +110,7 @@ func BuildLevelOrdered(a *metric.APSP, size int, byRadius bool) []Ball {
 	}
 	if byRadius {
 		sort.Slice(cands, func(i, j int) bool {
+			//determinlint:allow floateq deliberate exact tie-break: equal radii come bit-identical from the same oracle matrix, and ties fall through to center id
 			if cands[i].radius != cands[j].radius {
 				return cands[i].radius < cands[j].radius
 			}
@@ -153,6 +160,7 @@ func buildWitnesses(a *metric.APSP, balls []Ball, size int) []int32 {
 			if d > 2*ru {
 				continue
 			}
+			//determinlint:allow floateq deliberate exact tie-break: equal distances come bit-identical from the same oracle matrix, and ties resolve by least center id
 			if best < 0 || d < bestD || (d == bestD && b.Center < balls[best].Center) {
 				best = int32(k)
 				bestD = d

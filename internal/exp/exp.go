@@ -3,6 +3,12 @@
 // experiment index) as printed rows, from live runs of the schemes in
 // this repository. cmd/routebench is the CLI front end and
 // bench_test.go wraps each experiment as a benchmark.
+//
+// This package is bound by the repo's deterministic ruleset: its
+// outputs must be a pure function of explicit seeds (determinlint
+// enforces the source-level contract; see DESIGN.md §Static analysis).
+//
+//determinlint:deterministic
 package exp
 
 import (

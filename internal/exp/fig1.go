@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 	"io"
-	"sort"
 )
 
 // Fig1 regenerates Figure 1 — the anatomy of a name-independent
@@ -65,11 +64,7 @@ func Fig1(w io.Writer, e *Env, eps float64, pairCount int, seed int64) error {
 	}
 	fmt.Fprintf(w, "Figure 1 — Algorithm 3 anatomy on %s (n=%d, eps=%v, %d pairs)\n",
 		e.Name, e.G.N(), eps, len(pairs))
-	levels := make([]int, 0, len(byLevel))
-	for l := range byLevel {
-		levels = append(levels, l)
-	}
-	sort.Ints(levels)
+	levels := sortedKeys(byLevel)
 	tw := newTab(w)
 	fmt.Fprintln(tw, "found at level j\troutes\tavg zoom cost\tavg search cost\tavg final leg\tavg stretch\tmax stretch")
 	for _, l := range levels {

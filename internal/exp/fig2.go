@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"compactrouting/internal/labeled"
 )
@@ -62,11 +61,7 @@ func Fig2(w io.Writer, e *Env, eps float64, pairCount int, seed int64) error {
 	}
 	fmt.Fprintf(w, "Figure 2 — Algorithm 5 anatomy on %s (n=%d, eps=%v, %d pairs; %d direct phase-A deliveries)\n",
 		e.Name, e.G.N(), eps, len(pairs), direct)
-	js := make([]int, 0, len(byJ))
-	for j := range byJ {
-		js = append(js, j)
-	}
-	sort.Ints(js)
+	js := sortedKeys(byJ)
 	tw := newTab(w)
 	fmt.Fprintln(tw, "phase-B level j\troutes\tavg phase A\tavg to-center\tavg search\tavg final\tavg stretch\tmax stretch\tClaim 4.6 holds")
 	for _, j := range js {

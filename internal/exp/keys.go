@@ -1,0 +1,17 @@
+package exp
+
+import "sort"
+
+// sortedKeys returns m's keys in ascending order, so map-backed
+// aggregations can feed deterministic report output. It is the one
+// sanctioned map iteration in this package: the collect-then-sort
+// result is independent of Go's randomized visit order.
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	//determinlint:allow maprange keys are sorted before use, so the result is independent of iteration order
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

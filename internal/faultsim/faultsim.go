@@ -16,6 +16,12 @@
 // regardless of scheduling, and attempt 0 of a retried delivery sees
 // exactly the draws an unretried delivery sees — which is why enabling
 // retries can only grow the delivered set.
+//
+// This package is bound by the repo's deterministic ruleset: its
+// outputs must be a pure function of explicit seeds (determinlint
+// enforces the source-level contract; see DESIGN.md §Static analysis).
+//
+//determinlint:deterministic
 package faultsim
 
 import (

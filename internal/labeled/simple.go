@@ -16,6 +16,12 @@
 //
 // Node labels are the DFS leaf enumeration of the netting tree
 // (Section 4.1): integers in [0, n), the minimum conceivable label.
+//
+// This package is bound by the repo's deterministic ruleset: its
+// outputs must be a pure function of explicit seeds (determinlint
+// enforces the source-level contract; see DESIGN.md §Static analysis).
+//
+//determinlint:deterministic
 package labeled
 
 import (

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// Main is the determinlint command driver (cmd/determinlint wraps it in
+// os.Exit). It loads every package in the module rooted at the
+// positional directory argument (default "."), runs the suite, and
+// prints file:line:col diagnostics. Exit codes: 0 clean, 1 findings,
+// 2 usage or load failure.
+func Main(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("determinlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runFlag := fs.String("run", "", "comma-separated analyzer subset to run (default: the full suite)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: determinlint [-run analyzer[,analyzer]] [-list] [module-dir]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	root := "."
+	if fs.NArg() > 0 {
+		root = fs.Arg(0)
+	}
+	if fs.NArg() > 1 {
+		fs.Usage()
+		return 2
+	}
+
+	suite := &Suite{Deterministic: func(path string) bool { return DeterministicPaths[path] }}
+	if *runFlag != "" {
+		anas, err := ByName(*runFlag)
+		if err != nil {
+			fmt.Fprintln(stderr, "determinlint:", err)
+			return 2
+		}
+		suite.Analyzers = anas
+	}
+
+	modPath, err := ReadModulePath(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "determinlint:", err)
+		return 2
+	}
+	pkgs, err := NewModule(root, modPath).LoadAll()
+	if err != nil {
+		fmt.Fprintln(stderr, "determinlint:", err)
+		return 2
+	}
+	diags := suite.Run(pkgs)
+	for _, d := range diags {
+		d.Pos.Filename = relIfPossible(root, d.Pos.Filename)
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "determinlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func relIfPossible(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !filepath.IsAbs(rel) && rel != "" && !hasDotDot(rel) {
+		return rel
+	}
+	return path
+}
+
+func hasDotDot(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMainFindsViolations points the CLI at the self-contained bad
+// module and expects exit code 1 with a file:line diagnostic.
+func TestMainFindsViolations(t *testing.T) {
+	var out, errb strings.Builder
+	code := Main([]string{filepath.Join("testdata", "badmod")}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "badmod.go:") || !strings.Contains(out.String(), "[maprange]") {
+		t.Fatalf("diagnostic missing file:line or rule tag:\n%s", out.String())
+	}
+}
+
+// TestMainRepoClean runs the CLI the way `make lint` does and expects a
+// clean exit on the real repository.
+func TestMainRepoClean(t *testing.T) {
+	var out, errb strings.Builder
+	if code := Main([]string{"../.."}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+// TestMainSubset runs a single analyzer against the bad module: the
+// maprange finding persists under -run maprange and disappears under
+// -run floateq.
+func TestMainSubset(t *testing.T) {
+	dir := filepath.Join("testdata", "badmod")
+	var out, errb strings.Builder
+	if code := Main([]string{"-run", "maprange", dir}, &out, &errb); code != 1 {
+		t.Fatalf("-run maprange: exit code = %d, want 1\n%s%s", code, out.String(), errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := Main([]string{"-run", "floateq", dir}, &out, &errb); code != 0 {
+		t.Fatalf("-run floateq: exit code = %d, want 0\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+// TestMainUsageErrors checks the exit-2 paths: unknown analyzers,
+// extra arguments and unreadable module roots.
+func TestMainUsageErrors(t *testing.T) {
+	for _, argv := range [][]string{
+		{"-run", "nosuchrule", "."},
+		{"a", "b"},
+		{filepath.Join("testdata", "nonexistent")},
+	} {
+		var out, errb strings.Builder
+		if code := Main(argv, &out, &errb); code != 2 {
+			t.Errorf("Main(%q) = %d, want 2", argv, code)
+		}
+	}
+}
+
+// TestMainList prints the analyzer catalog.
+func TestMainList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := Main([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list: exit code = %d", code)
+	}
+	for _, a := range All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing %q:\n%s", a.Name, out.String())
+		}
+	}
+}

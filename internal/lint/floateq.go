@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point values in
+// deterministic packages. Stretch accounting compares distances that
+// went through different arithmetic paths, where exact equality is a
+// latent bug; comparisons belong in tolerance helpers. Two patterns
+// stay legal: comparison against an exact constant zero (the "same
+// node" sentinel — d(u,u) is exactly 0.0, never computed) and
+// comparisons inside the approved helper functions below.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= between floats in deterministic packages outside approved helpers and exact-zero sentinels",
+	Run:  runFloatEq,
+}
+
+// approvedFloatEqHelpers may compare floats exactly: they exist to
+// centralize tolerance or tie-break decisions.
+var approvedFloatEqHelpers = map[string]bool{
+	"approxEqual": true,
+	"almostEqual": true,
+	"feq":         true,
+}
+
+func runFloatEq(p *Pass) {
+	if !p.Det {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(p, be.X) || !isFloatExpr(p, be.Y) {
+				return true
+			}
+			if isZeroConst(p, be.X) || isZeroConst(p, be.Y) {
+				return true
+			}
+			if fd, ok := enclosingFunc(p.Files, be.Pos()).(*ast.FuncDecl); ok && approvedFloatEqHelpers[fd.Name.Name] {
+				return true
+			}
+			p.Reportf(be.OpPos, "float %s comparison (%s %s %s): use an explicit tolerance, or //determinlint:allow floateq <reason> for a deliberate exact tie-break",
+				be.Op, types.ExprString(be.X), be.Op, types.ExprString(be.Y))
+			return true
+		})
+	}
+}
+
+func isFloatExpr(p *Pass, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if tv.Value.Kind() != constant.Float && tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Float64Val(tv.Value)
+	return ok && v == 0
+}

@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GuardedField checks `// guarded by <guard>` annotations on struct
+// fields. Three guard modes exist:
+//
+//   - guarded by <mu>:   every access must sit in a function that locks
+//     <mu> on the same receiver expression (x.mu.Lock(); reads also
+//     accept RLock). Functions whose names end in "Locked" are trusted
+//     to be called with the lock held.
+//   - guarded by atomic: the field's type must come from sync/atomic
+//     (or be an array/slice of such, or a struct all of whose fields
+//     are), so every access is atomic by construction.
+//   - guarded by init:   the field is written only by composite-literal
+//     construction; any later assignment through a selector is flagged.
+//
+// The mutex check is lock-set-free and flow-insensitive — it asks "does
+// the enclosing function lock the right mutex on the right receiver
+// anywhere", which is the vet-style trade: cheap, deterministic, and
+// strong enough to catch the real bug class (a new method touching a
+// shard's map without taking the shard lock).
+var GuardedField = &Analyzer{
+	Name: "guardedfield",
+	Doc:  "checks that fields annotated `// guarded by <mu>` are only accessed under that mutex (plus atomic/init guard modes)",
+	Run:  runGuardedField,
+}
+
+const guardMarker = "guarded by "
+
+type guardSpec struct {
+	mode  string // "mutex", "atomic" or "init"
+	mutex string // field name of the guarding mutex when mode == "mutex"
+}
+
+func runGuardedField(p *Pass) {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return
+	}
+	writes := collectWrites(p)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			spec, guarded := guards[obj]
+			if !guarded {
+				return true
+			}
+			switch spec.mode {
+			case "atomic":
+				// Type validity was checked at the declaration; access is
+				// atomic by construction.
+			case "init":
+				if writes[sel] {
+					p.Reportf(sel.Pos(), "write to %s outside initialization: field is annotated `guarded by init` (set it in the constructor's composite literal)",
+						types.ExprString(sel))
+				}
+			case "mutex":
+				checkMutexAccess(p, sel, spec, writes[sel])
+			}
+			return true
+		})
+	}
+}
+
+// collectGuards parses field annotations, validating atomic-mode types
+// and mutex-mode guard fields as it goes. Keys are the field objects.
+func collectGuards(p *Pass) map[types.Object]guardSpec {
+	guards := make(map[types.Object]guardSpec)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard, ok := guardName(field)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					obj := p.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					switch guard {
+					case "atomic":
+						if !isAtomicType(obj.Type()) {
+							p.Reportf(field.Pos(), "field %s is annotated `guarded by atomic` but its type %s is not from sync/atomic",
+								name.Name, obj.Type())
+							continue
+						}
+						guards[obj] = guardSpec{mode: "atomic"}
+					case "init":
+						guards[obj] = guardSpec{mode: "init"}
+					default:
+						if !structHasMutex(p, st, guard) {
+							p.Reportf(field.Pos(), "field %s is annotated `guarded by %s` but the struct has no sync.Mutex/RWMutex field named %q",
+								name.Name, guard, guard)
+							continue
+						}
+						guards[obj] = guardSpec{mode: "mutex", mutex: guard}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardName extracts the guard token from a field's doc or line
+// comment: the word following "guarded by", with trailing punctuation
+// trimmed so annotations compose with prose ("guarded by mu; the
+// recency list").
+func guardName(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := c.Text
+			i := strings.Index(text, guardMarker)
+			if i < 0 {
+				continue
+			}
+			rest := strings.Fields(text[i+len(guardMarker):])
+			if len(rest) == 0 {
+				continue
+			}
+			return strings.TrimRight(rest[0], ".,;:()"), true
+		}
+	}
+	return "", false
+}
+
+func isAtomicType(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Named:
+		if pkg := u.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+			return true
+		}
+		return isAtomicType(u.Underlying())
+	case *types.Array:
+		return isAtomicType(u.Elem())
+	case *types.Slice:
+		return isAtomicType(u.Elem())
+	case *types.Struct:
+		// A struct whose every field is atomic (e.g. a histogram of
+		// counters) is itself safe for lock-free concurrent use.
+		if u.NumFields() == 0 {
+			return false
+		}
+		for i := 0; i < u.NumFields(); i++ {
+			if !isAtomicType(u.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func structHasMutex(p *Pass, st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, fn := range field.Names {
+			if fn.Name != name {
+				continue
+			}
+			obj := p.Info.Defs[fn]
+			if obj == nil {
+				return false
+			}
+			if named, ok := obj.Type().(*types.Named); ok {
+				pkg := named.Obj().Pkg()
+				tn := named.Obj().Name()
+				return pkg != nil && pkg.Path() == "sync" && (tn == "Mutex" || tn == "RWMutex")
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// collectWrites marks every selector expression that appears as an
+// assignment target, an inc/dec operand, or an address-of operand.
+func collectWrites(p *Pass) map[*ast.SelectorExpr]bool {
+	writes := make(map[*ast.SelectorExpr]bool)
+	mark := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				writes[x] = true
+				return
+			default:
+				return
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					mark(lhs)
+				}
+			case *ast.IncDecStmt:
+				mark(s.X)
+			case *ast.UnaryExpr:
+				if s.Op == token.AND {
+					mark(s.X)
+				}
+			}
+			return true
+		})
+	}
+	return writes
+}
+
+// checkMutexAccess verifies one guarded-field access: the enclosing
+// function must contain base.<mu>.Lock() (or base.<mu>.RLock() for a
+// read) on the same base expression the field is accessed through.
+func checkMutexAccess(p *Pass, sel *ast.SelectorExpr, spec guardSpec, isWrite bool) {
+	fn := enclosingFunc(p.Files, sel.Pos())
+	if fn == nil {
+		return // package-level initializer; construction is exempt
+	}
+	if fd, ok := fn.(*ast.FuncDecl); ok && strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	base := types.ExprString(sel.X)
+	var body *ast.BlockStmt
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		body = f.Body
+	case *ast.FuncLit:
+		body = f.Body
+	}
+	if body == nil {
+		return
+	}
+	locked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || locked {
+			return !locked
+		}
+		lockSel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		op := lockSel.Sel.Name
+		if op != "Lock" && !(op == "RLock" && !isWrite) {
+			return true
+		}
+		muSel, ok := lockSel.X.(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != spec.mutex {
+			return true
+		}
+		if types.ExprString(muSel.X) == base {
+			locked = true
+		}
+		return true
+	})
+	if !locked {
+		verb := "read"
+		if isWrite {
+			verb = "write to"
+		}
+		p.Reportf(sel.Pos(), "%s %s without holding %s.%s: field is annotated `guarded by %s` (or name the helper *Locked if the caller holds it)",
+			verb, types.ExprString(sel), base, spec.mutex, spec.mutex)
+	}
+}

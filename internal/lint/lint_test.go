@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe matches the expectation markers the fixture sources carry: a
+// comment ending in "want <rule> [<rule>...]". The marker sits on the
+// line the diagnostic must land on (for directive-rule fixtures it is a
+// block comment, because the line comment is the directive under test).
+var wantRe = regexp.MustCompile(`(?:^|\s)want ((?:[a-z]+)(?:[ ,]+[a-z]+)*)$`)
+
+// finding identifies a diagnostic by position and rule; messages are
+// free-form and not part of the golden contract.
+type finding struct {
+	file string
+	line int
+	rule string
+}
+
+func (f finding) String() string { return fmt.Sprintf("%s:%d: [%s]", f.file, f.line, f.rule) }
+
+// TestFixtures compiles the fixture tree under testdata/src and checks
+// the suite's findings against the want markers, in both directions:
+// every marked line must produce exactly its marked rules, and nothing
+// else may fire.
+func TestFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	pkgs, err := NewModule(root, "").LoadAll()
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) < 6 {
+		t.Fatalf("loaded %d fixture packages, want at least 6", len(pkgs))
+	}
+
+	known := map[string]bool{directiveRuleName: true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	want := make(map[finding]int)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(strings.TrimPrefix(c.Text, "/*"), "//"), "*/"))
+					m := wantRe.FindStringSubmatch(text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, rule := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ' ' || r == ',' }) {
+						if !known[rule] {
+							t.Fatalf("%s:%d: want marker names unknown rule %q", pos.Filename, pos.Line, rule)
+						}
+						want[finding{pos.Filename, pos.Line, rule}]++
+					}
+				}
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("no want markers found in fixtures")
+	}
+
+	// No Deterministic func: the det fixture relies solely on the
+	// //determinlint:deterministic directive.
+	got := make(map[finding]int)
+	for _, d := range (&Suite{}).Run(pkgs) {
+		got[finding{d.Pos.Filename, d.Pos.Line, d.Analyzer}]++
+	}
+
+	var keys []finding
+	seen := make(map[finding]bool)
+	for k := range want {
+		if !seen[k] {
+			keys = append(keys, k)
+			seen[k] = true
+		}
+	}
+	for k := range got {
+		if !seen[k] {
+			keys = append(keys, k)
+			seen[k] = true
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.rule < b.rule
+	})
+	for _, k := range keys {
+		if want[k] != got[k] {
+			t.Errorf("%s: want %d finding(s), got %d", k, want[k], got[k])
+		}
+	}
+}
+
+// TestSingleAnalyzerSkipsStaleCheck runs a one-analyzer subset and
+// checks that unused allow directives are NOT reported: the staleness
+// sweep is only meaningful when the full suite runs.
+func TestSingleAnalyzerSkipsStaleCheck(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	pkgs, err := NewModule(root, "").LoadAll()
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	suite := &Suite{Analyzers: []*Analyzer{MapRange}}
+	for _, d := range suite.Run(pkgs) {
+		if d.Analyzer != MapRange.Name {
+			// Malformed directives still surface; stale ones must not.
+			if strings.Contains(d.Message, "unused allow") {
+				t.Errorf("subset run reported stale directive: %s", d)
+			}
+		}
+	}
+}
+
+// TestByName resolves analyzer subsets and rejects unknown names.
+func TestByName(t *testing.T) {
+	anas, err := ByName("maprange, floateq")
+	if err != nil || len(anas) != 2 || anas[0].Name != "maprange" || anas[1].Name != "floateq" {
+		t.Fatalf("ByName(maprange, floateq) = %v, %v", anas, err)
+	}
+	if _, err := ByName("nosuchrule"); err == nil {
+		t.Fatal("ByName(nosuchrule) succeeded, want error")
+	}
+	if _, err := ByName(""); err == nil {
+		t.Fatal("ByName(\"\") succeeded, want error")
+	}
+}

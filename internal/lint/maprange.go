@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags `for range` over a map type in deterministic
+// packages. Go randomizes map iteration order per run, so any map
+// range whose effect depends on visit order breaks the repo's
+// byte-identical-output contract. Loops whose bodies only accumulate
+// order-insensitive state (commutative integer updates, constant
+// stores, deletes) pass; anything else needs a sort-the-keys rewrite
+// or an allow directive with a reason.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flags range over a map in deterministic packages unless the body is provably order-insensitive",
+	Run:  runMapRange,
+}
+
+func runMapRange(p *Pass) {
+	if !p.Det {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if benignMapBody(p, rs.Body) {
+				return true
+			}
+			p.Reportf(rs.For, "range over map %s: iteration order is randomized; iterate sorted keys instead (or annotate an order-insensitive loop with //determinlint:allow maprange <reason>)",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+}
+
+// benignMapBody reports whether every statement in the loop body is
+// order-insensitive: commutative integer accumulation (+= -= |= &= ^=,
+// ++ --), stores of constants, map deletes, and if/blocks composed of
+// the same (with call-free conditions). Anything else — appends,
+// function calls, float math, early exits — is treated as
+// order-sensitive.
+func benignMapBody(p *Pass, body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		if !benignStmt(p, st) {
+			return false
+		}
+	}
+	return true
+}
+
+func benignStmt(p *Pass, st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.IncDecStmt:
+		return isIntegerExpr(p, s.X)
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			return len(s.Lhs) == 1 && isIntegerExpr(p, s.Lhs[0]) && !hasCall(s.Rhs[0])
+		case token.ASSIGN:
+			// Storing a constant is idempotent across iterations.
+			for _, rhs := range s.Rhs {
+				tv, ok := p.Info.Types[rhs]
+				if !ok || tv.Value == nil {
+					return false
+				}
+			}
+			return true
+		default:
+			return false
+		}
+	case *ast.ExprStmt:
+		// delete(m, k) commutes with itself.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "delete" {
+			return false
+		}
+		_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+		return isBuiltin
+	case *ast.IfStmt:
+		if s.Init != nil || hasCall(s.Cond) {
+			return false
+		}
+		if !benignMapBody(p, s.Body) {
+			return false
+		}
+		if s.Else != nil {
+			return benignStmt(p, s.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return benignMapBody(p, s)
+	case *ast.BranchStmt:
+		// A plain continue skips an iteration without ordering effects;
+		// break and goto make the executed set order-dependent.
+		return s.Tok == token.CONTINUE && s.Label == nil
+	default:
+		return false
+	}
+}
+
+func isIntegerExpr(p *Pass, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func hasCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ParBody enforces the internal/par determinism contract inside the
+// closures handed to par.For, par.Workers, par.Map and par.MapErr:
+// iterations may only write state owned by their loop index. Writes to
+// variables captured from outside the closure are flagged unless the
+// left-hand side indexes the captured value with an expression
+// involving the index parameter (a.dist[v*n+t] = …, s.levels[v] =
+// append(s.levels[v], …)); serial accumulation belongs in a pass after
+// the parallel loop.
+//
+// The check is syntactic on the assignment chain — writes through a
+// locally re-sliced alias of shared memory (perm := a.order[u*n:…];
+// perm[i] = …) are deliberately trusted, mirroring how the contract is
+// stated in DESIGN.md §Parallel build pipeline.
+var ParBody = &Analyzer{
+	Name: "parbody",
+	Doc:  "flags writes to captured variables not indexed by the loop-index parameter inside par.For/Workers/Map/MapErr bodies",
+	Run:  runParBody,
+}
+
+// parFuncs maps the pool entry points to the position of the body
+// closure in their argument lists (always last, but named for clarity).
+var parFuncs = map[string]bool{"For": true, "Workers": true, "Map": true, "MapErr": true}
+
+func runParBody(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := parCallee(p, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			body, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+			if !ok {
+				// The closure came through a variable; nothing to inspect here.
+				return true
+			}
+			idx := indexParam(p, body)
+			checkParBody(p, name, body, idx)
+			return true
+		})
+	}
+}
+
+// parCallee resolves call to a par pool entry point, looking through
+// generic instantiation syntax (par.Map[T]).
+func parCallee(p *Pass, call *ast.CallExpr) (string, bool) {
+	fun := call.Fun
+	switch e := fun.(type) {
+	case *ast.IndexExpr:
+		fun = e.X
+	case *ast.IndexListExpr:
+		fun = e.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return "", false
+	}
+	path := obj.Pkg().Path()
+	if path != "par" && !strings.HasSuffix(path, "/par") {
+		return "", false
+	}
+	if !parFuncs[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// indexParam returns the object of the closure's loop-index parameter
+// (the single int argument every par body receives), or nil when it is
+// blank or absent.
+func indexParam(p *Pass, lit *ast.FuncLit) types.Object {
+	params := lit.Type.Params
+	if params == nil || len(params.List) == 0 || len(params.List[0].Names) == 0 {
+		return nil
+	}
+	name := params.List[0].Names[0]
+	if name.Name == "_" {
+		return nil
+	}
+	return p.Info.Defs[name]
+}
+
+// checkParBody walks the closure flagging disallowed writes. Nested par
+// calls are not descended into here — the outer Inspect visits them
+// separately with their own index parameter, and each closure's writes
+// are judged against the innermost contract that owns them.
+func checkParBody(p *Pass, parFn string, body *ast.FuncLit, idx types.Object) {
+	ast.Inspect(body.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if _, ok := parCallee(p, s); ok {
+				if _, isLit := s.Args[len(s.Args)-1].(*ast.FuncLit); isLit {
+					return false // inner par body has its own index contract
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				checkParWrite(p, parFn, body, idx, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkParWrite(p, parFn, body, idx, s.X)
+		case *ast.RangeStmt:
+			if s.Tok == token.ASSIGN {
+				if s.Key != nil {
+					checkParWrite(p, parFn, body, idx, s.Key)
+				}
+				if s.Value != nil {
+					checkParWrite(p, parFn, body, idx, s.Value)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkParWrite flags lhs when its base variable is captured from
+// outside the closure and no index expression along the chain involves
+// the loop-index parameter.
+func checkParWrite(p *Pass, parFn string, body *ast.FuncLit, idx types.Object, lhs ast.Expr) {
+	base, owned := splitWriteChain(p, idx, lhs)
+	if base == nil || owned {
+		return
+	}
+	obj := p.Info.ObjectOf(base)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	if v.Pos() >= body.Pos() && v.Pos() <= body.End() {
+		return // declared inside the closure: iteration-local
+	}
+	if obj == idx {
+		return // rebinding the index itself is iteration-local
+	}
+	p.Reportf(lhs.Pos(), "write to captured %q inside par.%s body is not indexed by the loop parameter: iterations may only write state owned by their index (accumulate serially after the loop)",
+		types.ExprString(lhs), parFn)
+}
+
+// splitWriteChain unwinds selectors, stars, parens and indexes on an
+// assignment target, returning the base identifier and whether any
+// index expression along the chain mentions the loop-index parameter.
+func splitWriteChain(p *Pass, idx types.Object, e ast.Expr) (*ast.Ident, bool) {
+	owned := false
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, owned
+		case *ast.IndexExpr:
+			if idx != nil && mentionsObj(p, x.Index, idx) {
+				owned = true
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil, owned
+		}
+	}
+}
+
+func mentionsObj(p *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

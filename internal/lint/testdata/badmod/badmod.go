@@ -1,0 +1,18 @@
+// Package badmod is a tiny standalone module containing one
+// determinism violation; the CLI tests point determinlint at this
+// directory and expect exit code 1 with a file:line diagnostic.
+//
+//determinlint:deterministic
+package badmod
+
+import "sort"
+
+// Keys appends in map iteration order.
+func Keys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,107 @@
+// Package det exercises the deterministic-package rules: maprange,
+// wallclock and floateq all apply because of the directive below.
+//
+//determinlint:deterministic
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Sum accumulates into an integer: commutative, so the loop is benign.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Mark stores constants and deletes: idempotent across orders, benign.
+func Mark(m map[string]int, dead map[string]bool) {
+	for k := range m {
+		if m[k] < 0 {
+			continue
+		}
+		dead[k] = true
+		delete(m, k)
+	}
+}
+
+// Keys collects map keys in iteration order — the canonical violation
+// (append is order-sensitive even though the caller sorts afterwards).
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want maprange
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Allowed carries a suppression with a reason, so the same pattern as
+// Keys produces no finding.
+func Allowed(m map[string]int) []string {
+	var out []string
+	//determinlint:allow maprange keys are sorted before return, so the result is independent of iteration order
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MaxVal breaks the benign whitelist: comparing and keeping a maximum
+// of floats is order-sensitive under NaN and signed zeros.
+func MaxVal(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m { // want maprange
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().Unix() // want wallclock
+}
+
+// Elapsed reads the wall clock through Since.
+func Elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want wallclock
+}
+
+// Roll draws from the process-global generator.
+func Roll() int {
+	return rand.Intn(6) // want wallclock
+}
+
+// Seeded draws from an explicit source: the approved path.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Close compares floats exactly outside any approved helper.
+func Close(a, b float64) bool {
+	return a == b // want floateq
+}
+
+// IsOrigin compares against the exact-zero sentinel: legal.
+func IsOrigin(d float64) bool {
+	return d == 0
+}
+
+// approxEqual is an approved helper name: exact comparison inside it
+// is the point of the helper.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

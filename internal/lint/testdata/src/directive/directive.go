@@ -1,0 +1,19 @@
+// Package directive exercises the directive pseudo-rule: malformed and
+// stale //determinlint: comments are findings themselves. The block
+// comments carry the expectations because the line comments are the
+// directives under test.
+package directive
+
+/* want directive */ //determinlint:allow maprange
+var a = 0
+
+/* want directive */ //determinlint:allow frobnicate no such rule exists
+var b = 0
+
+/* want directive */ //determinlint:suppress wrong directive name entirely
+var c = 0
+
+/* want directive */ //determinlint:allow wallclock nothing on the next line reads the clock, so this is stale
+var d = 0
+
+var _ = a + b + c + d

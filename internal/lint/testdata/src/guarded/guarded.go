@@ -1,0 +1,70 @@
+// Package guarded exercises the guardedfield annotation modes: mutex,
+// atomic and init.
+package guarded
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	n    int           // guarded by mu
+	hits atomic.Uint64 // guarded by atomic
+	name string        // guarded by init
+	// guarded by atomic
+	bogus int // want guardedfield
+}
+
+type lost struct {
+	data int // guarded by lock — want guardedfield
+}
+
+// newCounter constructs through a composite literal: exempt from every
+// mode, including init.
+func newCounter(name string) *counter {
+	return &counter{name: name}
+}
+
+// Add holds the mutex and touches the atomic: both accesses clean.
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+	c.hits.Add(1)
+}
+
+// Peek reads a mutex-guarded field without locking.
+func (c *counter) Peek() int {
+	return c.n // want guardedfield
+}
+
+// addLocked is trusted to be called with the lock held: the *Locked
+// naming convention.
+func (c *counter) addLocked(d int) {
+	c.n += d
+}
+
+// Rename writes an init-guarded field after construction.
+func (c *counter) Rename(s string) {
+	c.name = s // want guardedfield
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+// Get reads under RLock: reads accept the shared lock.
+func (t *table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// Put writes under RLock only: writes require the exclusive lock.
+func (t *table) Put(k string, v int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.m[k] = v // want guardedfield
+}

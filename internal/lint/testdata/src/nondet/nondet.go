@@ -1,0 +1,19 @@
+// Package nondet carries no deterministic marker: maprange, wallclock
+// and floateq stay silent here (parbody and guardedfield still apply
+// everywhere, but nothing in this file trips them).
+package nondet
+
+import "time"
+
+// Keys ranges a map and reads the clock — both fine outside the
+// deterministic set.
+func Keys(m map[string]int) ([]string, time.Time) {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out, time.Now()
+}
+
+// Eq compares floats exactly — also fine outside the set.
+func Eq(a, b float64) bool { return a == b }

@@ -1,0 +1,40 @@
+// Package par is a serial stand-in for the repo's deterministic worker
+// pool, giving the parbody fixtures real par.For/Workers/Map/MapErr
+// callees to resolve against. The analyzer matches any package whose
+// import path is "par" or ends in "/par".
+package par
+
+// For runs body(0..n-1).
+func For(n int, body func(i int)) {
+	for i := 0; i < n; i++ {
+		body(i)
+	}
+}
+
+// Workers runs body(0..n-1); the worker count is ignored here.
+func Workers(workers, n int, body func(i int)) {
+	_ = workers
+	For(n, body)
+}
+
+// Map collects f(0..n-1).
+func Map[T any](n int, f func(i int) T) []T {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		out[i] = f(i)
+	}
+	return out
+}
+
+// MapErr collects f(0..n-1), stopping at the first error.
+func MapErr[T any](n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		v, err := f(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

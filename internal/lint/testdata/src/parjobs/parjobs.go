@@ -1,0 +1,82 @@
+// Package parjobs exercises the parbody index-ownership rule: inside a
+// par.For/Workers/Map/MapErr closure, writes must land in state indexed
+// by the loop parameter (or closure-local variables).
+package parjobs
+
+import "par"
+
+// Fill writes only through the loop index: the contract's good case.
+func Fill(n int) []int {
+	out := make([]int, n)
+	par.For(n, func(i int) {
+		out[i] = i * i
+	})
+	return out
+}
+
+// Racy accumulates into a captured scalar from every iteration.
+func Racy(n int) int {
+	total := 0
+	par.For(n, func(i int) {
+		total += i // want parbody
+	})
+	return total
+}
+
+// Strided owns a row per index: the index may appear anywhere in the
+// index expression, not just alone.
+func Strided(n int) []float64 {
+	dist := make([]float64, n*n)
+	par.Workers(4, n, func(v int) {
+		for t := 0; t < n; t++ {
+			dist[v*n+t] = float64(v + t)
+		}
+	})
+	return dist
+}
+
+// Squares accumulates into a closure-local variable: iteration-local
+// state is always fine.
+func Squares(n int) []int {
+	return par.Map[int](n, func(i int) int {
+		acc := 0
+		for j := 0; j <= i; j++ {
+			acc += j
+		}
+		return acc
+	})
+}
+
+// Gather writes a captured map through a key that does not involve the
+// loop index.
+func Gather(n int) ([]int, error) {
+	seen := make(map[int]bool)
+	return par.MapErr(n, func(i int) (int, error) {
+		seen[0] = true // want parbody
+		return i, nil
+	})
+}
+
+// Nested checks that each closure is judged against its own index:
+// the inner write rows[i][j] is owned by j, while the outer counter
+// write is not owned by i.
+func Nested(n int) [][]int {
+	rows := make([][]int, n)
+	done := 0
+	par.For(n, func(i int) {
+		rows[i] = make([]int, n)
+		par.For(n, func(j int) {
+			rows[i][j] = i + j
+		})
+		done++ // want parbody
+	})
+	return rows
+}
+
+// Blank has no usable index parameter, so every captured write is
+// unowned by construction.
+func Blank(n int, out []int) {
+	par.For(n, func(_ int) {
+		out[0] = 1 // want parbody
+	})
+}

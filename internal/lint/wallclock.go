@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock forbids wall-clock reads and the global math/rand source in
+// deterministic packages, where every run must be a pure function of
+// explicit seeds. rand.New(rand.NewSource(seed)) stays legal — only the
+// process-global generator (whose state other code can perturb) and
+// time.Now/Since/Until are banned.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/Since/Until and global math/rand in deterministic packages",
+	Run:  runWallClock,
+}
+
+// bannedTime are the wall-clock reads; timers/sleeps affect pacing, not
+// outputs, so they are left to the race detector.
+var bannedTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// bannedRand are math/rand (and v2) package-level functions that draw
+// from the shared global source. Constructors for explicit sources
+// (New, NewSource, NewPCG, NewChaCha8, NewZipf) are the approved path.
+var bannedRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true,
+	"Uint64N": true, "N": true,
+}
+
+func runWallClock(p *Pass) {
+	if !p.Det {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if bannedTime[sel.Sel.Name] {
+					p.Reportf(sel.Pos(), "time.%s in deterministic package %s: outputs must be a pure function of explicit seeds, not the wall clock",
+						sel.Sel.Name, p.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if bannedRand[sel.Sel.Name] {
+					p.Reportf(sel.Pos(), "global %s.%s in deterministic package %s: draw from an explicit seeded source (rand.New(rand.NewSource(seed))) instead",
+						pn.Imported().Name(), sel.Sel.Name, p.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -18,6 +18,12 @@
 //
 // Search-tree virtual edges are realized by the underlying labeled
 // scheme: the two endpoints store each other's labels (Section 3.1.1).
+//
+// This package is bound by the repo's deterministic ruleset: its
+// outputs must be a pure function of explicit seeds (determinlint
+// enforces the source-level contract; see DESIGN.md §Static analysis).
+//
+//determinlint:deterministic
 package nameind
 
 import (

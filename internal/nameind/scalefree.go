@@ -193,6 +193,7 @@ func (s *ScaleFree) findH(y int, outer, inner float64) (j, idx int, found bool) 
 			if d+inner > rNext2 {
 				continue // B_y(inner) ⊄ B_c(r_c(j+2))
 			}
+			//determinlint:allow floateq deliberate exact tie-break: equal distances come bit-identical from the same oracle matrix, and ties resolve by least center id
 			if d < bestD || (d == bestD && bl.Center < s.pk.Balls[j][best].Center) {
 				best, bestD = k, d
 			}

@@ -8,6 +8,12 @@
 // minimum pairwise distance: level i covers radius Radius(i) =
 // minPairDistance * 2^i, which is the same hierarchy up to a constant
 // shift of indices.
+//
+// This package is bound by the repo's deterministic ruleset: its
+// outputs must be a pure function of explicit seeds (determinlint
+// enforces the source-level contract; see DESIGN.md §Static analysis).
+//
+//determinlint:deterministic
 package rnet
 
 import (

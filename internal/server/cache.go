@@ -23,16 +23,16 @@ type cacheKey struct {
 type routeCache struct {
 	shards  []*cacheShard
 	mask    uint64
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	evicted atomic.Uint64
+	hits    atomic.Uint64 // guarded by atomic
+	misses  atomic.Uint64 // guarded by atomic
+	evicted atomic.Uint64 // guarded by atomic
 }
 
 type cacheShard struct {
 	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recent
-	m   map[cacheKey]*list.Element
+	cap int                        // guarded by mu
+	ll  *list.List                 // guarded by mu; front = most recent
+	m   map[cacheKey]*list.Element // guarded by mu
 }
 
 type cacheEntry struct {

@@ -16,9 +16,9 @@ var latencyBucketsUS = [...]int64{
 // histogram is a fixed-bucket latency histogram safe for concurrent
 // observation.
 type histogram struct {
-	counts [len(latencyBucketsUS) + 1]atomic.Uint64
-	sumUS  atomic.Int64
-	n      atomic.Uint64
+	counts [len(latencyBucketsUS) + 1]atomic.Uint64 // guarded by atomic
+	sumUS  atomic.Int64                             // guarded by atomic
+	n      atomic.Uint64                            // guarded by atomic
 }
 
 func (h *histogram) Observe(d time.Duration) {
@@ -69,19 +69,19 @@ func (h *histogram) Snapshot() HistogramSnapshot {
 // metrics aggregates the server's live counters. All fields are atomics
 // so handler goroutines never serialize on a metrics lock.
 type metrics struct {
-	start        time.Time
-	requests     atomic.Uint64 // HTTP requests accepted
-	routes       atomic.Uint64 // single route queries served
-	batchRoutes  atomic.Uint64 // routes served inside batches
-	routeErrors  atomic.Uint64 // route queries that failed
-	badRequests  atomic.Uint64 // malformed HTTP requests
-	reloads      atomic.Uint64 // graph reloads performed
-	inFlight     atomic.Int64  // requests currently being served
-	routeLatency histogram     // per-route latency (cache hits included)
-	batchLatency histogram     // whole-batch latency
-	chaosDrops   atomic.Uint64 // packets lost to injected faults
-	chaosRetries atomic.Uint64 // extra transmissions the retry layer spent
-	chaosFailed  atomic.Uint64 // deliveries that failed every attempt
+	start        time.Time     // guarded by init
+	requests     atomic.Uint64 // guarded by atomic; HTTP requests accepted
+	routes       atomic.Uint64 // guarded by atomic; single route queries served
+	batchRoutes  atomic.Uint64 // guarded by atomic; routes served inside batches
+	routeErrors  atomic.Uint64 // guarded by atomic; route queries that failed
+	badRequests  atomic.Uint64 // guarded by atomic; malformed HTTP requests
+	reloads      atomic.Uint64 // guarded by atomic; graph reloads performed
+	inFlight     atomic.Int64  // guarded by atomic; requests currently being served
+	routeLatency histogram     // guarded by atomic; per-route latency (cache hits included)
+	batchLatency histogram     // guarded by atomic; whole-batch latency
+	chaosDrops   atomic.Uint64 // guarded by atomic; packets lost to injected faults
+	chaosRetries atomic.Uint64 // guarded by atomic; extra transmissions the retry layer spent
+	chaosFailed  atomic.Uint64 // guarded by atomic; deliveries that failed every attempt
 }
 
 // MetricsSnapshot is the GET /metrics response body.

@@ -9,6 +9,12 @@
 // and getting identical paths demonstrates that no hidden shared state
 // leaks between hops — the distributed-correctness claim behind every
 // compact routing result.
+//
+// This package is bound by the repo's deterministic ruleset: its
+// outputs must be a pure function of explicit seeds (determinlint
+// enforces the source-level contract; see DESIGN.md §Static analysis).
+//
+//determinlint:deterministic
 package sim
 
 import (

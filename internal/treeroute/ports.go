@@ -107,7 +107,10 @@ func NewPortScheme(parent []int, root int) (*PortScheme, error) {
 		}
 		sub[v] = s
 	}
-	for v := range children {
+	// Iterate members in DFS order rather than ranging the children map:
+	// topo covers every node with children, and the fixed order keeps the
+	// compile deterministic run to run.
+	for _, v := range topo {
 		cs := children[v]
 		sort.Slice(cs, func(i, j int) bool {
 			if sub[cs[i]] != sub[cs[j]] {

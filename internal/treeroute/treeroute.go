@@ -12,6 +12,12 @@
 // results shave a log log n factor with port bucketing, which does not
 // change any of the paper's O(log³ n)-bit table budgets. Label and
 // table sizes are measured exactly in the experiments.
+//
+// This package is bound by the repo's deterministic ruleset: its
+// outputs must be a pure function of explicit seeds (determinlint
+// enforces the source-level contract; see DESIGN.md §Static analysis).
+//
+//determinlint:deterministic
 package treeroute
 
 import (
@@ -190,7 +196,10 @@ func NewOrdered(parent []int, root int, order ChildOrder) (*Scheme, error) {
 		}
 		return a < b
 	}
-	for v := range children {
+	// Iterate members in DFS order rather than ranging the children map:
+	// topo covers every node with children, and the fixed order keeps the
+	// compile deterministic run to run.
+	for _, v := range topo {
 		cs := children[v]
 		for i := 1; i < len(cs); i++ {
 			for j := i; j > 0 && before(cs[j], cs[j-1]); j-- {

@@ -13,6 +13,12 @@
 // a(v)'s tree. Routing tries the cluster (optimal paths) and otherwise
 // relays via the destination's home landmark: cost <= d(u,v) + 2
 // d(v,A) <= 3 d(u,v) whenever the cluster misses.
+//
+// This package is bound by the repo's deterministic ruleset: its
+// outputs must be a pure function of explicit seeds (determinlint
+// enforces the source-level contract; see DESIGN.md §Static analysis).
+//
+//determinlint:deterministic
 package tz
 
 import (
