@@ -3,15 +3,16 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench serve profile chaos-determinism routebench-determinism
+.PHONY: check fmt vet build test race lint bench serve profile chaos-determinism routebench-determinism fuzz-smoke
 
 # The gate: vet, build and -race cover every package (./...), including
 # internal/faultsim and cmd/chaossim; lint runs the repo's own static
 # analyzers (determinism and concurrency contracts, see DESIGN.md
 # §Static analysis); the determinism targets assert that the parallel
 # build pipeline and the fault injector's seed guarantee produce
-# byte-identical JSON across runs.
-check: fmt vet lint build race chaos-determinism routebench-determinism
+# byte-identical JSON across runs; fuzz-smoke gives every wire codec a
+# short fuzz burst on top of its checked-in seed corpus.
+check: fmt vet lint build race chaos-determinism routebench-determinism fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -51,13 +52,33 @@ chaos-determinism:
 
 # The bench sweep now builds schemes and routes cells in parallel
 # (internal/par); with -timing=false the JSON must still be a pure
-# function of the flags. Run a small sweep twice and diff.
+# function of the flags — including the traced sweep's stretch
+# histograms and per-phase decomposition (-trace). Run a small sweep
+# twice and diff.
 routebench-determinism:
 	@tmp1=$$(mktemp) && tmp2=$$(mktemp) && \
-	$(GO) run ./cmd/routebench -json $$tmp1 -n 48 -pairs 60 -seed 11 -timing=false >/dev/null && \
-	$(GO) run ./cmd/routebench -json $$tmp2 -n 48 -pairs 60 -seed 11 -timing=false >/dev/null && \
+	$(GO) run ./cmd/routebench -json $$tmp1 -n 48 -pairs 60 -seed 11 -timing=false -trace >/dev/null && \
+	$(GO) run ./cmd/routebench -json $$tmp2 -n 48 -pairs 60 -seed 11 -timing=false -trace >/dev/null && \
 	{ cmp -s $$tmp1 $$tmp2 || { echo "routebench -json is not deterministic"; rm -f $$tmp1 $$tmp2; exit 1; }; } && \
 	rm -f $$tmp1 $$tmp2 && echo "routebench determinism: ok"
+
+# ~10s total: each codec fuzzer runs briefly from its seed corpus
+# (testdata/fuzz; regenerate with REGEN_FUZZ_CORPUS=1 go test
+# ./internal/... -run TestRegenFuzzCorpus). A fuzzer accepts exactly
+# one -fuzz target per invocation, hence the loop.
+fuzz-smoke:
+	@for spec in \
+		"./internal/labeled FuzzDecodeSimpleHeader" \
+		"./internal/labeled FuzzDecodeSFHeader" \
+		"./internal/nameind FuzzDecodeNIHeader" \
+		"./internal/nameind FuzzDecodeSFNIHeader" \
+		"./internal/baseline FuzzDecodeDestination" \
+		"./internal/baseline FuzzDecodeTreeHeader" \
+		"./internal/trace FuzzTraceCodec"; do \
+		set -- $$spec; \
+		$(GO) test $$1 -run '^$$' -fuzz "^$$2$$$$" -fuzztime 1s >/dev/null || \
+			{ echo "fuzz-smoke failed: $$2"; exit 1; }; \
+	done && echo "fuzz smoke: ok"
 
 # Capture a CPU profile of a full build+sweep (APSP, all scheme tables,
 # routed pairs) and print the hottest frames. Inspect interactively with

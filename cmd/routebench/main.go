@@ -12,12 +12,14 @@
 //
 // With -json, the text experiments are skipped; instead every scheme is
 // benchmarked on the -graph workload and one JSON record per scheme
-// (stretch percentiles, table bits, per-phase build wall times,
-// ns/query) is written to the given path, so benchmark trajectories can
-// be compared across commits. -timing=false zeroes the wall-clock
+// (stretch percentiles and histogram, table bits, per-phase build wall
+// times, ns/query) is written to the given path, so benchmark
+// trajectories can be compared across commits. -trace evaluates through
+// the traced simulator adapters and adds the per-phase detour
+// decomposition to every record. -timing=false zeroes the wall-clock
 // fields, making the file a pure function of the flags (`make check`
-// double-runs it and diffs). -cpuprofile captures a CPU profile of the
-// whole build+sweep (`make profile`).
+// double-runs it, traced, and diffs). -cpuprofile captures a CPU
+// profile of the whole build+sweep (`make profile`).
 package main
 
 import (
@@ -40,6 +42,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed for generators, namings and sampling")
 		graph   = flag.String("graph", "geometric", "workload graph: geometric|grid-holes|exp-path")
 		jsonP   = flag.String("json", "", "write a machine-readable bench sweep to this path and exit")
+		traced  = flag.Bool("trace", false, "with -json, evaluate through the traced simulator adapters and add the per-phase detour decomposition to every record")
 		timing  = flag.Bool("timing", true, "record wall-clock fields (apsp_ms, build_ms, total_ms, ns_per_query) in -json records; false makes the output seed-deterministic")
 		profile = flag.String("cpuprofile", "", "write a CPU profile of the full build+sweep to this path")
 	)
@@ -61,7 +64,7 @@ func main() {
 		}()
 	}
 	if *jsonP != "" {
-		if err := runJSON(*jsonP, *n, *eps, *pairs, *seed, *graph, *timing); err != nil {
+		if err := runJSON(*jsonP, *n, *eps, *pairs, *seed, *graph, *timing, *traced); err != nil {
 			fmt.Fprintln(os.Stderr, "routebench:", err)
 			os.Exit(1)
 		}
@@ -75,7 +78,7 @@ func main() {
 
 // runJSON benchmarks every scheme on the workload and writes the
 // records to path, reporting the build pipeline's per-phase wall time.
-func runJSON(path string, n int, eps float64, pairs int, seed int64, graphKind string, timing bool) error {
+func runJSON(path string, n int, eps float64, pairs int, seed int64, graphKind string, timing, traced bool) error {
 	start := time.Now()
 	env, err := buildEnv(graphKind, n, seed)
 	if err != nil {
@@ -86,7 +89,7 @@ func runJSON(path string, n int, eps float64, pairs int, seed int64, graphKind s
 	if err != nil {
 		return err
 	}
-	opt := exp.BenchOpts{Eps: eps, Pairs: pairs, Seed: seed, Timing: timing, ApspMS: apspMS}
+	opt := exp.BenchOpts{Eps: eps, Pairs: pairs, Seed: seed, Timing: timing, ApspMS: apspMS, Trace: traced}
 	sweepStart := time.Now()
 	if err := exp.WriteBenchJSON(f, env, opt); err != nil {
 		f.Close()

@@ -17,7 +17,7 @@
 //
 // Endpoints (see README "Serving mode" for examples):
 //
-//	POST /route        {"scheme":"simple-labeled","src":0,"dst":5}
+//	POST /route        {"scheme":"simple-labeled","src":0,"dst":5}  (+ ?trace=1 for the hop log)
 //	POST /route/batch  {"scheme":"full-table","pairs":[[0,5],[3,9]]}
 //	GET  /schemes      table/label bit accounting per scheme
 //	GET  /metrics      counters, latency histograms, cache hit rate
@@ -60,13 +60,16 @@ func main() {
 		chaosLoss    = flag.Float64("chaos", 0, "per-hop packet-loss probability to inject on served routes (0 disables fault injection)")
 		chaosSeed    = flag.Int64("chaos-seed", 0, "seed for the fault draws (0 = -seed)")
 		chaosRetries = flag.Int("chaos-retries", 0, "max transmissions per query under -chaos (0 = faultsim default)")
+
+		traceSample = flag.Int("trace-sample", 0, "run every Nth route query traced and fold the per-phase decomposition into /metrics (0 disables sampling)")
+		traceCap    = flag.Int("trace-cap", 0, "max hop records per ?trace=1 response (0 = default 512, negative = unlimited)")
 	)
 	flag.Parse()
 	var chaos *server.ChaosParams
 	if *chaosLoss > 0 {
 		chaos = &server.ChaosParams{Loss: *chaosLoss, Seed: *chaosSeed, MaxAttempts: *chaosRetries}
 	}
-	if err := run(*addr, *kind, *n, *seed, *eps, *schemes, *load, *cache, *workers, *pprofA, chaos); err != nil {
+	if err := run(*addr, *kind, *n, *seed, *eps, *schemes, *load, *cache, *workers, *pprofA, chaos, *traceSample, *traceCap); err != nil {
 		fmt.Fprintln(os.Stderr, "routed:", err)
 		os.Exit(1)
 	}
@@ -119,7 +122,7 @@ func buildFunc(kind string, n int, load string) func(seed int64) (*compactroutin
 	}
 }
 
-func run(addr, kind string, n int, seed int64, eps float64, schemes, load string, cache, workers int, pprofAddr string, chaos *server.ChaosParams) error {
+func run(addr, kind string, n int, seed int64, eps float64, schemes, load string, cache, workers int, pprofAddr string, chaos *server.ChaosParams, traceSample, traceCap int) error {
 	start := time.Now()
 	eng, err := server.New(server.Config{
 		Build:        buildFunc(kind, n, load),
@@ -129,6 +132,8 @@ func run(addr, kind string, n int, seed int64, eps float64, schemes, load string
 		CacheEntries: cache,
 		Workers:      workers,
 		Chaos:        chaos,
+		TraceSample:  traceSample,
+		TraceHopCap:  traceCap,
 	})
 	if err != nil {
 		return err
@@ -137,6 +142,9 @@ func run(addr, kind string, n int, seed int64, eps float64, schemes, load string
 	log.Printf("routed: serving n=%d m=%d network on %s (built in %v)", gi.Nodes, gi.Edges, addr, time.Since(start).Round(time.Millisecond))
 	if chaos != nil {
 		log.Printf("routed: CHAOS MODE — injecting %.1f%% per-hop loss (route cache bypassed, drops/retries on /metrics)", 100*chaos.Loss)
+	}
+	if traceSample > 0 {
+		log.Printf("routed: tracing every %d-th route query (per-phase decomposition on /metrics)", traceSample)
 	}
 	for _, si := range eng.Schemes() {
 		log.Printf("routed: scheme %-28s %s, label %d bits, tables max %d / mean %.0f bits (compiled in %.0f ms)",

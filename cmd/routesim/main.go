@@ -60,6 +60,12 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 	// driver; the concurrent walk must match it hop for hop.
 	var seqRoute func(i int) (*core.Route, error)
 
+	// bound is the scheme's analytical stretch guarantee; every scheme
+	// sets it (full-table routes optimally, single-tree's distortion is
+	// unbounded) so the violation check below covers labeled and
+	// name-independent paths alike.
+	bound := math.Inf(1)
+
 	var results []sim.Result
 	start := time.Now()
 	switch scheme {
@@ -71,6 +77,7 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 		for i, p := range pairs {
 			deliveries[i] = sim.Delivery{Src: p[0], Dst: s.LabelOf(p[1])}
 		}
+		bound = s.StretchBound()
 		results = sim.Run[labeled.SimpleHeader](g, sim.SimpleLabeledRouter{S: s}, deliveries, 0)
 		seqRoute = func(i int) (*core.Route, error) {
 			return s.RouteToLabel(pairs[i][0], s.LabelOf(pairs[i][1]))
@@ -87,6 +94,7 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 		for i, p := range pairs {
 			deliveries[i] = sim.Delivery{Src: p[0], Dst: s.LabelOf(p[1])}
 		}
+		bound = s.StretchBound()
 		results = sim.Run[labeled.SFHeader](g, sim.ScaleFreeLabeledRouter{S: s}, deliveries, 64*g.N())
 		seqRoute = func(i int) (*core.Route, error) {
 			return s.RouteToLabel(pairs[i][0], s.LabelOf(pairs[i][1]))
@@ -108,6 +116,7 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 		for i, p := range pairs {
 			deliveries[i] = sim.Delivery{Src: p[0], Dst: nm.NameOf(p[1])}
 		}
+		bound = s.StretchBound()
 		results = sim.Run[nameind.NIHeader](g, sim.NameIndependentRouter{S: s}, deliveries, 256*g.N())
 		seqRoute = func(i int) (*core.Route, error) {
 			return s.RouteToName(pairs[i][0], nm.NameOf(pairs[i][1]))
@@ -129,6 +138,7 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 		for i, p := range pairs {
 			deliveries[i] = sim.Delivery{Src: p[0], Dst: nm.NameOf(p[1])}
 		}
+		bound = s.StretchBound()
 		results = sim.Run[nameind.SFNIHeader](g, sim.ScaleFreeNameIndependentRouter{S: s}, deliveries, 512*g.N())
 		seqRoute = func(i int) (*core.Route, error) {
 			return s.RouteToName(pairs[i][0], nm.NameOf(pairs[i][1]))
@@ -138,6 +148,7 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 		for i, p := range pairs {
 			deliveries[i] = sim.Delivery{Src: p[0], Dst: p[1]}
 		}
+		bound = 1
 		results = sim.Run[baseline.Destination](g, sim.FullTableRouter{S: s}, deliveries, 0)
 		seqRoute = func(i int) (*core.Route, error) {
 			return s.RouteToLabel(pairs[i][0], pairs[i][1])
@@ -183,6 +194,14 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 		return fmt.Errorf("scheme=%s seed=%d: %d of %d deliveries failed", scheme, seed, failures, len(results))
 	}
 
+	// Unified stretch-bound check: a delivered route whose stretch
+	// exceeds the scheme's analytical guarantee is a correctness bug, so
+	// the run must exit nonzero — for labeled and name-independent
+	// schemes alike (historically only the latter were checked).
+	if err := checkStretchBound(scheme, seed, stretches, bound); err != nil {
+		return err
+	}
+
 	// Cross-check a sample of the concurrent walks against the
 	// sequential router: the two drive the SAME step functions, so any
 	// divergence means hidden shared state leaked between hops.
@@ -210,10 +229,32 @@ func run(n, packets int, scheme string, seed int64, eps float64) error {
 	fmt.Printf("delivered %d packets over %d node-goroutines in %v (%.0f hops/ms)\n",
 		len(results), g.N(), elapsed.Round(time.Millisecond),
 		float64(hops)/float64(elapsed.Milliseconds()+1))
-	fmt.Printf("stretch: max %.3f, mean %.3f, p99 %.3f | max header %d bits\n",
+	fmt.Printf("stretch: max %.3f, mean %.3f, p99 %.3f (bound %.3f) | max header %d bits\n",
 		stretches[len(stretches)-1], mean,
-		stretches[int(math.Ceil(0.99*float64(len(stretches))))-1], maxHdr)
+		stretches[int(math.Ceil(0.99*float64(len(stretches))))-1], bound, maxHdr)
 	fmt.Printf("cross-check: %d/%d walks identical to the sequential router\n", checked, len(results))
+	return nil
+}
+
+// checkStretchBound fails the run when any delivered stretch exceeds
+// the scheme's analytical bound (with the same float-accumulation slack
+// the scheme packages' tests use). An infinite bound (single-tree)
+// passes vacuously.
+func checkStretchBound(scheme string, seed int64, stretches []float64, bound float64) error {
+	const slack = 1e-9
+	viol, worst := 0, 0.0
+	for _, s := range stretches {
+		if s > bound+slack {
+			viol++
+			if s > worst {
+				worst = s
+			}
+		}
+	}
+	if viol > 0 {
+		return fmt.Errorf("STRETCH BOUND VIOLATED scheme=%s seed=%d: %d of %d routes exceed %.3f (worst %.3f)",
+			scheme, seed, viol, len(stretches), bound, worst)
+	}
 	return nil
 }
 

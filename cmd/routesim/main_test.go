@@ -1,0 +1,59 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCheckStretchBoundViolationFails is the regression test for the
+// bug where routesim exited zero on stretch-bound violations for
+// labeled schemes: the unified check must reject any stretch above the
+// bound, whatever the scheme.
+func TestCheckStretchBoundViolationFails(t *testing.T) {
+	err := checkStretchBound("simple-labeled", 1, []float64{1.0, 1.2, 3.7}, 3.0)
+	if err == nil {
+		t.Fatal("stretch 3.7 against bound 3.0 must fail the run")
+	}
+	if !strings.Contains(err.Error(), "STRETCH BOUND VIOLATED") {
+		t.Fatalf("violation error should be loud, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "3.700") {
+		t.Fatalf("violation error should report the worst stretch, got: %v", err)
+	}
+}
+
+func TestCheckStretchBoundWithinBoundPasses(t *testing.T) {
+	if err := checkStretchBound("full-table", 1, []float64{1.0, 1.0}, 1); err != nil {
+		t.Fatalf("optimal routes must pass the bound-1 check: %v", err)
+	}
+	// Accumulated float error just past the bound stays within slack.
+	if err := checkStretchBound("full-table", 1, []float64{1 + 1e-12}, 1); err != nil {
+		t.Fatalf("float slack must absorb 1e-12: %v", err)
+	}
+	// An infinite bound (single-tree) passes vacuously.
+	if err := checkStretchBound("single-tree", 1, []float64{250}, math.Inf(1)); err != nil {
+		t.Fatalf("unbounded scheme must never violate: %v", err)
+	}
+}
+
+// TestRunEnforcesBoundEndToEnd drives the full pipeline on a small
+// network for every scheme: each run must deliver all packets, pass the
+// sequential cross-check, and satisfy its own analytical stretch bound.
+func TestRunEnforcesBoundEndToEnd(t *testing.T) {
+	for _, scheme := range []string{
+		"simple-labeled",
+		"scale-free-labeled",
+		"name-independent",
+		"scale-free-name-independent",
+		"full-table",
+		"single-tree",
+	} {
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			if err := run(64, 200, scheme, 3, 0.25); err != nil {
+				t.Fatalf("run(%s): %v", scheme, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,48 @@
+package baseline
+
+import (
+	"fmt"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/trace"
+	"compactrouting/internal/treeroute"
+)
+
+// Wire codecs and trace-phase classification for the baseline headers.
+
+// TracePhase classifies full-table hops as direct shortest-path moves.
+func (d Destination) TracePhase() trace.Phase { return trace.PhaseDirect }
+
+// TracePhase classifies single-tree hops as tree-routing moves.
+func (h TreeHeader) TracePhase() trace.Phase { return trace.PhaseTree }
+
+// Encode serializes the header; the emitted size equals Bits().
+func (d Destination) Encode(w *bits.Writer) {
+	w.WriteUvarint(uint64(d))
+}
+
+// DecodeDestination reads a header written by Destination.Encode.
+func DecodeDestination(r *bits.Reader) (Destination, error) {
+	v, err := r.ReadUvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > 1<<31-1 {
+		return 0, fmt.Errorf("baseline: destination %d overflows int32", v)
+	}
+	return Destination(v), nil
+}
+
+// Encode serializes the header; the emitted size equals Bits().
+func (h TreeHeader) Encode(w *bits.Writer) {
+	h.L.Encode(w)
+}
+
+// DecodeTreeHeader reads a header written by TreeHeader.Encode.
+func DecodeTreeHeader(r *bits.Reader) (TreeHeader, error) {
+	l, err := treeroute.DecodeLabel(r)
+	if err != nil {
+		return TreeHeader{}, err
+	}
+	return TreeHeader{L: l}, nil
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"compactrouting/internal/graph"
+	"compactrouting/internal/trace"
 )
 
 // Route is the trace of one packet delivery.
@@ -152,12 +153,24 @@ type StretchStats struct {
 	P99       float64
 	MaxHeader int
 	Fallbacks int
+	// Hist counts stretches into the shared trace.StretchBucketEdges
+	// buckets (one extra overflow bucket at the end), so experiment
+	// reports and the serving layer's /metrics bucket identically.
+	Hist []int
+}
+
+// SummarizeStretches computes the full stretch summary — order
+// statistics plus the shared-bucket histogram — over the given
+// stretches. The slice is sorted in place.
+func SummarizeStretches(stretches []float64, maxHeader, fallbacks int) StretchStats {
+	return summarize(stretches, maxHeader, fallbacks)
 }
 
 func summarize(stretches []float64, maxHeader, fallbacks int) StretchStats {
 	if len(stretches) == 0 {
 		return StretchStats{}
 	}
+	hist := trace.StretchHistogram(stretches)
 	sort.Float64s(stretches)
 	sum := 0.0
 	for _, s := range stretches {
@@ -179,6 +192,7 @@ func summarize(stretches []float64, maxHeader, fallbacks int) StretchStats {
 		P99:       q(0.99),
 		MaxHeader: maxHeader,
 		Fallbacks: fallbacks,
+		Hist:      hist,
 	}
 }
 

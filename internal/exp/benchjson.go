@@ -2,12 +2,15 @@ package exp
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"time"
 
 	"compactrouting/internal/baseline"
 	"compactrouting/internal/core"
 	"compactrouting/internal/par"
+	"compactrouting/internal/sim"
+	"compactrouting/internal/trace"
 )
 
 // BenchRecord is one scheme's machine-readable benchmark row, written
@@ -27,6 +30,15 @@ type BenchRecord struct {
 	MaxHeaderBits int     `json:"max_header_bits"`
 	TableMaxBits  int     `json:"table_max_bits"`
 	TableMeanBits float64 `json:"table_mean_bits"`
+	// StretchHist is the stretch distribution over the shared
+	// trace.StretchBucketEdges buckets (LE == -1 marks the overflow
+	// bucket), so BENCH files capture the distribution, not just
+	// percentiles.
+	StretchHist []HistBucket `json:"stretch_hist"`
+	// Phases is the per-phase detour decomposition (hops and cost spent
+	// per scheme phase over all routed pairs); present only when the
+	// sweep ran traced (BenchOpts.Trace).
+	Phases []PhaseDecomp `json:"phases,omitempty"`
 	// Build-phase wall times: ApspMS is the shared oracle build (phase
 	// 1, identical on every row), BuildMS the scheme's table
 	// compilation (phase 2), TotalMS their sum. All timing fields are
@@ -50,56 +62,180 @@ type BenchOpts struct {
 	// ApspMS is the caller-measured oracle build time (the env carries
 	// a prebuilt APSP, so only the caller saw that phase's clock).
 	ApspMS float64
+	// Trace routes the sweep through the traced simulator adapters
+	// (sim.RouteOnceTraced) instead of the sequential evaluators and
+	// adds the per-phase detour decomposition to every record. The two
+	// paths execute identical step functions, so every other field is
+	// unchanged — and with Timing off the traced JSON stays a pure
+	// function of (env, opts), which the `make check` traced double-run
+	// byte-diffs.
+	Trace bool
 }
+
+// HistBucket is one stretch-histogram bucket: the count of routes with
+// stretch <= LE (and above the previous edge). LE == -1 marks the
+// overflow bucket past the last edge.
+type HistBucket struct {
+	LE    float64 `json:"le"`
+	Count int     `json:"count"`
+}
+
+// histBuckets pairs StretchStats.Hist counts with the shared
+// trace.StretchBucketEdges.
+func histBuckets(hist []int) []HistBucket {
+	out := make([]HistBucket, len(hist))
+	for i, c := range hist {
+		le := -1.0
+		if i < len(trace.StretchBucketEdges) {
+			le = trace.StretchBucketEdges[i]
+		}
+		out[i] = HistBucket{LE: le, Count: c}
+	}
+	return out
+}
+
+// PhaseDecomp is one phase's share of a traced sweep: how many hops
+// and how much path cost the scheme spent in that phase across all
+// routed pairs.
+type PhaseDecomp struct {
+	Phase string  `json:"phase"`
+	Hops  int     `json:"hops"`
+	Cost  float64 `json:"cost"`
+}
+
+// benchEval routes the sampled pairs and summarizes stretch; traced
+// sweeps additionally return the per-phase decomposition (nil
+// otherwise).
+type benchEval func() (core.StretchStats, []PhaseDecomp, error)
 
 // benchCell is one scheme's build+evaluate job: build compiles the
 // scheme and returns its table accounting plus the routing closure.
 type benchCell struct {
 	name  string
-	build func() (tableBits func(int) int, eval func() (core.StretchStats, error), err error)
+	build func() (tableBits func(int) int, eval benchEval, err error)
 }
 
-// benchCells lists the sweep's schemes in report order.
-func benchCells(e *Env, eps float64, pairs [][2]int, seed int64) []benchCell {
+// untraced adapts a core evaluator to the benchEval signature.
+func untraced(eval func() (core.StretchStats, error)) benchEval {
+	return func() (core.StretchStats, []PhaseDecomp, error) {
+		st, err := eval()
+		return st, nil, err
+	}
+}
+
+// tracedEval routes every pair through the scheme's simulator adapter
+// with tracing enabled and folds the hop records into the per-phase
+// decomposition. The adapter drives the same step functions as the
+// sequential evaluators, so the walks — and hence every stretch field —
+// are identical; Fallbacks counts routes with at least one
+// fallback-phase hop. maxHops mirrors the per-scheme budgets used by
+// cmd/routesim and internal/server (0 selects the simulator default).
+func tracedEval[H sim.Header](e *Env, r sim.Router[H], addr func(int) int, maxHops int, pairs [][2]int) benchEval {
+	return func() (core.StretchStats, []PhaseDecomp, error) {
+		stretches := make([]float64, 0, len(pairs))
+		maxHdr, falls := 0, 0
+		var hops [trace.NumPhases]int
+		var cost [trace.NumPhases]float64
+		tr := &trace.Trace{}
+		for _, p := range pairs {
+			res := sim.RouteOnceTraced(e.G, r, p[0], addr(p[1]), maxHops, tr)
+			if res.Err != nil {
+				return core.StretchStats{}, nil, fmt.Errorf("route %d -> %d: %w", p[0], p[1], res.Err)
+			}
+			opt := e.A.Dist(p[0], p[1])
+			s := 1.0
+			if opt > 0 {
+				s = res.Cost / opt
+			}
+			stretches = append(stretches, s)
+			if res.MaxHeaderBits > maxHdr {
+				maxHdr = res.MaxHeaderBits
+			}
+			fell := false
+			for _, h := range tr.Hops {
+				hops[h.Phase]++
+				cost[h.Phase] += h.Dist
+				if h.Phase == trace.PhaseFallback {
+					fell = true
+				}
+			}
+			if fell {
+				falls++
+			}
+		}
+		decomp := make([]PhaseDecomp, 0, trace.NumPhases)
+		for ph := 0; ph < trace.NumPhases; ph++ {
+			if hops[ph] == 0 {
+				continue
+			}
+			decomp = append(decomp, PhaseDecomp{Phase: trace.Phase(ph).String(), Hops: hops[ph], Cost: cost[ph]})
+		}
+		return core.SummarizeStretches(stretches, maxHdr, falls), decomp, nil
+	}
+}
+
+// benchCells lists the sweep's schemes in report order. With traced
+// set, evaluation runs through the simulator adapters with tracing on
+// (tracedEval); otherwise through the sequential core evaluators.
+func benchCells(e *Env, eps float64, pairs [][2]int, seed int64, traced bool) []benchCell {
+	n := e.G.N()
 	return []benchCell{
-		{"simple-labeled", func() (func(int) int, func() (core.StretchStats, error), error) {
+		{"simple-labeled", func() (func(int) int, benchEval, error) {
 			s, err := buildLabeledSimple(e, minf(eps, 0.5))
 			if err != nil {
 				return nil, nil, err
 			}
-			return s.TableBits, func() (core.StretchStats, error) { return core.EvaluateLabeled(s, e.A, pairs) }, nil
+			if traced {
+				return s.TableBits, tracedEval(e, sim.SimpleLabeledRouter{S: s}, s.LabelOf, 0, pairs), nil
+			}
+			return s.TableBits, untraced(func() (core.StretchStats, error) { return core.EvaluateLabeled(s, e.A, pairs) }), nil
 		}},
-		{"scale-free-labeled", func() (func(int) int, func() (core.StretchStats, error), error) {
+		{"scale-free-labeled", func() (func(int) int, benchEval, error) {
 			s, err := buildLabeledScaleFree(e, minf(eps, 0.25))
 			if err != nil {
 				return nil, nil, err
 			}
-			return s.TableBits, func() (core.StretchStats, error) { return core.EvaluateLabeled(s, e.A, pairs) }, nil
+			if traced {
+				return s.TableBits, tracedEval(e, sim.ScaleFreeLabeledRouter{S: s}, s.LabelOf, 64*n, pairs), nil
+			}
+			return s.TableBits, untraced(func() (core.StretchStats, error) { return core.EvaluateLabeled(s, e.A, pairs) }), nil
 		}},
-		{"name-independent", func() (func(int) int, func() (core.StretchStats, error), error) {
+		{"name-independent", func() (func(int) int, benchEval, error) {
 			s, err := buildNameIndSimple(e, minf(eps, 1.0/3), seed)
 			if err != nil {
 				return nil, nil, err
 			}
-			return s.TableBits, func() (core.StretchStats, error) { return core.EvaluateNameIndependent(s, e.A, pairs) }, nil
+			if traced {
+				return s.TableBits, tracedEval(e, sim.NameIndependentRouter{S: s}, s.NameOf, 256*n, pairs), nil
+			}
+			return s.TableBits, untraced(func() (core.StretchStats, error) { return core.EvaluateNameIndependent(s, e.A, pairs) }), nil
 		}},
-		{"scale-free-name-independent", func() (func(int) int, func() (core.StretchStats, error), error) {
+		{"scale-free-name-independent", func() (func(int) int, benchEval, error) {
 			s, err := buildNameIndScaleFree(e, minf(eps, 0.25), seed)
 			if err != nil {
 				return nil, nil, err
 			}
-			return s.TableBits, func() (core.StretchStats, error) { return core.EvaluateNameIndependent(s, e.A, pairs) }, nil
+			if traced {
+				return s.TableBits, tracedEval(e, sim.ScaleFreeNameIndependentRouter{S: s}, s.NameOf, 512*n, pairs), nil
+			}
+			return s.TableBits, untraced(func() (core.StretchStats, error) { return core.EvaluateNameIndependent(s, e.A, pairs) }), nil
 		}},
-		{"full-table", func() (func(int) int, func() (core.StretchStats, error), error) {
+		{"full-table", func() (func(int) int, benchEval, error) {
 			s := baseline.NewFullTable(e.G, e.A)
-			return s.TableBits, func() (core.StretchStats, error) { return core.EvaluateLabeled(s, e.A, pairs) }, nil
+			if traced {
+				return s.TableBits, tracedEval(e, sim.FullTableRouter{S: s}, func(v int) int { return v }, 0, pairs), nil
+			}
+			return s.TableBits, untraced(func() (core.StretchStats, error) { return core.EvaluateLabeled(s, e.A, pairs) }), nil
 		}},
-		{"single-tree", func() (func(int) int, func() (core.StretchStats, error), error) {
+		{"single-tree", func() (func(int) int, benchEval, error) {
 			s, err := baseline.NewSingleTree(e.G, 0)
 			if err != nil {
 				return nil, nil, err
 			}
-			return s.TableBits, func() (core.StretchStats, error) { return core.EvaluateLabeled(s, e.A, pairs) }, nil
+			if traced {
+				return s.TableBits, tracedEval(e, sim.SingleTreeRouter{S: s}, func(v int) int { return v }, 0, pairs), nil
+			}
+			return s.TableBits, untraced(func() (core.StretchStats, error) { return core.EvaluateLabeled(s, e.A, pairs) }), nil
 		}},
 	}
 }
@@ -111,7 +247,7 @@ func benchCells(e *Env, eps float64, pairs [][2]int, seed int64) []benchCell {
 // run (asserted by the `make check` double-run diff).
 func Bench(e *Env, opt BenchOpts) ([]BenchRecord, error) {
 	pairs := e.Pairs(opt.Pairs, opt.Seed)
-	cells := benchCells(e, opt.Eps, pairs, opt.Seed)
+	cells := benchCells(e, opt.Eps, pairs, opt.Seed, opt.Trace)
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	return par.MapErr(len(cells), func(i int) (BenchRecord, error) {
 		// The wall-clock reads below feed the *_ms timing fields only,
@@ -124,7 +260,7 @@ func Bench(e *Env, opt BenchOpts) ([]BenchRecord, error) {
 		}
 		buildMS := ms(time.Since(start)) //determinlint:allow wallclock build_ms is a timing-only field gated by opt.Timing
 		start = time.Now()               //determinlint:allow wallclock route_ms is a timing-only field gated by opt.Timing
-		st, err := eval()
+		st, decomp, err := eval()
 		if err != nil {
 			return BenchRecord{}, err
 		}
@@ -145,6 +281,8 @@ func Bench(e *Env, opt BenchOpts) ([]BenchRecord, error) {
 			MaxHeaderBits: st.MaxHeader,
 			TableMaxBits:  tb.MaxBits,
 			TableMeanBits: tb.MeanBits,
+			StretchHist:   histBuckets(st.Hist),
+			Phases:        decomp,
 		}
 		if opt.Timing {
 			rec.ApspMS = opt.ApspMS

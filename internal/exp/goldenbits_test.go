@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compactrouting/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// TestGoldenBitAccounting pins the exact space accounting of every
+// scheme — the largest routing table and the largest in-flight header,
+// in bits — on two fixed networks. Any change to label layouts, header
+// codecs, or table construction shows up here as a one-line diff
+// before it silently shifts the numbers the experiments report.
+//
+// Regenerate after an intended change with:
+//
+//	go test ./internal/exp -run TestGoldenBitAccounting -update
+func TestGoldenBitAccounting(t *testing.T) {
+	var got bytes.Buffer
+	for _, n := range []int{64, 256} {
+		e, err := GeometricEnv(n, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := e.Pairs(120, 7)
+		for _, cell := range benchCells(e, 0.25, pairs, 7, true) {
+			tableBits, eval, err := cell.build()
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", cell.name, e.G.N(), err)
+			}
+			st, _, err := eval()
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", cell.name, e.G.N(), err)
+			}
+			tb := core.Tables(tableBits, e.G.N())
+			fmt.Fprintf(&got, "n=%d scheme=%s max_table_bits=%d max_header_bits=%d\n",
+				e.G.N(), cell.name, tb.MaxBits, st.MaxHeader)
+		}
+	}
+
+	path := filepath.Join("testdata", "goldenbits.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with: go test ./internal/exp -run TestGoldenBitAccounting -update): %v", err)
+	}
+	if !bytes.Equal(want, got.Bytes()) {
+		t.Fatalf("bit accounting drifted from golden:\n--- want\n%s--- got\n%s"+
+			"If the change is intended, regenerate with: go test ./internal/exp -run TestGoldenBitAccounting -update",
+			want, got.Bytes())
+	}
+}

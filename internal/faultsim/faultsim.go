@@ -30,6 +30,7 @@ import (
 
 	"compactrouting/internal/graph"
 	"compactrouting/internal/sim"
+	"compactrouting/internal/trace"
 )
 
 // Window is a half-open outage interval [From, Until) in virtual time.
@@ -271,16 +272,24 @@ func (in *Injector) backoff(rel Reliability, delivery, attempt uint64) float64 {
 // packet was dropped by an injected fault, and the virtual end time.
 // res.Err is set only for non-retryable routing errors.
 func attempt[H sim.Header](g *graph.Graph, r sim.Router[H], src, dst, maxHops int,
-	in *Injector, id, att uint64, start float64) (res sim.Result, dropped bool, end float64) {
+	in *Injector, id, att uint64, start float64, tr *trace.Trace) (res sim.Result, dropped bool, end float64) {
 	t := start
 	res = sim.Result{Src: src}
 	h, err := r.Prepare(dst)
 	if err != nil {
+		if tr != nil {
+			tr.Begin(int32(src), 0)
+		}
 		res.Err = err
 		return res, false, t
 	}
 	res.Path = []int{src}
 	res.MaxHeaderBits = h.Bits()
+	// Each attempt restarts the trace: the surviving hop log describes
+	// the final attempt's walk, matching Result.Sim.
+	if tr != nil {
+		tr.Begin(int32(src), int32(res.MaxHeaderBits))
+	}
 	if !in.nodeUp(src, t) {
 		return res, true, t
 	}
@@ -293,6 +302,9 @@ func attempt[H sim.Header](g *graph.Graph, r sim.Router[H], src, dst, maxHops in
 		}
 		if arrived {
 			res.Dst = at
+			if tr != nil {
+				tr.Dst = int32(at)
+			}
 			return res, false, t
 		}
 		if len(res.Path) > maxHops {
@@ -318,8 +330,18 @@ func attempt[H sim.Header](g *graph.Graph, r sim.Router[H], src, dst, maxHops in
 		if !in.nodeUp(next, t) {
 			return res, true, t
 		}
-		if b := nh.Bits(); b > res.MaxHeaderBits {
+		b := nh.Bits()
+		if b > res.MaxHeaderBits {
 			res.MaxHeaderBits = b
+		}
+		if tr != nil {
+			tr.Hops = append(tr.Hops, trace.Hop{
+				From:       int32(at),
+				To:         int32(next),
+				Phase:      sim.PhaseOf(nh),
+				HeaderBits: int32(b),
+				Dist:       w,
+			})
 		}
 		h = nh
 		res.Path = append(res.Path, next)
@@ -337,6 +359,15 @@ func attempt[H sim.Header](g *graph.Graph, r sim.Router[H], src, dst, maxHops in
 // clock.
 func Deliver[H sim.Header](g *graph.Graph, r sim.Router[H], src, dst, maxHops int,
 	in *Injector, rel Reliability, id uint64) Result {
+	return DeliverTraced(g, r, src, dst, maxHops, in, rel, id, nil)
+}
+
+// DeliverTraced is Deliver with an optional trace. Each attempt resets
+// the trace, so the surviving hop log matches Result.Sim (the final
+// attempt's walk); the trace's Attempts and Drops fields report the
+// whole delivery. A nil tr takes the exact Deliver path.
+func DeliverTraced[H sim.Header](g *graph.Graph, r sim.Router[H], src, dst, maxHops int,
+	in *Injector, rel Reliability, id uint64, tr *trace.Trace) Result {
 	if maxHops <= 0 {
 		maxHops = 8 * g.N()
 	}
@@ -347,26 +378,31 @@ func Deliver[H sim.Header](g *graph.Graph, r sim.Router[H], src, dst, maxHops in
 	var out Result
 	t := 0.0
 	for att := 0; ; att++ {
-		res, dropped, end := attempt(g, r, src, dst, maxHops, in, id, uint64(att), t)
+		res, dropped, end := attempt(g, r, src, dst, maxHops, in, id, uint64(att), t, tr)
 		out.Attempts++
 		out.Sim = res
 		out.Time = end
 		if res.Err != nil {
-			return out // routing error: retrying cannot change a pure step function
+			break // routing error: retrying cannot change a pure step function
 		}
 		if !dropped {
 			out.Delivered = true
-			return out
+			break
 		}
 		out.Drops++
 		if out.Attempts >= maxAttempts {
-			return out
+			break
 		}
 		t = end + in.backoff(rel, id, uint64(att+1))
 		if rel.Deadline > 0 && t > rel.Deadline {
-			return out
+			break
 		}
 	}
+	if tr != nil {
+		tr.Attempts = int32(out.Attempts)
+		tr.Drops = int32(out.Drops)
+	}
+	return out
 }
 
 // Run executes the deliveries under the plan, one result per delivery

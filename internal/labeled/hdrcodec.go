@@ -1,0 +1,183 @@
+package labeled
+
+import (
+	"fmt"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/trace"
+	"compactrouting/internal/treeroute"
+)
+
+// This file gives the labeled packet headers a real wire form. Bits()
+// promises an exact encoded size; the Encode/Decode pair here is that
+// encoding, and the codec tests pin Writer.Len() == Bits() so the
+// bit-accounting the experiments report can never drift from what a
+// serializer would actually emit. The same headers classify themselves
+// for the trace layer via TracePhase.
+
+// TracePhase classifies simple-scheme hops: every hop is a direct
+// ring-hit move toward the current net point (trace.PhaseDirect).
+func (h SimpleHeader) TracePhase() trace.Phase { return trace.PhaseDirect }
+
+// TracePhase maps Algorithm 5's phases onto the trace vocabulary:
+// ring-cascade hops are direct, the ride to the Voronoi center is a
+// tree climb, the Search Tree II round trip is a search, and the
+// center-to-destination leg is final. Hops taken after the scheme gave
+// up on its analyzed cascade are fallback until the final leg.
+func (h SFHeader) TracePhase() trace.Phase {
+	if h.Fallback && h.Phase != SFPhaseFinal {
+		return trace.PhaseFallback
+	}
+	switch h.Phase {
+	case SFPhaseToCenter:
+		return trace.PhaseTree
+	case SFPhaseSearchDown, SFPhaseSearchUp:
+		return trace.PhaseSearch
+	case SFPhaseFinal:
+		return trace.PhaseFinal
+	default:
+		return trace.PhaseDirect
+	}
+}
+
+// simpleTagBits is the fixed tag width Bits() charges for SimpleHeader
+// (reserved; written as zero).
+const simpleTagBits = 2
+
+// Encode serializes the header; the emitted size equals Bits().
+func (h SimpleHeader) Encode(w *bits.Writer) {
+	w.WriteBits(0, simpleTagBits)
+	w.WriteUvarint(uint64(h.Level))
+	w.WriteUvarint(uint64(h.Label))
+	w.WriteUvarint(uint64(h.Target + 1))
+}
+
+// DecodeSimpleHeader reads a header written by SimpleHeader.Encode.
+func DecodeSimpleHeader(r *bits.Reader) (SimpleHeader, error) {
+	tag, err := r.ReadBits(simpleTagBits)
+	if err != nil {
+		return SimpleHeader{}, err
+	}
+	if tag != 0 {
+		return SimpleHeader{}, fmt.Errorf("labeled: bad header tag %d", tag)
+	}
+	var h SimpleHeader
+	if h.Level, err = readID(r, "level", 0); err != nil {
+		return SimpleHeader{}, err
+	}
+	if h.Label, err = readID(r, "label", 0); err != nil {
+		return SimpleHeader{}, err
+	}
+	if h.Target, err = readShiftedID(r, "target"); err != nil {
+		return SimpleHeader{}, err
+	}
+	return h, nil
+}
+
+// sfPhaseBits is the phase tag width Bits() charges for SFHeader.
+const sfPhaseBits = 3
+
+// Encode serializes the header: phase tag, label, the Found/Fallback
+// flags, then exactly the per-phase state Bits() accounts for.
+func (h SFHeader) Encode(w *bits.Writer) {
+	w.WriteBits(uint64(h.Phase), sfPhaseBits)
+	w.WriteUvarint(uint64(h.Label))
+	w.WriteBit(h.Found)
+	w.WriteBit(h.Fallback)
+	switch h.Phase {
+	case SFPhaseA:
+		w.WriteUvarint(uint64(h.Prev))
+	case SFPhaseToCenter:
+		w.WriteUvarint(uint64(h.J))
+		h.CenterLabel.Encode(w)
+	case SFPhaseSearchDown, SFPhaseSearchUp:
+		w.WriteUvarint(uint64(h.J))
+		w.WriteUvarint(uint64(h.VTarget + 1))
+		if h.Found {
+			h.Data.Encode(w)
+		}
+	case SFPhaseFinal:
+		w.WriteUvarint(uint64(h.J))
+		h.Data.Encode(w)
+	}
+}
+
+// DecodeSFHeader reads a header written by SFHeader.Encode. Fields the
+// active phase does not carry decode to their zero values, exactly as
+// a fresh header would hold them.
+func DecodeSFHeader(r *bits.Reader) (SFHeader, error) {
+	tag, err := r.ReadBits(sfPhaseBits)
+	if err != nil {
+		return SFHeader{}, err
+	}
+	if tag > uint64(SFPhaseFinal) {
+		return SFHeader{}, fmt.Errorf("labeled: bad SF phase %d", tag)
+	}
+	h := SFHeader{Phase: SFPhase(tag)}
+	if h.Label, err = readID(r, "label", 0); err != nil {
+		return SFHeader{}, err
+	}
+	if h.Found, err = r.ReadBit(); err != nil {
+		return SFHeader{}, err
+	}
+	if h.Fallback, err = r.ReadBit(); err != nil {
+		return SFHeader{}, err
+	}
+	switch h.Phase {
+	case SFPhaseA:
+		if h.Prev, err = readID(r, "prev", 0); err != nil {
+			return SFHeader{}, err
+		}
+	case SFPhaseToCenter:
+		if h.J, err = readID(r, "j", 0); err != nil {
+			return SFHeader{}, err
+		}
+		if h.CenterLabel, err = treeroute.DecodePortLabel(r); err != nil {
+			return SFHeader{}, err
+		}
+	case SFPhaseSearchDown, SFPhaseSearchUp:
+		if h.J, err = readID(r, "j", 0); err != nil {
+			return SFHeader{}, err
+		}
+		if h.VTarget, err = readShiftedID(r, "vtarget"); err != nil {
+			return SFHeader{}, err
+		}
+		if h.Found {
+			if h.Data, err = treeroute.DecodePortLabel(r); err != nil {
+				return SFHeader{}, err
+			}
+		}
+	case SFPhaseFinal:
+		if h.J, err = readID(r, "j", 0); err != nil {
+			return SFHeader{}, err
+		}
+		if h.Data, err = treeroute.DecodePortLabel(r); err != nil {
+			return SFHeader{}, err
+		}
+	}
+	return h, nil
+}
+
+// readID reads a uvarint field that must fit int32 and be >= min.
+func readID(r *bits.Reader, field string, min int32) (int32, error) {
+	v, err := r.ReadUvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > 1<<31-1 {
+		return 0, fmt.Errorf("labeled: %s %d overflows int32", field, v)
+	}
+	if int32(v) < min {
+		return 0, fmt.Errorf("labeled: %s %d below %d", field, int32(v), min)
+	}
+	return int32(v), nil
+}
+
+// readShiftedID reads a field encoded as value+1 so -1 round-trips.
+func readShiftedID(r *bits.Reader, field string) (int32, error) {
+	v, err := readID(r, field, 0)
+	if err != nil {
+		return 0, err
+	}
+	return v - 1, nil
+}

@@ -307,6 +307,11 @@ func (s *ScaleFree) TableBits(v int) int { return s.tblBits[v] }
 // Eps returns the stretch parameter.
 func (s *ScaleFree) Eps() float64 { return s.eps }
 
+// StretchBound returns the analytical stretch guarantee, Lemma 4.7's
+// 1+O(eps) with its working constant (the same bound the package's
+// all-pairs tests assert against).
+func (s *ScaleFree) StretchBound() float64 { return 1 + 25*s.eps }
+
 // Hierarchy exposes the shared net hierarchy.
 func (s *ScaleFree) Hierarchy() *rnet.Hierarchy { return s.h }
 

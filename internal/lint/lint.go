@@ -186,6 +186,7 @@ var DeterministicPaths = map[string]bool{
 	"compactrouting/internal/ballpack":  true,
 	"compactrouting/internal/treeroute": true,
 	"compactrouting/internal/tz":        true,
+	"compactrouting/internal/trace":     true,
 }
 
 // Run executes the suite and returns the findings sorted by position.

@@ -125,7 +125,10 @@ func (s *ScaleFree) enterLevel(w int, h SFNIHeader) (SFNIHeader, bool, error) {
 		return h, false, fmt.Errorf("nameind: anchor %d not in Y_%d", w, h.Level)
 	}
 	if s.ownTrees[h.Level][pos] != nil {
+		// J/Idx are only meaningful under UseBall; clear them so the
+		// header matches its wire form (the codec omits them here).
 		h.UseBall = false
+		h.J, h.Idx = 0, 0
 		h.Phase = SFNISearchDown
 		h.VTarget = int32(w)
 		return h, false, nil

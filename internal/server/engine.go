@@ -36,6 +36,7 @@ import (
 	"compactrouting/internal/nameind"
 	"compactrouting/internal/par"
 	"compactrouting/internal/sim"
+	"compactrouting/internal/trace"
 )
 
 // SchemeNames are the schemes the engine can compile, in report order.
@@ -69,7 +70,20 @@ type Config struct {
 	// route (with source-side retries) so the daemon's degradation under
 	// faults can be observed live on /metrics.
 	Chaos *ChaosParams
+	// TraceSample, when > 0, runs every Nth route query traced and folds
+	// the per-phase detour decomposition into /metrics (counter-based:
+	// under sequential load the sampled request set is a pure function of
+	// request order). 0 disables sampling.
+	TraceSample int
+	// TraceHopCap bounds the hop records echoed in a ?trace=1 response
+	// (the summary always covers the full walk). 0 selects
+	// DefaultTraceHopCap; negative means no cap.
+	TraceHopCap int
 }
+
+// DefaultTraceHopCap is the default bound on hop records per ?trace=1
+// response.
+const DefaultTraceHopCap = 512
 
 // ChaosParams configures the daemon's fault injection (routed -chaos).
 type ChaosParams struct {
@@ -125,6 +139,9 @@ type RouteResult struct {
 	// engine runs with fault injection (zero otherwise).
 	Attempts int `json:"attempts,omitempty"`
 	Drops    int `json:"drops,omitempty"`
+	// Trace is the per-hop execution trace, present only on ?trace=1
+	// queries (hop log capped by Config.TraceHopCap). Never cached.
+	Trace *trace.Wire `json:"trace,omitempty"`
 }
 
 // SchemeInfo is the GET /schemes accounting for one compiled scheme,
@@ -153,9 +170,13 @@ type GraphInfo struct {
 type scheme struct {
 	info SchemeInfo
 	run  func(src, dst int) sim.Result
+	// runTraced drives the identical step functions with a trace
+	// attached (?trace=1 queries and 1-in-N sampling).
+	runTraced func(src, dst int, tr *trace.Trace) sim.Result
 	// chaos runs the same step functions under fault injection; nil
 	// unless the engine was configured with ChaosParams.
-	chaos func(src, dst int, id uint64) faultsim.Result
+	chaos       func(src, dst int, id uint64) faultsim.Result
+	chaosTraced func(src, dst int, id uint64, tr *trace.Trace) faultsim.Result
 }
 
 // state is the engine's immutable-after-build world; reload builds a
@@ -171,13 +192,16 @@ type state struct {
 // Engine owns the compiled schemes, the route cache and the metrics.
 // All methods are safe for concurrent use.
 type Engine struct {
-	cfg     Config
-	cache   *routeCache
-	met     *metrics
-	workers int
-	chaos   *chaosRuntime // nil when fault injection is off
-	st      atomic.Pointer[state]
-	reload  sync.Mutex // serializes Reload, not queries
+	cfg         Config
+	cache       *routeCache
+	met         *metrics
+	workers     int
+	chaos       *chaosRuntime // nil when fault injection is off
+	traceSample int           // sample every Nth route traced; 0 = off
+	traceHopCap int           // hop records per ?trace=1 response; <= 0 = no cap
+	traceSeq    atomic.Uint64 // route counter driving the 1-in-N sampler
+	st          atomic.Pointer[state]
+	reload      sync.Mutex // serializes Reload, not queries
 }
 
 // New builds the network via cfg.Build(cfg.Seed) and compiles the
@@ -196,12 +220,18 @@ func New(cfg Config) (*Engine, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	hopCap := cfg.TraceHopCap
+	if hopCap == 0 {
+		hopCap = DefaultTraceHopCap
+	}
 	e := &Engine{
-		cfg:     cfg,
-		cache:   newRouteCache(cfg.CacheEntries),
-		met:     newMetrics(),
-		workers: workers,
-		chaos:   newChaosRuntime(cfg.Chaos, cfg.Seed),
+		cfg:         cfg,
+		cache:       newRouteCache(cfg.CacheEntries),
+		met:         newMetrics(cfg.Schemes),
+		workers:     workers,
+		chaos:       newChaosRuntime(cfg.Chaos, cfg.Seed),
+		traceSample: cfg.TraceSample,
+		traceHopCap: hopCap,
 	}
 	st, err := e.build(cfg.Seed, 0)
 	if err != nil {
@@ -240,21 +270,40 @@ func (e *Engine) build(seed int64, gen uint64) (*state, error) {
 	return st, nil
 }
 
+// runners is the type-erased query surface bind produces for a scheme.
+type runners struct {
+	run         func(src, dst int) sim.Result
+	runTraced   func(src, dst int, tr *trace.Trace) sim.Result
+	chaos       func(src, dst int, id uint64) faultsim.Result
+	chaosTraced func(src, dst int, id uint64, tr *trace.Trace) faultsim.Result
+}
+
 // bind wraps a generic Router into the engine's uniform runners. addr
 // translates a destination NODE id into the scheme's address space (a
 // label or an original name), so every scheme serves the same API. The
-// second runner drives the identical step functions through
-// faultsim.Deliver and is nil when chaos is off.
-func bind[H sim.Header](g *graph.Graph, r sim.Router[H], addr func(int) int, maxHops int, ch *chaosRuntime) (func(int, int) sim.Result, func(int, int, uint64) faultsim.Result) {
-	run := func(src, dst int) sim.Result {
-		return sim.RouteOnce(g, r, src, addr(dst), maxHops)
+// chaos runners drive the identical step functions through
+// faultsim.Deliver and are nil when chaos is off. Traced and untraced
+// runners share one code path (RouteOnceTraced with a nil trace is
+// RouteOnce), so a traced route is byte-identical to an untraced one.
+func bind[H sim.Header](g *graph.Graph, r sim.Router[H], addr func(int) int, maxHops int, ch *chaosRuntime) runners {
+	rn := runners{
+		run: func(src, dst int) sim.Result {
+			return sim.RouteOnce(g, r, src, addr(dst), maxHops)
+		},
+		runTraced: func(src, dst int, tr *trace.Trace) sim.Result {
+			return sim.RouteOnceTraced(g, r, src, addr(dst), maxHops, tr)
+		},
 	}
 	if ch == nil {
-		return run, nil
+		return rn
 	}
-	return run, func(src, dst int, id uint64) faultsim.Result {
+	rn.chaos = func(src, dst int, id uint64) faultsim.Result {
 		return faultsim.Deliver(g, r, src, addr(dst), maxHops, ch.in, ch.rel, id)
 	}
+	rn.chaosTraced = func(src, dst int, id uint64, tr *trace.Trace) faultsim.Result {
+		return faultsim.DeliverTraced(g, r, src, addr(dst), maxHops, ch.in, ch.rel, id, tr)
+	}
+	return rn
 }
 
 func clamp(eps, hi float64) float64 {
@@ -270,8 +319,7 @@ func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, see
 	n := g.N()
 	start := time.Now()
 	var (
-		run       func(int, int) sim.Result
-		chaos     func(int, int, uint64) faultsim.Result
+		rn        runners
 		kind      string
 		labelBits int
 		tableBits func(int) int
@@ -282,14 +330,14 @@ func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, see
 		if err != nil {
 			return nil, err
 		}
-		run, chaos = bind(g, sim.SimpleLabeledRouter{S: s}, s.LabelOf, 0, ch)
+		rn = bind(g, sim.SimpleLabeledRouter{S: s}, s.LabelOf, 0, ch)
 		kind, labelBits, tableBits = "labeled", bits.UintBits(n), s.TableBits
 	case "scale-free-labeled":
 		s, err := labeled.NewScaleFree(g, a, clamp(eps, 0.25))
 		if err != nil {
 			return nil, err
 		}
-		run, chaos = bind(g, sim.ScaleFreeLabeledRouter{S: s}, s.LabelOf, 64*n, ch)
+		rn = bind(g, sim.ScaleFreeLabeledRouter{S: s}, s.LabelOf, 64*n, ch)
 		kind, labelBits, tableBits = "labeled", bits.UintBits(n), s.TableBits
 	case "name-independent":
 		ne := clamp(eps, 1.0/3)
@@ -302,7 +350,7 @@ func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, see
 		if err != nil {
 			return nil, err
 		}
-		run, chaos = bind(g, sim.NameIndependentRouter{S: s}, nm.NameOf, 256*n, ch)
+		rn = bind(g, sim.NameIndependentRouter{S: s}, nm.NameOf, 256*n, ch)
 		kind, labelBits, tableBits = "name-independent", bits.UintBits(nm.MaxName()+1), s.TableBits
 	case "scale-free-name-independent":
 		ne := clamp(eps, 0.25)
@@ -315,18 +363,18 @@ func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, see
 		if err != nil {
 			return nil, err
 		}
-		run, chaos = bind(g, sim.ScaleFreeNameIndependentRouter{S: s}, nm.NameOf, 512*n, ch)
+		rn = bind(g, sim.ScaleFreeNameIndependentRouter{S: s}, nm.NameOf, 512*n, ch)
 		kind, labelBits, tableBits = "name-independent", bits.UintBits(nm.MaxName()+1), s.TableBits
 	case "full-table":
 		s := baseline.NewFullTable(g, a)
-		run, chaos = bind(g, sim.FullTableRouter{S: s}, func(v int) int { return v }, 0, ch)
+		rn = bind(g, sim.FullTableRouter{S: s}, func(v int) int { return v }, 0, ch)
 		kind, labelBits, tableBits = "baseline", bits.UintBits(n), s.TableBits
 	case "single-tree":
 		s, err := baseline.NewSingleTree(g, 0)
 		if err != nil {
 			return nil, err
 		}
-		run, chaos = bind(g, sim.SingleTreeRouter{S: s}, func(v int) int { return v }, 0, ch)
+		rn = bind(g, sim.SingleTreeRouter{S: s}, func(v int) int { return v }, 0, ch)
 		kind, labelBits, tableBits = "baseline", bits.UintBits(n), s.TableBits
 	default:
 		return nil, fmt.Errorf("unknown scheme %q (have %v)", name, SchemeNames)
@@ -342,8 +390,10 @@ func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, see
 			TableTotal:    tb.TotalBits,
 			BuildMillis:   float64(time.Since(start).Microseconds()) / 1000,
 		},
-		run:   run,
-		chaos: chaos,
+		run:         rn.run,
+		runTraced:   rn.runTraced,
+		chaos:       rn.chaos,
+		chaosTraced: rn.chaosTraced,
 	}, nil
 }
 
@@ -351,6 +401,32 @@ func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, see
 // returned by value so callers may set Cached without racing the cached
 // copy; Path is shared and must not be mutated.
 func (e *Engine) Route(schemeName string, src, dst int) (RouteResult, error) {
+	return e.route(schemeName, src, dst, false)
+}
+
+// RouteTraced answers one query with its full execution trace attached
+// (RouteResult.Trace, hop log capped by Config.TraceHopCap). Traced
+// queries always execute the route — the cache is read-bypassed so the
+// hop log describes a real walk — but the computed result still feeds
+// the cache for later untraced queries.
+func (e *Engine) RouteTraced(schemeName string, src, dst int) (RouteResult, error) {
+	return e.route(schemeName, src, dst, true)
+}
+
+// sampleTrace implements the deterministic 1-in-N sampler: route
+// queries are numbered by an atomic counter and every Nth one runs
+// traced. Under sequential load the sampled set is a pure function of
+// request order (the 1st, N+1st, 2N+1st, ... queries); concurrent
+// load keeps the exact 1/N rate but the assignment follows arrival
+// order at the counter.
+func (e *Engine) sampleTrace() bool {
+	if e.traceSample <= 0 {
+		return false
+	}
+	return (e.traceSeq.Add(1)-1)%uint64(e.traceSample) == 0
+}
+
+func (e *Engine) route(schemeName string, src, dst int, wantTrace bool) (RouteResult, error) {
 	st := e.st.Load()
 	s, ok := st.schemes[schemeName]
 	if !ok {
@@ -360,15 +436,26 @@ func (e *Engine) Route(schemeName string, src, dst int) (RouteResult, error) {
 	if src < 0 || src >= n || dst < 0 || dst >= n {
 		return RouteResult{}, fmt.Errorf("pair (%d, %d) out of range [0, %d)", src, dst, n)
 	}
+	sampled := e.sampleTrace()
 	if e.chaos != nil {
-		return e.routeChaos(st, s, schemeName, src, dst)
+		return e.routeChaos(st, s, schemeName, src, dst, wantTrace, sampled)
 	}
-	if v, ok := e.cache.Get(schemeName, src, dst, st.gen); ok {
-		out := *v
-		out.Cached = true
-		return out, nil
+	traced := wantTrace || sampled
+	if !traced {
+		if v, ok := e.cache.Get(schemeName, src, dst, st.gen); ok {
+			out := *v
+			out.Cached = true
+			return out, nil
+		}
 	}
-	res := s.run(src, dst)
+	var tr *trace.Trace
+	var res sim.Result
+	if traced {
+		tr = &trace.Trace{}
+		res = s.runTraced(src, dst, tr)
+	} else {
+		res = s.run(src, dst)
+	}
 	if res.Err != nil {
 		return RouteResult{}, fmt.Errorf("route %d -> %d: %w", src, dst, res.Err)
 	}
@@ -384,17 +471,34 @@ func (e *Engine) Route(schemeName string, src, dst int) (RouteResult, error) {
 		Stretch:       stretch(res.Cost, opt),
 		MaxHeaderBits: res.MaxHeaderBits,
 	}
+	e.met.observeRoute(schemeName, out.Stretch, out.Hops, out.MaxHeaderBits)
+	if sampled {
+		e.met.observeTrace(tr)
+	}
+	// The cached entry never carries a trace: cached results are shared
+	// between responses, and a trace belongs to the query that asked.
 	e.cache.Put(schemeName, src, dst, st.gen, out)
-	return *out, nil
+	ret := *out
+	if wantTrace {
+		ret.Trace = tr.ToWire(opt, e.traceHopCap)
+	}
+	return ret, nil
 }
 
 // routeChaos serves one query through the fault injector. Chaos routes
 // bypass the cache entirely: every query draws its own faults (a fresh
 // delivery id), so two queries for the same pair legitimately differ in
 // attempts, drops, and even outcome.
-func (e *Engine) routeChaos(st *state, s *scheme, schemeName string, src, dst int) (RouteResult, error) {
+func (e *Engine) routeChaos(st *state, s *scheme, schemeName string, src, dst int, wantTrace, sampled bool) (RouteResult, error) {
 	id := e.chaos.seq.Add(1)
-	res := s.chaos(src, dst, id)
+	var tr *trace.Trace
+	var res faultsim.Result
+	if wantTrace || sampled {
+		tr = &trace.Trace{}
+		res = s.chaosTraced(src, dst, id, tr)
+	} else {
+		res = s.chaos(src, dst, id)
+	}
 	e.met.chaosDrops.Add(uint64(res.Drops))
 	if res.Attempts > 1 {
 		e.met.chaosRetries.Add(uint64(res.Attempts - 1))
@@ -408,7 +512,7 @@ func (e *Engine) routeChaos(st *state, s *scheme, schemeName string, src, dst in
 			src, dst, res.Attempts, res.Drops)
 	}
 	opt := st.nw.Dist(src, dst)
-	return RouteResult{
+	out := RouteResult{
 		Scheme:        schemeName,
 		Src:           src,
 		Dst:           dst,
@@ -420,7 +524,15 @@ func (e *Engine) routeChaos(st *state, s *scheme, schemeName string, src, dst in
 		MaxHeaderBits: res.Sim.MaxHeaderBits,
 		Attempts:      res.Attempts,
 		Drops:         res.Drops,
-	}, nil
+	}
+	e.met.observeRoute(schemeName, out.Stretch, out.Hops, out.MaxHeaderBits)
+	if sampled {
+		e.met.observeTrace(tr)
+	}
+	if wantTrace {
+		out.Trace = tr.ToWire(opt, e.traceHopCap)
+	}
+	return out, nil
 }
 
 func stretch(cost, opt float64) float64 {
@@ -546,5 +658,6 @@ func (e *Engine) Metrics() MetricsSnapshot {
 	snap.Generation = st.gen
 	snap.Schemes = append([]string(nil), st.order...)
 	sort.Strings(snap.Schemes)
+	snap.Trace.SampleEvery = e.traceSample
 	return snap
 }

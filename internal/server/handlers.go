@@ -49,10 +49,10 @@ type SchemesResponse struct {
 
 // Handler returns the engine's HTTP API:
 //
-//	POST /route        one s->t query
+//	POST /route        one s->t query (?trace=1 attaches the hop log)
 //	POST /route/batch  many pairs, fanned over the worker pool
 //	GET  /schemes      per-scheme table/label bit accounting
-//	GET  /metrics      live counters, latency histograms, cache stats
+//	GET  /metrics      live counters, latency/stretch histograms, cache stats
 //	POST /reload       regenerate the network (new seed), drop the cache
 //	GET  /healthz      liveness probe
 func (e *Engine) Handler() http.Handler {
@@ -116,14 +116,27 @@ func (e *Engine) handleRoute(w http.ResponseWriter, r *http.Request) {
 		e.badRequest(w, "bad request body: %v", err)
 		return
 	}
+	wantTrace := r.URL.Query().Get("trace") == "1"
 	start := time.Now()
-	res, err := e.Route(req.Scheme, req.Src, req.Dst)
-	e.met.routeLatency.Observe(time.Since(start))
+	var res RouteResult
+	var err error
+	if wantTrace {
+		res, err = e.RouteTraced(req.Scheme, req.Src, req.Dst)
+	} else {
+		res, err = e.Route(req.Scheme, req.Src, req.Dst)
+	}
+	elapsed := time.Since(start)
+	e.met.routeLatency.Observe(elapsed)
 	e.met.routes.Add(1)
 	if err != nil {
 		e.met.routeErrors.Add(1)
 		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
 		return
+	}
+	if res.Cached {
+		e.met.routeLatencyHit.Observe(elapsed)
+	} else {
+		e.met.routeLatencyMiss.Observe(elapsed)
 	}
 	if req.OmitPath {
 		res.Path = nil

@@ -1,8 +1,11 @@
 package server
 
 import (
+	"sort"
 	"sync/atomic"
 	"time"
+
+	"compactrouting/internal/trace"
 )
 
 // latencyBucketsUS are the upper bounds (microseconds, inclusive) of
@@ -66,6 +69,72 @@ func (h *histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// hopBucketEdges bound the per-route hop-count histogram.
+var hopBucketEdges = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// headerBitBucketEdges bound the max-header-bits histogram.
+var headerBitBucketEdges = []float64{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// valueHist is a fixed-bucket histogram over float64 observations
+// (stretch, hops, header bits), safe for concurrent use. The sum is
+// kept in 1e-6 units so the mean needs no float atomics.
+type valueHist struct {
+	edges    []float64       // guarded by init; bucket upper bounds, inclusive
+	counts   []atomic.Uint64 // guarded by atomic; len(edges)+1, last unbounded
+	n        atomic.Uint64   // guarded by atomic
+	sumMicro atomic.Uint64   // guarded by atomic; sum of observations * 1e6
+}
+
+func newValueHist(edges []float64) *valueHist {
+	return &valueHist{edges: edges, counts: make([]atomic.Uint64, len(edges)+1)}
+}
+
+func (h *valueHist) Observe(v float64) {
+	h.n.Add(1)
+	if v > 0 {
+		h.sumMicro.Add(uint64(v * 1e6))
+	}
+	for i, ub := range h.edges {
+		if v <= ub {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(h.edges)].Add(1)
+}
+
+// ValueHistogramSnapshot is the JSON form of a valueHist.
+type ValueHistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Mean    float64       `json:"mean"`
+	Buckets []ValueBucket `json:"buckets,omitempty"`
+}
+
+// ValueBucket is one bin; LE is the inclusive upper bound, -1 = +inf.
+type ValueBucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+func (h *valueHist) Snapshot() ValueHistogramSnapshot {
+	s := ValueHistogramSnapshot{Count: h.n.Load()}
+	if s.Count > 0 {
+		s.Mean = float64(h.sumMicro.Load()) / 1e6 / float64(s.Count)
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		ub := float64(-1)
+		if i < len(h.edges) {
+			ub = h.edges[i]
+		}
+		s.Buckets = append(s.Buckets, ValueBucket{LE: ub, Count: c})
+	}
+	return s
+}
+
 // metrics aggregates the server's live counters. All fields are atomics
 // so handler goroutines never serialize on a metrics lock.
 type metrics struct {
@@ -82,24 +151,70 @@ type metrics struct {
 	chaosDrops   atomic.Uint64 // guarded by atomic; packets lost to injected faults
 	chaosRetries atomic.Uint64 // guarded by atomic; extra transmissions the retry layer spent
 	chaosFailed  atomic.Uint64 // guarded by atomic; deliveries that failed every attempt
+
+	routeLatencyHit  histogram // guarded by atomic; latency of cache-hit route requests
+	routeLatencyMiss histogram // guarded by atomic; latency of computed route requests
+
+	// Route-shape histograms, fed by every computed (non-cached) route.
+	// The stretch histograms use the shared trace.StretchBucketEdges so
+	// /metrics and routebench -json distributions are comparable.
+	traceSchemes []string              // guarded by init; sorted scheme names
+	stretchHist  map[string]*valueHist // guarded by init; per-scheme stretch, fixed key set
+	hopsHist     *valueHist            // guarded by init
+	headerHist   *valueHist            // guarded by init
+
+	// Sampled-trace accounting: every 1-in-N route runs traced and its
+	// per-phase decomposition lands here (costs in 1e-6 units).
+	tracesSampled  atomic.Uint64                  // guarded by atomic
+	phaseHops      [trace.NumPhases]atomic.Uint64 // guarded by atomic
+	phaseCostMicro [trace.NumPhases]atomic.Uint64 // guarded by atomic
 }
 
 // MetricsSnapshot is the GET /metrics response body.
 type MetricsSnapshot struct {
-	UptimeSeconds float64           `json:"uptime_seconds"`
-	Requests      uint64            `json:"requests"`
-	Routes        uint64            `json:"routes"`
-	BatchRoutes   uint64            `json:"batch_routes"`
-	RouteErrors   uint64            `json:"route_errors"`
-	BadRequests   uint64            `json:"bad_requests"`
-	Reloads       uint64            `json:"reloads"`
-	InFlight      int64             `json:"in_flight"`
-	Cache         CacheSnapshot     `json:"cache"`
-	RouteLatency  HistogramSnapshot `json:"route_latency"`
-	BatchLatency  HistogramSnapshot `json:"batch_latency"`
-	Chaos         ChaosSnapshot     `json:"chaos"`
-	Generation    uint64            `json:"generation"`
-	Schemes       []string          `json:"schemes"`
+	UptimeSeconds    float64              `json:"uptime_seconds"`
+	Requests         uint64               `json:"requests"`
+	Routes           uint64               `json:"routes"`
+	BatchRoutes      uint64               `json:"batch_routes"`
+	RouteErrors      uint64               `json:"route_errors"`
+	BadRequests      uint64               `json:"bad_requests"`
+	Reloads          uint64               `json:"reloads"`
+	InFlight         int64                `json:"in_flight"`
+	Cache            CacheSnapshot        `json:"cache"`
+	RouteLatency     HistogramSnapshot    `json:"route_latency"`
+	RouteLatencyHit  HistogramSnapshot    `json:"route_latency_hit"`
+	RouteLatencyMiss HistogramSnapshot    `json:"route_latency_miss"`
+	BatchLatency     HistogramSnapshot    `json:"batch_latency"`
+	Trace            TraceMetricsSnapshot `json:"trace"`
+	Chaos            ChaosSnapshot        `json:"chaos"`
+	Generation       uint64               `json:"generation"`
+	Schemes          []string             `json:"schemes"`
+}
+
+// TraceMetricsSnapshot reports the tracing-derived distributions: the
+// per-scheme stretch histograms, the route-shape histograms, and the
+// sampled per-phase detour decomposition.
+type TraceMetricsSnapshot struct {
+	SampleEvery int                    `json:"sample_every,omitempty"`
+	Sampled     uint64                 `json:"sampled"`
+	Stretch     []SchemeStretchHist    `json:"stretch,omitempty"`
+	Hops        ValueHistogramSnapshot `json:"hops"`
+	HeaderBits  ValueHistogramSnapshot `json:"header_bits"`
+	Phases      []PhaseSnapshot        `json:"phases,omitempty"`
+}
+
+// SchemeStretchHist is one scheme's served-stretch distribution.
+type SchemeStretchHist struct {
+	Scheme string                 `json:"scheme"`
+	Hist   ValueHistogramSnapshot `json:"hist"`
+}
+
+// PhaseSnapshot aggregates the sampled traces' hops and cost spent in
+// one scheme phase.
+type PhaseSnapshot struct {
+	Phase string  `json:"phase"`
+	Hops  uint64  `json:"hops"`
+	Cost  float64 `json:"cost"`
 }
 
 // ChaosSnapshot reports the fault-injection counters (routed -chaos):
@@ -122,7 +237,43 @@ type CacheSnapshot struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
-func newMetrics() *metrics { return &metrics{start: time.Now()} }
+func newMetrics(schemes []string) *metrics {
+	sorted := append([]string(nil), schemes...)
+	sort.Strings(sorted)
+	hist := make(map[string]*valueHist, len(sorted))
+	for _, s := range sorted {
+		hist[s] = newValueHist(trace.StretchBucketEdges)
+	}
+	return &metrics{
+		start:        time.Now(),
+		traceSchemes: sorted,
+		stretchHist:  hist,
+		hopsHist:     newValueHist(hopBucketEdges),
+		headerHist:   newValueHist(headerBitBucketEdges),
+	}
+}
+
+// observeRoute records one computed route's shape.
+func (m *metrics) observeRoute(scheme string, stretch float64, hops, headerBits int) {
+	if h, ok := m.stretchHist[scheme]; ok {
+		h.Observe(stretch)
+	}
+	m.hopsHist.Observe(float64(hops))
+	m.headerHist.Observe(float64(headerBits))
+}
+
+// observeTrace folds one sampled trace into the phase decomposition.
+func (m *metrics) observeTrace(t *trace.Trace) {
+	m.tracesSampled.Add(1)
+	for i := range t.Hops {
+		p := t.Hops[i].Phase
+		if int(p) >= trace.NumPhases {
+			p = trace.PhaseDirect
+		}
+		m.phaseHops[p].Add(1)
+		m.phaseCostMicro[p].Add(uint64(t.Hops[i].Dist * 1e6))
+	}
+}
 
 func (m *metrics) snapshot(c *routeCache) MetricsSnapshot {
 	hits, misses, evicted, size := c.Stats()
@@ -130,18 +281,44 @@ func (m *metrics) snapshot(c *routeCache) MetricsSnapshot {
 	if total := hits + misses; total > 0 {
 		cs.HitRate = float64(hits) / float64(total)
 	}
+	tm := TraceMetricsSnapshot{
+		Sampled:    m.tracesSampled.Load(),
+		Hops:       m.hopsHist.Snapshot(),
+		HeaderBits: m.headerHist.Snapshot(),
+	}
+	for _, name := range m.traceSchemes {
+		h := m.stretchHist[name]
+		if h.n.Load() == 0 {
+			continue
+		}
+		tm.Stretch = append(tm.Stretch, SchemeStretchHist{Scheme: name, Hist: h.Snapshot()})
+	}
+	for p := 0; p < trace.NumPhases; p++ {
+		hops := m.phaseHops[p].Load()
+		if hops == 0 {
+			continue
+		}
+		tm.Phases = append(tm.Phases, PhaseSnapshot{
+			Phase: trace.Phase(p).String(),
+			Hops:  hops,
+			Cost:  float64(m.phaseCostMicro[p].Load()) / 1e6,
+		})
+	}
 	return MetricsSnapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Requests:      m.requests.Load(),
-		Routes:        m.routes.Load(),
-		BatchRoutes:   m.batchRoutes.Load(),
-		RouteErrors:   m.routeErrors.Load(),
-		BadRequests:   m.badRequests.Load(),
-		Reloads:       m.reloads.Load(),
-		InFlight:      m.inFlight.Load(),
-		Cache:         cs,
-		RouteLatency:  m.routeLatency.Snapshot(),
-		BatchLatency:  m.batchLatency.Snapshot(),
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+		Requests:         m.requests.Load(),
+		Routes:           m.routes.Load(),
+		BatchRoutes:      m.batchRoutes.Load(),
+		RouteErrors:      m.routeErrors.Load(),
+		BadRequests:      m.badRequests.Load(),
+		Reloads:          m.reloads.Load(),
+		InFlight:         m.inFlight.Load(),
+		Cache:            cs,
+		RouteLatency:     m.routeLatency.Snapshot(),
+		RouteLatencyHit:  m.routeLatencyHit.Snapshot(),
+		RouteLatencyMiss: m.routeLatencyMiss.Snapshot(),
+		BatchLatency:     m.batchLatency.Snapshot(),
+		Trace:            tm,
 		Chaos: ChaosSnapshot{
 			Drops:            m.chaosDrops.Load(),
 			Retries:          m.chaosRetries.Load(),

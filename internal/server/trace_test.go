@@ -1,0 +1,306 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"compactrouting/internal/core"
+	"compactrouting/internal/trace"
+)
+
+func newTraceEngine(t testing.TB, schemes []string, cacheEntries, sample, hopCap int) *Engine {
+	t.Helper()
+	eng, err := New(Config{
+		Build:        geometricBuild(80),
+		Seed:         1,
+		Eps:          0.25,
+		Schemes:      schemes,
+		CacheEntries: cacheEntries,
+		TraceSample:  sample,
+		TraceHopCap:  hopCap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// longPair finds a sampled pair whose route takes at least minHops hops.
+func longPair(t *testing.T, eng *Engine, scheme string, minHops int) (int, int) {
+	t.Helper()
+	for _, p := range core.SamplePairs(eng.Graph().Nodes, 64, 7) {
+		res, err := eng.Route(scheme, p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hops >= minHops {
+			return p[0], p[1]
+		}
+	}
+	t.Fatalf("no pair with >= %d hops in sample", minHops)
+	return 0, 0
+}
+
+// TestTraceOverHTTPShape pins the ?trace=1 contract: the hop log is
+// attached, consistent with the result's own accounting, and absent
+// without the flag.
+func TestTraceOverHTTPShape(t *testing.T) {
+	eng := newTraceEngine(t, []string{"simple-labeled"}, 64, 0, 0)
+	ts := httptest.NewServer(eng.Handler())
+	defer ts.Close()
+	src, dst := longPair(t, eng, "simple-labeled", 3)
+
+	var traced RouteResult
+	if code := postJSON(t, ts.URL+"/route?trace=1", RouteRequest{Scheme: "simple-labeled", Src: src, Dst: dst}, &traced); code != 200 {
+		t.Fatalf("traced route status %d", code)
+	}
+	w := traced.Trace
+	if w == nil {
+		t.Fatal("?trace=1 response carries no trace")
+	}
+	if w.Src != src || w.Dst != dst {
+		t.Fatalf("trace endpoints (%d,%d), want (%d,%d)", w.Src, w.Dst, src, dst)
+	}
+	if w.Truncated || w.TotalHops != traced.Hops || len(w.Hops) != traced.Hops {
+		t.Fatalf("trace hop accounting %d/%d (truncated=%v), route has %d hops", len(w.Hops), w.TotalHops, w.Truncated, traced.Hops)
+	}
+	if w.Hops[0].From != src || w.Hops[len(w.Hops)-1].To != dst {
+		t.Fatalf("hop log does not span src..dst: %+v", w.Hops)
+	}
+	if w.Summary.Hops != traced.Hops || w.Summary.Cost != traced.Cost || w.Summary.Stretch != traced.Stretch {
+		t.Fatalf("trace summary %+v disagrees with route %+v", w.Summary, traced)
+	}
+	if w.Summary.MaxHeaderBits != traced.MaxHeaderBits {
+		t.Fatalf("trace max header bits %d, route says %d", w.Summary.MaxHeaderBits, traced.MaxHeaderBits)
+	}
+
+	var plain RouteResult
+	if code := postJSON(t, ts.URL+"/route", RouteRequest{Scheme: "simple-labeled", Src: src, Dst: dst}, &plain); code != 200 {
+		t.Fatalf("plain route status %d", code)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced response carries a trace")
+	}
+	if plain.Cost != traced.Cost || plain.Hops != traced.Hops {
+		t.Fatalf("tracing changed the route: %+v vs %+v", plain, traced)
+	}
+}
+
+// TestTracedQueriesBypassCacheButFeedIt pins the cache interplay: a
+// traced query never returns a cached (trace-less) entry, but its
+// result does populate the cache for later untraced queries — and
+// cached responses never carry a trace.
+func TestTracedQueriesBypassCacheButFeedIt(t *testing.T) {
+	eng := newTraceEngine(t, []string{"full-table"}, 64, 0, 0)
+	ts := httptest.NewServer(eng.Handler())
+	defer ts.Close()
+	src, dst := longPair(t, eng, "full-table", 2)
+	url := ts.URL + "/route"
+	req := RouteRequest{Scheme: "full-table", Src: src, Dst: dst}
+
+	var first, second, third RouteResult
+	postJSON(t, url+"?trace=1", req, &first)
+	postJSON(t, url+"?trace=1", req, &second)
+	if first.Trace == nil || second.Trace == nil {
+		t.Fatal("traced queries must always carry a hop log")
+	}
+	if second.Cached {
+		t.Fatal("traced query served from cache")
+	}
+	postJSON(t, url, req, &third)
+	if !third.Cached {
+		t.Fatal("untraced repeat should hit the cache the traced query populated")
+	}
+	if third.Trace != nil {
+		t.Fatal("cached result carries a trace")
+	}
+}
+
+// TestTraceHopCapTruncation pins Config.TraceHopCap: the echoed hop log
+// is cut at the cap with Truncated set, while the summary still covers
+// the full walk.
+func TestTraceHopCapTruncation(t *testing.T) {
+	eng := newTraceEngine(t, []string{"simple-labeled"}, 0, 0, 2)
+	src, dst := longPair(t, eng, "simple-labeled", 3)
+	res, err := eng.RouteTraced("simple-labeled", src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Trace
+	if w == nil {
+		t.Fatal("RouteTraced returned no trace")
+	}
+	if !w.Truncated || len(w.Hops) != 2 {
+		t.Fatalf("cap=2: truncated=%v with %d hops echoed", w.Truncated, len(w.Hops))
+	}
+	if w.TotalHops != res.Hops || w.Summary.Hops != res.Hops {
+		t.Fatalf("truncated trace lost the full-walk accounting: total=%d summary=%d route=%d", w.TotalHops, w.Summary.Hops, res.Hops)
+	}
+}
+
+// TestTraceSamplingDeterministic pins the 1-in-N sampler: two engines
+// built from the same config, fed the same query sequence, sample the
+// same queries and accumulate identical trace metrics.
+func TestTraceSamplingDeterministic(t *testing.T) {
+	pairs := core.SamplePairs(80, 30, 5)
+	run := func() TraceMetricsSnapshot {
+		eng := newTraceEngine(t, []string{"simple-labeled"}, 64, 3, 0)
+		for _, p := range pairs {
+			if _, err := eng.Route("simple-labeled", p[0], p[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return eng.Metrics().Trace
+	}
+	a, b := run(), run()
+	if a.Sampled != 10 {
+		t.Fatalf("30 queries at 1-in-3: sampled %d, want 10", a.Sampled)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical engines diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("trace metrics JSON diverged:\n%s\nvs\n%s", ja, jb)
+	}
+}
+
+// TestMetricsTraceBlock pins the /metrics trace section: per-scheme
+// stretch histograms in sorted scheme order with the shared bucket
+// edges, hop/header histograms covering every computed route, and a
+// phase decomposition fed by the sampler.
+func TestMetricsTraceBlock(t *testing.T) {
+	eng := newTraceEngine(t, []string{"simple-labeled", "full-table"}, 0, 1, 0)
+	ts := httptest.NewServer(eng.Handler())
+	defer ts.Close()
+	pairs := core.SamplePairs(80, 10, 9)
+	for _, scheme := range []string{"full-table", "simple-labeled"} {
+		for _, p := range pairs {
+			var res RouteResult
+			if code := postJSON(t, ts.URL+"/route", RouteRequest{Scheme: scheme, Src: p[0], Dst: p[1]}, &res); code != 200 {
+				t.Fatalf("route status %d", code)
+			}
+		}
+	}
+
+	var snap MetricsSnapshot
+	if code := getJSON(t, ts.URL+"/metrics", &snap); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	tm := snap.Trace
+	if tm.SampleEvery != 1 {
+		t.Fatalf("sample_every = %d, want 1", tm.SampleEvery)
+	}
+	if want := uint64(2 * len(pairs)); tm.Sampled != want {
+		t.Fatalf("sampled = %d, want %d", tm.Sampled, want)
+	}
+	if len(tm.Stretch) != 2 || tm.Stretch[0].Scheme != "full-table" || tm.Stretch[1].Scheme != "simple-labeled" {
+		t.Fatalf("stretch histograms not in sorted scheme order: %+v", tm.Stretch)
+	}
+	for _, sh := range tm.Stretch {
+		if sh.Hist.Count != uint64(len(pairs)) {
+			t.Fatalf("%s stretch hist counts %d routes, want %d", sh.Scheme, sh.Hist.Count, len(pairs))
+		}
+		last := -1.0
+		for i, b := range sh.Hist.Buckets {
+			if b.LE == -1 {
+				if i != len(sh.Hist.Buckets)-1 {
+					t.Fatalf("%s: overflow bucket not last: %+v", sh.Scheme, sh.Hist.Buckets)
+				}
+				continue
+			}
+			if b.LE <= last {
+				t.Fatalf("%s: bucket edges not ascending: %+v", sh.Scheme, sh.Hist.Buckets)
+			}
+			last = b.LE
+		}
+	}
+	// Full-table routes are optimal: every observation lands in the
+	// lowest buckets (walk-order float summation can nudge a ratio a
+	// few ulps past 1.0, so allow the second bucket too).
+	for _, b := range tm.Stretch[0].Hist.Buckets {
+		if b.LE == -1 || b.LE > trace.StretchBucketEdges[1] {
+			t.Fatalf("full-table stretch leaked past le=%v: %+v", trace.StretchBucketEdges[1], tm.Stretch[0].Hist.Buckets)
+		}
+	}
+	if tm.Hops.Count != uint64(2*len(pairs)) || tm.HeaderBits.Count != uint64(2*len(pairs)) {
+		t.Fatalf("hop/header histograms count %d/%d, want %d each", tm.Hops.Count, tm.HeaderBits.Count, 2*len(pairs))
+	}
+	if len(tm.Phases) == 0 {
+		t.Fatal("sampled traces produced no phase decomposition")
+	}
+	for _, p := range tm.Phases {
+		if p.Hops == 0 {
+			t.Fatalf("empty phase row %+v in decomposition", p)
+		}
+	}
+}
+
+// TestTraceHammer drives 64 concurrent clients mixing traced, untraced,
+// and metrics requests; run under -race this pins the concurrency
+// safety of the sampler, the metrics histograms, and the trace-aware
+// cache path.
+func TestTraceHammer(t *testing.T) {
+	eng := newTraceEngine(t, []string{"simple-labeled", "full-table"}, 128, 2, 8)
+	ts := httptest.NewServer(eng.Handler())
+	defer ts.Close()
+	n := eng.Graph().Nodes
+
+	const clients = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			schemes := []string{"simple-labeled", "full-table"}
+			for i := 0; i < 25; i++ {
+				src, dst := rng.Intn(n), rng.Intn(n)
+				if src == dst {
+					dst = (dst + 1) % n
+				}
+				url := ts.URL + "/route"
+				wantTrace := i%3 == 0
+				if wantTrace {
+					url += "?trace=1"
+				}
+				var res RouteResult
+				code := postJSON(t, url, RouteRequest{Scheme: schemes[i%2], Src: src, Dst: dst}, &res)
+				if code != 200 {
+					errs <- fmt.Errorf("client %d: status %d", c, code)
+					return
+				}
+				if wantTrace && res.Trace == nil {
+					errs <- fmt.Errorf("client %d: traced query %d returned no trace", c, i)
+					return
+				}
+				if !wantTrace && res.Trace != nil {
+					errs <- fmt.Errorf("client %d: untraced query %d returned a trace", c, i)
+					return
+				}
+				if i%10 == 9 {
+					var snap MetricsSnapshot
+					if code := getJSON(t, ts.URL+"/metrics", &snap); code != 200 {
+						errs <- fmt.Errorf("client %d: metrics status %d", c, code)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if snap := eng.Metrics(); snap.Trace.Sampled == 0 {
+		t.Fatal("hammer sampled no traces at 1-in-2")
+	}
+}

@@ -4,6 +4,19 @@ import (
 	"compactrouting/internal/baseline"
 	"compactrouting/internal/labeled"
 	"compactrouting/internal/nameind"
+	"compactrouting/internal/trace"
+)
+
+// All six adapter headers classify their hops for the trace layer;
+// these assertions keep a new header from silently tracing as
+// PhaseDirect.
+var (
+	_ trace.Phased = labeled.SimpleHeader{}
+	_ trace.Phased = labeled.SFHeader{}
+	_ trace.Phased = nameind.NIHeader{}
+	_ trace.Phased = nameind.SFNIHeader{}
+	_ trace.Phased = baseline.Destination(0)
+	_ trace.Phased = baseline.TreeHeader{}
 )
 
 // SimpleLabeledRouter adapts the simple labeled scheme's step function

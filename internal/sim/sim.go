@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"compactrouting/internal/graph"
+	"compactrouting/internal/trace"
 )
 
 // Header is an opaque packet header with a measurable size.
@@ -52,13 +53,28 @@ type Result struct {
 	Err error
 }
 
-// packet is an in-flight message.
+// packet is an in-flight message. tr, when non-nil, is the packet's
+// trace; exactly one goroutine holds the packet (and hence the trace)
+// at a time, and mailbox sends order the hand-offs, so the trace needs
+// no lock.
 type packet[H Header] struct {
 	id     int
 	header H
 	path   []int
 	cost   float64
 	maxHdr int
+	tr     *trace.Trace
+}
+
+// PhaseOf classifies a header for the trace layer; headers that do not
+// implement trace.Phased record as PhaseDirect. The interface
+// conversion boxes the header, so callers must only reach this on
+// traced paths.
+func PhaseOf[H Header](h H) trace.Phase {
+	if p, ok := any(h).(trace.Phased); ok {
+		return p.TracePhase()
+	}
+	return trace.PhaseDirect
 }
 
 // Delivery is one requested route: from Src to the node addressed by
@@ -86,17 +102,38 @@ func HopLimitError(maxHops int) error {
 // dst is a label or a name, matching the Router. maxHops <= 0 selects
 // the same default as Run.
 func RouteOnce[H Header](g *graph.Graph, r Router[H], src, dst, maxHops int) Result {
+	return RouteOnceTraced(g, r, src, dst, maxHops, nil)
+}
+
+// RouteOnceTraced is RouteOnce with an optional trace: when tr is
+// non-nil it is reset (Trace.Begin) and filled with one hop record per
+// forward, classified via trace.Phased. A nil tr takes the exact
+// RouteOnce path — every trace instruction is behind a nil check, so
+// disabled tracing adds no work and no allocations to the hot loop
+// (pinned by TestRouteOnceTracingDisabledAllocs).
+//
+// The trace is a pure function of (tables, src, dst): hop distances
+// are accumulated in walk order, so trace.Cost() is bit-identical to
+// Result.Cost, and re-running the same delivery yields byte-identical
+// Marshal output.
+func RouteOnceTraced[H Header](g *graph.Graph, r Router[H], src, dst, maxHops int, tr *trace.Trace) Result {
 	if maxHops <= 0 {
 		maxHops = 8 * g.N()
 	}
 	res := Result{Src: src}
 	h, err := r.Prepare(dst)
 	if err != nil {
+		if tr != nil {
+			tr.Begin(int32(src), 0)
+		}
 		res.Err = err
 		return res
 	}
 	res.Path = []int{src}
 	res.MaxHeaderBits = h.Bits()
+	if tr != nil {
+		tr.Begin(int32(src), int32(res.MaxHeaderBits))
+	}
 	at := src
 	for {
 		next, nh, arrived, err := r.Step(at, h)
@@ -106,6 +143,9 @@ func RouteOnce[H Header](g *graph.Graph, r Router[H], src, dst, maxHops int) Res
 		}
 		if arrived {
 			res.Dst = at
+			if tr != nil {
+				tr.Dst = int32(at)
+			}
 			return res
 		}
 		if len(res.Path) > maxHops {
@@ -117,8 +157,18 @@ func RouteOnce[H Header](g *graph.Graph, r Router[H], src, dst, maxHops int) Res
 			res.Err = fmt.Errorf("sim: step at %d forwarded to non-neighbor %d", at, next)
 			return res
 		}
-		if b := nh.Bits(); b > res.MaxHeaderBits {
+		b := nh.Bits()
+		if b > res.MaxHeaderBits {
 			res.MaxHeaderBits = b
+		}
+		if tr != nil {
+			tr.Hops = append(tr.Hops, trace.Hop{
+				From:       int32(at),
+				To:         int32(next),
+				Phase:      PhaseOf(nh),
+				HeaderBits: int32(b),
+				Dist:       w,
+			})
 		}
 		h = nh
 		res.Path = append(res.Path, next)
@@ -134,6 +184,16 @@ func RouteOnce[H Header](g *graph.Graph, r Router[H], src, dst, maxHops int) Res
 // Packets that exceed maxHops (pass <= 0 for 4·n·log n-ish default)
 // fail rather than loop forever.
 func Run[H Header](g *graph.Graph, r Router[H], deliveries []Delivery, maxHops int) []Result {
+	return RunTraced(g, r, deliveries, maxHops, nil)
+}
+
+// RunTraced is Run with optional per-delivery traces: traces may be
+// nil (no tracing) or len(deliveries) long, with nil entries for
+// deliveries that should not be traced. A packet's trace travels with
+// the packet — exactly one node goroutine holds it at a time, and the
+// mailbox sends order the hand-offs — so traced concurrent runs stay
+// race-free and produce the same bytes as RouteOnceTraced.
+func RunTraced[H Header](g *graph.Graph, r Router[H], deliveries []Delivery, maxHops int, traces []*trace.Trace) []Result {
 	n := g.N()
 	if maxHops <= 0 {
 		maxHops = 8 * n
@@ -155,6 +215,9 @@ func Run[H Header](g *graph.Graph, r Router[H], deliveries []Delivery, maxHops i
 		res.Err = err
 		if err == nil {
 			res.Dst = p.path[len(p.path)-1]
+			if p.tr != nil {
+				p.tr.Dst = int32(res.Dst)
+			}
 		}
 		wg.Done()
 	}
@@ -203,8 +266,18 @@ func Run[H Header](g *graph.Graph, r Router[H], deliveries []Delivery, maxHops i
 					finish(p.id, p, fmt.Errorf("sim: step at %d forwarded to non-neighbor %d", self, next))
 					continue
 				}
-				if b := nh.Bits(); b > p.maxHdr {
+				b := nh.Bits()
+				if b > p.maxHdr {
 					p.maxHdr = b
+				}
+				if p.tr != nil {
+					p.tr.Hops = append(p.tr.Hops, trace.Hop{
+						From:       int32(self),
+						To:         int32(next),
+						Phase:      PhaseOf(nh),
+						HeaderBits: int32(b),
+						Dist:       w,
+					})
 				}
 				p.header = nh
 				p.path = append(p.path, next)
@@ -220,14 +293,24 @@ func Run[H Header](g *graph.Graph, r Router[H], deliveries []Delivery, maxHops i
 
 	wg.Add(len(deliveries))
 	for id, d := range deliveries {
+		var tr *trace.Trace
+		if traces != nil {
+			tr = traces[id]
+		}
 		h, err := r.Prepare(d.Dst)
 		if err != nil {
+			if tr != nil {
+				tr.Begin(int32(d.Src), 0)
+			}
 			results[id] = Result{Src: d.Src, Err: err}
 			wg.Done()
 			continue
 		}
 		results[id].Src = d.Src
-		p := packet[H]{id: id, header: h, path: []int{d.Src}, maxHdr: h.Bits()}
+		p := packet[H]{id: id, header: h, path: []int{d.Src}, maxHdr: h.Bits(), tr: tr}
+		if tr != nil {
+			tr.Begin(int32(d.Src), int32(p.maxHdr))
+		}
 		forward(d.Src, p)
 	}
 	wg.Wait()

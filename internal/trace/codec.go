@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"compactrouting/internal/bits"
+)
+
+// codecVersion is the trace wire-format version; Decode rejects
+// streams with any other version so format changes fail loudly.
+const codecVersion = 1
+
+// minHopBits is the smallest possible encoded hop: two 1-group
+// uvarints (From, To+1), the phase field, a 1-group uvarint
+// (HeaderBits) and the fixed 64-bit distance. Decode uses it to bound
+// hop counts before allocating.
+const minHopBits = 8 + 8 + phaseBits + 8 + 64
+
+// phaseBits is the fixed width of the phase field (NumPhases <= 8).
+const phaseBits = 3
+
+// ErrCorrupt is wrapped by Decode errors caused by a malformed stream
+// (as opposed to a short one, which surfaces bits.ErrOutOfData).
+var ErrCorrupt = errors.New("trace: corrupt stream")
+
+// Encode serializes the trace. The format is versioned and
+// self-delimiting: uvarint version, Src, Dst+1, PrepBits, Attempts,
+// Drops, hop count, then per hop From, To+1, a fixed-width phase,
+// HeaderBits and the raw IEEE-754 bits of Dist.
+func (t *Trace) Encode(w *bits.Writer) {
+	w.WriteUvarint(codecVersion)
+	w.WriteUvarint(uint64(t.Src))
+	w.WriteUvarint(uint64(t.Dst + 1))
+	w.WriteUvarint(uint64(t.PrepBits))
+	w.WriteUvarint(uint64(t.Attempts))
+	w.WriteUvarint(uint64(t.Drops))
+	w.WriteUvarint(uint64(len(t.Hops)))
+	for i := range t.Hops {
+		h := &t.Hops[i]
+		w.WriteUvarint(uint64(h.From))
+		w.WriteUvarint(uint64(h.To + 1))
+		w.WriteBits(uint64(h.Phase), phaseBits)
+		w.WriteUvarint(uint64(h.HeaderBits))
+		w.WriteBits(math.Float64bits(h.Dist), 64)
+	}
+}
+
+// Marshal returns the byte form of the trace (Encode padded with zero
+// bits to a byte boundary).
+func (t *Trace) Marshal() []byte {
+	var w bits.Writer
+	t.Encode(&w)
+	return w.Bytes()
+}
+
+func decodeID(r *bits.Reader, field string, min int32) (int32, error) {
+	v, err := r.ReadUvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: %s %d overflows int32", ErrCorrupt, field, v)
+	}
+	id := int32(v)
+	if field == "dst" || field == "to" {
+		id-- // encoded shifted by one so -1 (undelivered) round-trips
+	}
+	if id < min {
+		return 0, fmt.Errorf("%w: %s %d below %d", ErrCorrupt, field, id, min)
+	}
+	return id, nil
+}
+
+// Decode reads a trace written by Encode, validating every field: the
+// version must match, ids must fit int32, phases must be in range, and
+// distances must be finite and non-negative. The hop count is checked
+// against the reader's remaining bits before the hop slice is
+// allocated, so hostile counts cannot force large allocations.
+func Decode(r *bits.Reader) (*Trace, error) {
+	ver, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != codecVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrCorrupt, ver, codecVersion)
+	}
+	t := &Trace{}
+	if t.Src, err = decodeID(r, "src", 0); err != nil {
+		return nil, err
+	}
+	if t.Dst, err = decodeID(r, "dst", -1); err != nil {
+		return nil, err
+	}
+	if t.PrepBits, err = decodeID(r, "prep_bits", 0); err != nil {
+		return nil, err
+	}
+	if t.Attempts, err = decodeID(r, "attempts", 0); err != nil {
+		return nil, err
+	}
+	if t.Drops, err = decodeID(r, "drops", 0); err != nil {
+		return nil, err
+	}
+	cnt, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if cnt*minHopBits > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("%w: hop count %d exceeds stream", ErrCorrupt, cnt)
+	}
+	t.Hops = make([]Hop, cnt)
+	for i := range t.Hops {
+		h := &t.Hops[i]
+		if h.From, err = decodeID(r, "from", 0); err != nil {
+			return nil, err
+		}
+		if h.To, err = decodeID(r, "to", 0); err != nil {
+			return nil, err
+		}
+		p, err := r.ReadBits(phaseBits)
+		if err != nil {
+			return nil, err
+		}
+		if int(p) >= NumPhases {
+			return nil, fmt.Errorf("%w: phase %d out of range", ErrCorrupt, p)
+		}
+		h.Phase = Phase(p)
+		if h.HeaderBits, err = decodeID(r, "header_bits", 0); err != nil {
+			return nil, err
+		}
+		db, err := r.ReadBits(64)
+		if err != nil {
+			return nil, err
+		}
+		d := math.Float64frombits(db)
+		if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+			return nil, fmt.Errorf("%w: hop %d distance %v invalid", ErrCorrupt, i, d)
+		}
+		h.Dist = d
+	}
+	return t, nil
+}
+
+// Unmarshal decodes a trace from its Marshal byte form. Trailing
+// padding bits (at most 7, from the byte-boundary pad) must be zero;
+// anything longer is rejected as trailing garbage.
+func Unmarshal(buf []byte) (*Trace, error) {
+	r := bits.NewReader(buf, 8*len(buf))
+	t, err := Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() >= 8 {
+		return nil, fmt.Errorf("%w: %d trailing bits", ErrCorrupt, r.Remaining())
+	}
+	for r.Remaining() > 0 {
+		b, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if b {
+			return nil, fmt.Errorf("%w: nonzero padding", ErrCorrupt)
+		}
+	}
+	return t, nil
+}

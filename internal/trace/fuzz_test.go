@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func corpusTraces() []*Trace {
+	return []*Trace{
+		sampleTrace(),
+		{Src: 0, Dst: -1, PrepBits: 0},
+		{Src: 7, Dst: 7, PrepBits: 12},
+		{Src: 1, Dst: 2, Hops: []Hop{{From: 1, To: 2}}},
+		{Src: 2, Dst: 5, PrepBits: 200, Attempts: 3, Drops: 2, Hops: []Hop{
+			{From: 2, To: 9, Phase: PhaseZoom, HeaderBits: 4000, Dist: 0.001},
+			{From: 9, To: 5, Phase: PhaseFallback, HeaderBits: 1, Dist: 1e9},
+		}},
+	}
+}
+
+// TestRegenFuzzCorpus rewrites the checked-in seed corpus from
+// canonical marshals. Regenerate with:
+//
+//	REGEN_FUZZ_CORPUS=1 go test ./internal/... -run TestRegenFuzzCorpus
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_CORPUS") == "" {
+		t.Skip("set REGEN_FUZZ_CORPUS=1 to rewrite testdata/fuzz seed corpora")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzTraceCodec")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range corpusTraces() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", tr.Marshal())
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%03d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzTraceCodec: arbitrary bytes either fail Unmarshal (without
+// panicking or allocating unboundedly — the hop-count guard) or decode
+// to a trace whose re-marshal is a canonical fixed point.
+func FuzzTraceCodec(f *testing.F) {
+	for _, tr := range corpusTraces() {
+		f.Add(tr.Marshal())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		buf := tr.Marshal()
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("re-unmarshal of %+v: %v", tr, err)
+		}
+		if !reflect.DeepEqual(got, tr) {
+			t.Fatalf("re-unmarshal: got %+v, want %+v", got, tr)
+		}
+		if !bytes.Equal(got.Marshal(), buf) {
+			t.Fatalf("marshal is not a fixed point for %+v", tr)
+		}
+	})
+}

@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"compactrouting/internal/bits"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Src: 3, Dst: 9, PrepBits: 40,
+		Hops: []Hop{
+			{From: 3, To: 5, Phase: PhaseDirect, HeaderBits: 40, Dist: 1.25},
+			{From: 5, To: 7, Phase: PhaseTree, HeaderBits: 52, Dist: 0.5},
+			{From: 7, To: 8, Phase: PhaseSearch, HeaderBits: 61, Dist: 2},
+			{From: 8, To: 9, Phase: PhaseFinal, HeaderBits: 33, Dist: 0.25},
+		},
+		Attempts: 2, Drops: 1,
+	}
+}
+
+func TestBeginResetsInPlace(t *testing.T) {
+	tr := sampleTrace()
+	hops := tr.Hops
+	tr.Begin(11, 17)
+	if tr.Src != 11 || tr.Dst != -1 || tr.PrepBits != 17 {
+		t.Fatalf("Begin left %+v", tr)
+	}
+	if len(tr.Hops) != 0 || tr.Attempts != 0 || tr.Drops != 0 {
+		t.Fatalf("Begin did not clear hops/attempts: %+v", tr)
+	}
+	// The hop backing array is reused, not reallocated.
+	tr.Hops = append(tr.Hops, Hop{From: 11, To: 12, Dist: 1})
+	if &tr.Hops[0] != &hops[:1][0] {
+		t.Fatal("Begin reallocated the hop slice")
+	}
+}
+
+func TestCostAndMaxHeaderBits(t *testing.T) {
+	tr := sampleTrace()
+	if got, want := tr.Cost(), 1.25+0.5+2+0.25; got != want {
+		t.Fatalf("Cost() = %v, want %v", got, want)
+	}
+	if got := tr.MaxHeaderBits(); got != 61 {
+		t.Fatalf("MaxHeaderBits() = %d, want 61", got)
+	}
+	// PrepBits dominates when every hop shrinks the header.
+	small := &Trace{PrepBits: 99, Hops: []Hop{{HeaderBits: 10}}}
+	if got := small.MaxHeaderBits(); got != 99 {
+		t.Fatalf("MaxHeaderBits() = %d, want PrepBits 99", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := sampleTrace()
+	s := tr.Summarize(2.0)
+	if s.Hops != 4 || s.Cost != 4.0 || s.Optimal != 2.0 || s.Stretch != 2.0 {
+		t.Fatalf("summary totals wrong: %+v", s)
+	}
+	if s.MaxHeaderBits != 61 || s.Attempts != 2 || s.Drops != 1 {
+		t.Fatalf("summary accounting wrong: %+v", s)
+	}
+	want := []PhaseStat{
+		{Phase: "direct", Hops: 1, Cost: 1.25},
+		{Phase: "tree", Hops: 1, Cost: 0.5},
+		{Phase: "search", Hops: 1, Cost: 2},
+		{Phase: "final", Hops: 1, Cost: 0.25},
+	}
+	if !reflect.DeepEqual(s.Phases, want) {
+		t.Fatalf("phases = %+v, want %+v", s.Phases, want)
+	}
+	// Zero-distance self-routes report stretch 1, not NaN/Inf.
+	if s := (&Trace{Src: 4, Dst: 4}).Summarize(0); s.Stretch != 1 {
+		t.Fatalf("self-route stretch = %v, want 1", s.Stretch)
+	}
+}
+
+func TestToWireTruncation(t *testing.T) {
+	tr := sampleTrace()
+	w := tr.ToWire(2.0, 2)
+	if !w.Truncated || w.TotalHops != 4 || len(w.Hops) != 2 {
+		t.Fatalf("cap=2 wire: truncated=%v total=%d hops=%d", w.Truncated, w.TotalHops, len(w.Hops))
+	}
+	// The summary still covers the full walk.
+	if w.Summary.Hops != 4 || w.Summary.Cost != 4.0 {
+		t.Fatalf("truncated wire summary lost hops: %+v", w.Summary)
+	}
+	if w.Hops[0].Phase != "direct" || w.Hops[1].Phase != "tree" {
+		t.Fatalf("wire hops misordered: %+v", w.Hops)
+	}
+	// No cap (<= 0) echoes everything.
+	if w := tr.ToWire(2.0, 0); w.Truncated || len(w.Hops) != 4 {
+		t.Fatalf("uncapped wire truncated: %+v", w)
+	}
+	if w := tr.ToWire(2.0, 100); w.Truncated || len(w.Hops) != 4 {
+		t.Fatalf("loose cap truncated: %+v", w)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := []string{"direct", "tree", "search", "zoom", "final", "fallback"}
+	for p := 0; p < NumPhases; p++ {
+		if Phase(p).String() != want[p] {
+			t.Fatalf("Phase(%d).String() = %q, want %q", p, Phase(p), want[p])
+		}
+	}
+	if Phase(NumPhases).String() != "invalid" {
+		t.Fatalf("out-of-range phase String() = %q", Phase(NumPhases))
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, tr := range []*Trace{
+		sampleTrace(),
+		{Src: 0, Dst: -1, PrepBits: 0},                  // failed Prepare: no hops, undelivered
+		{Src: 7, Dst: 7, PrepBits: 12},                  // self-route
+		{Src: 1, Dst: 2, Hops: []Hop{{From: 1, To: 2}}}, // zero-weight hop
+	} {
+		buf := tr.Marshal()
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("Unmarshal(%+v): %v", tr, err)
+		}
+		// reflect.DeepEqual distinguishes nil from empty hop slices; the
+		// codec normalizes both to empty.
+		want := *tr
+		if want.Hops == nil {
+			want.Hops = []Hop{}
+		}
+		if !reflect.DeepEqual(got, &want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, &want)
+		}
+		// Re-marshal is byte-identical (the codec is canonical).
+		if !bytes.Equal(got.Marshal(), buf) {
+			t.Fatalf("re-marshal differs for %+v", tr)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptStreams(t *testing.T) {
+	good := sampleTrace().Marshal()
+
+	corrupt := func(name string, mutate func() []byte) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Unmarshal(mutate()); err == nil {
+				t.Fatal("corrupt stream decoded cleanly")
+			}
+		})
+	}
+	corrupt("bad-version", func() []byte {
+		var w bits.Writer
+		w.WriteUvarint(codecVersion + 1)
+		return w.Bytes()
+	})
+	corrupt("truncated", func() []byte { return good[:len(good)/2] })
+	corrupt("empty", func() []byte { return nil })
+	corrupt("trailing-garbage", func() []byte { return append(append([]byte{}, good...), 0xFF, 0xFF) })
+	corrupt("hostile-hop-count", func() []byte {
+		var w bits.Writer
+		w.WriteUvarint(codecVersion)
+		for i := 0; i < 5; i++ {
+			w.WriteUvarint(0) // src, dst+1... all zero (dst = -1)
+		}
+		w.WriteUvarint(1 << 40) // hop count far beyond the stream
+		return w.Bytes()
+	})
+	corrupt("phase-out-of-range", func() []byte {
+		tr := &Trace{Src: 1, Dst: 2, Hops: []Hop{{From: 1, To: 2, Dist: 1}}}
+		var w bits.Writer
+		w.WriteUvarint(codecVersion)
+		w.WriteUvarint(uint64(tr.Src))
+		w.WriteUvarint(uint64(tr.Dst + 1))
+		w.WriteUvarint(0) // prep
+		w.WriteUvarint(0) // attempts
+		w.WriteUvarint(0) // drops
+		w.WriteUvarint(1)
+		w.WriteUvarint(1)                         // from
+		w.WriteUvarint(3)                         // to+1
+		w.WriteBits(uint64(NumPhases), phaseBits) // invalid phase
+		w.WriteUvarint(0)
+		w.WriteBits(math.Float64bits(1), 64)
+		return w.Bytes()
+	})
+	corrupt("nan-distance", func() []byte {
+		var w bits.Writer
+		w.WriteUvarint(codecVersion)
+		w.WriteUvarint(1)
+		w.WriteUvarint(3)
+		w.WriteUvarint(0)
+		w.WriteUvarint(0)
+		w.WriteUvarint(0)
+		w.WriteUvarint(1)
+		w.WriteUvarint(1)
+		w.WriteUvarint(3)
+		w.WriteBits(0, phaseBits)
+		w.WriteUvarint(0)
+		w.WriteBits(math.Float64bits(math.NaN()), 64)
+		return w.Bytes()
+	})
+	corrupt("negative-distance", func() []byte {
+		var w bits.Writer
+		w.WriteUvarint(codecVersion)
+		w.WriteUvarint(1)
+		w.WriteUvarint(3)
+		w.WriteUvarint(0)
+		w.WriteUvarint(0)
+		w.WriteUvarint(0)
+		w.WriteUvarint(1)
+		w.WriteUvarint(1)
+		w.WriteUvarint(3)
+		w.WriteBits(0, phaseBits)
+		w.WriteUvarint(0)
+		w.WriteBits(math.Float64bits(-1), 64)
+		return w.Bytes()
+	})
+
+	// Corrupt streams surface ErrCorrupt (distinguishable from short
+	// reads) for the cases that are structurally wrong rather than short.
+	var w bits.Writer
+	w.WriteUvarint(codecVersion + 3)
+	if _, err := Unmarshal(w.Bytes()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version mismatch should wrap ErrCorrupt, got %v", err)
+	}
+}
+
+func TestStretchBuckets(t *testing.T) {
+	if got := StretchBucket(1.0); got != 0 {
+		t.Fatalf("StretchBucket(1.0) = %d, want 0", got)
+	}
+	if got := StretchBucket(9.4); got != len(StretchBucketEdges)-1 {
+		t.Fatalf("StretchBucket(9.4) = %d, want last finite bucket", got)
+	}
+	// A 9+eps violation lands in the overflow bucket.
+	if got := StretchBucket(9.6); got != len(StretchBucketEdges) {
+		t.Fatalf("StretchBucket(9.6) = %d, want overflow %d", got, len(StretchBucketEdges))
+	}
+	h := StretchHistogram([]float64{1, 1.04, 2.2, 100, math.NaN()})
+	if len(h) != len(StretchBucketEdges)+1 {
+		t.Fatalf("histogram has %d buckets, want %d", len(h), len(StretchBucketEdges)+1)
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("histogram counted %d values, want 4 (NaN skipped)", total)
+	}
+	if h[len(h)-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", h[len(h)-1])
+	}
+}

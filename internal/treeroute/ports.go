@@ -68,6 +68,52 @@ func (l PortLabel) Bits() int {
 	return n
 }
 
+// Encode serializes the label: uvarint In, uvarint port count, then
+// the gamma-coded ports (ports are >= 1 by construction).
+func (l PortLabel) Encode(w *bits.Writer) {
+	w.WriteUvarint(uint64(l.In))
+	w.WriteUvarint(uint64(len(l.Ports)))
+	for _, p := range l.Ports {
+		w.WriteGamma(uint64(p))
+	}
+}
+
+// DecodePortLabel reads a label written by Encode, rejecting port
+// values outside [1, MaxInt32] and counts that exceed the stream.
+func DecodePortLabel(r *bits.Reader) (PortLabel, error) {
+	in, err := r.ReadUvarint()
+	if err != nil {
+		return PortLabel{}, err
+	}
+	if in > maxInt32 {
+		return PortLabel{}, fmt.Errorf("treeroute: label In %d overflows int32", in)
+	}
+	cnt, err := r.ReadUvarint()
+	if err != nil {
+		return PortLabel{}, err
+	}
+	// A port costs at least 1 bit (gamma of 1); bound the count before
+	// allocating so corrupt streams cannot force large allocations.
+	if cnt > uint64(r.Remaining()) {
+		return PortLabel{}, fmt.Errorf("treeroute: port count %d exceeds stream", cnt)
+	}
+	l := PortLabel{In: int32(in), Ports: make([]int32, cnt)}
+	for i := range l.Ports {
+		p, err := r.ReadGamma()
+		if err != nil {
+			return PortLabel{}, err
+		}
+		if p > maxInt32 {
+			return PortLabel{}, fmt.Errorf("treeroute: port %d overflows int32", p)
+		}
+		l.Ports[i] = int32(p)
+	}
+	return l, nil
+}
+
+// maxInt32 bounds decoded ids without importing math.
+const maxInt32 = 1<<31 - 1
+
 // NewPortScheme compiles the port-model scheme over the same trees New
 // accepts.
 func NewPortScheme(parent []int, root int) (*PortScheme, error) {

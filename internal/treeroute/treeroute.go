@@ -81,6 +81,12 @@ func DecodeLabel(r *bits.Reader) (Label, error) {
 	if err != nil {
 		return Label{}, err
 	}
+	// A light entry costs at least 9 bits (1-bit gamma delta + 1-group
+	// uvarint child); bound the count before allocating so corrupt
+	// streams cannot force large allocations.
+	if cnt*9 > uint64(r.Remaining()) {
+		return Label{}, fmt.Errorf("treeroute: light count %d exceeds stream", cnt)
+	}
 	l := Label{In: int32(in), Light: make([]LightEntry, cnt)}
 	prev := int32(0)
 	for i := range l.Light {
