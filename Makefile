@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench serve profile chaos-determinism routebench-determinism fuzz-smoke
+.PHONY: check fmt vet build test race lint bench serve profile chaos-determinism routebench-determinism distsim-determinism fuzz-smoke
 
 # The gate: vet, build and -race cover every package (./...), including
 # internal/faultsim and cmd/chaossim; lint runs the repo's own static
@@ -12,7 +12,7 @@ GO ?= go
 # build pipeline and the fault injector's seed guarantee produce
 # byte-identical JSON across runs; fuzz-smoke gives every wire codec a
 # short fuzz burst on top of its checked-in seed corpus.
-check: fmt vet lint build race chaos-determinism routebench-determinism fuzz-smoke
+check: fmt vet lint build race chaos-determinism routebench-determinism distsim-determinism fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -40,6 +40,7 @@ lint:
 bench:
 	$(GO) run ./cmd/routebench -json BENCH_routebench.json
 	$(GO) run ./cmd/chaossim -json BENCH_chaossim.json
+	$(GO) run ./cmd/distsim -json BENCH_distsim.json
 
 # chaossim must be seed-deterministic: the same seed produces a
 # byte-identical JSON sweep. Run a small sweep twice and diff.
@@ -62,6 +63,18 @@ routebench-determinism:
 	{ cmp -s $$tmp1 $$tmp2 || { echo "routebench -json is not deterministic"; rm -f $$tmp1 $$tmp2; exit 1; }; } && \
 	rm -f $$tmp1 $$tmp2 && echo "routebench determinism: ok"
 
+# The in-network construction must be seed-deterministic: engine
+# delivery is serialized in sender-id order and fault draws are pure
+# hashes, so the same flags produce a byte-identical JSON file — at
+# every GOMAXPROCS and under loss. Run a small lossy sweep twice and
+# diff.
+distsim-determinism:
+	@tmp1=$$(mktemp) && tmp2=$$(mktemp) && \
+	$(GO) run ./cmd/distsim -n 48,96 -pairs 60 -loss 0.1 -seed 11 -json $$tmp1 >/dev/null && \
+	$(GO) run ./cmd/distsim -n 48,96 -pairs 60 -loss 0.1 -seed 11 -json $$tmp2 >/dev/null && \
+	{ cmp -s $$tmp1 $$tmp2 || { echo "distsim -json is not seed-deterministic"; rm -f $$tmp1 $$tmp2; exit 1; }; } && \
+	rm -f $$tmp1 $$tmp2 && echo "distsim determinism: ok"
+
 # ~10s total: each codec fuzzer runs briefly from its seed corpus
 # (testdata/fuzz; regenerate with REGEN_FUZZ_CORPUS=1 go test
 # ./internal/... -run TestRegenFuzzCorpus). A fuzzer accepts exactly
@@ -74,7 +87,8 @@ fuzz-smoke:
 		"./internal/nameind FuzzDecodeSFNIHeader" \
 		"./internal/baseline FuzzDecodeDestination" \
 		"./internal/baseline FuzzDecodeTreeHeader" \
-		"./internal/trace FuzzTraceCodec"; do \
+		"./internal/trace FuzzTraceCodec" \
+		"./internal/dist FuzzDecodeMsg"; do \
 		set -- $$spec; \
 		$(GO) test $$1 -run '^$$' -fuzz "^$$2$$$$" -fuzztime 1s >/dev/null || \
 			{ echo "fuzz-smoke failed: $$2"; exit 1; }; \

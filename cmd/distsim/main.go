@@ -1,0 +1,133 @@
+// Command distsim runs the in-network construction experiment (E14):
+// it builds this repository's routing substrates by CONGEST-style
+// message passing (internal/dist) instead of the omniscient APSP
+// oracle, and reports the construction cost — rounds, messages, total
+// and per-message bits — next to the size and routed stretch of the
+// tables the protocol produced, plus a byte-level equality verdict
+// against the oracle compiler.
+//
+// Usage:
+//
+//	distsim                                   # text table, n = 64,256,1024
+//	distsim -graph grid-holes -n 100,400      # other families and sizes
+//	distsim -loss 0.2                         # construct over lossy links
+//	distsim -json BENCH_distsim.json          # machine-readable records
+//
+// The run is seed-deterministic: the same flags and -seed produce a
+// byte-identical -json file (asserted by `make check`), because message
+// delivery is serialized in sender-id order, fault draws are pure
+// hashes, and no wall-clock value is recorded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"compactrouting/internal/exp"
+)
+
+func main() {
+	var (
+		kind    = flag.String("graph", "geometric", "workload graph: geometric|grid-holes|random-tree")
+		ns      = flag.String("n", "64,256,1024", "comma-separated target network sizes")
+		eps     = flag.Float64("eps", 0.25, "stretch parameter epsilon for the simple scheme")
+		pairs   = flag.Int("pairs", 200, "routed source-destination pairs per record (0 = all pairs)")
+		seed    = flag.Int64("seed", 1, "seed for generators, pair sampling and fault draws")
+		schemes = flag.String("scheme", "both", "what to construct: tree|simple|both")
+		maxBits = flag.Int("maxmsgbits", 0, "CONGEST per-message bit bound (0 = engine default)")
+		loss    = flag.Float64("loss", 0, "per-transmission drop probability during construction")
+		jsonP   = flag.String("json", "", "write machine-readable records to this path instead of a text table")
+	)
+	flag.Parse()
+	sizes, err := parseInts(*ns)
+	if err != nil {
+		fatal(fmt.Errorf("-n: %w", err))
+	}
+	opt := exp.DistOpts{
+		Eps:        *eps,
+		Pairs:      *pairs,
+		Seed:       *seed,
+		MaxMsgBits: *maxBits,
+		Loss:       *loss,
+	}
+	switch *schemes {
+	case "both":
+		opt.Schemes = []string{"tree", "simple"}
+	case "tree", "simple":
+		opt.Schemes = []string{*schemes}
+	default:
+		fatal(fmt.Errorf("-scheme: unknown value %q (want tree|simple|both)", *schemes))
+	}
+	if err := run(*kind, sizes, *seed, opt, *jsonP); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "distsim:", err)
+	os.Exit(1)
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func buildEnv(kind string, n int, seed int64) (*exp.Env, error) {
+	switch kind {
+	case "geometric":
+		return exp.GeometricEnv(n, seed)
+	case "grid-holes":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return exp.GridHolesEnv(side, seed)
+	case "random-tree":
+		return exp.RandomTreeEnv(n, seed)
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+func run(kind string, sizes []int, seed int64, opt exp.DistOpts, jsonPath string) error {
+	var records []exp.DistRecord
+	for _, n := range sizes {
+		env, err := buildEnv(kind, n, seed)
+		if err != nil {
+			return err
+		}
+		recs, err := exp.DistConstruct(env, opt)
+		if err != nil {
+			return err
+		}
+		records = append(records, recs...)
+	}
+	if jsonPath == "" {
+		return exp.DistReport(os.Stdout, records)
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	if err := exp.WriteDistJSON(f, records); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("distsim: wrote %s (%s, %d sizes x %d schemes, eps=%v, loss=%v)\n",
+		jsonPath, kind, len(sizes), len(opt.Schemes), opt.Eps, opt.Loss)
+	return nil
+}

@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+	"compactrouting/internal/treeroute"
+)
+
+// geo returns a connected random geometric graph of roughly n nodes.
+func geo(t *testing.T, n int, seed int64) *graph.Graph {
+	t.Helper()
+	radius := 1.8 * math.Sqrt(math.Log(float64(n))/float64(n))
+	g, _, err := graph.RandomGeometric(n, radius, seed)
+	if err != nil {
+		t.Fatalf("geometric graph: %v", err)
+	}
+	return g
+}
+
+// TestBuildTreeMatchesOracle: the distributed SPT election plus
+// aggregation must reproduce metric.Dijkstra's parents and
+// treeroute.New's DFS numbering exactly.
+func TestBuildTreeMatchesOracle(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := geo(t, 64, seed)
+		res, err := BuildTree(g, 0, Config{})
+		if err != nil {
+			t.Fatalf("seed %d: BuildTree: %v", seed, err)
+		}
+		spt := metric.Dijkstra(g, 0)
+		if !reflect.DeepEqual(res.Parent, spt.Parent) {
+			t.Fatalf("seed %d: protocol parents differ from Dijkstra", seed)
+		}
+		oracle, err := treeroute.New(spt.Parent, 0)
+		if err != nil {
+			t.Fatalf("seed %d: oracle tree: %v", seed, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			want, _ := oracle.Info(v)
+			if !reflect.DeepEqual(res.Info[v], want) {
+				t.Fatalf("seed %d node %d: protocol info %+v != oracle %+v", seed, v, res.Info[v], want)
+			}
+		}
+		if res.Counters.Rounds == 0 || res.Counters.Messages == 0 || res.Counters.TotalBits == 0 {
+			t.Fatalf("seed %d: empty counters %+v", seed, res.Counters)
+		}
+		if res.Counters.MaxMsgBits > DefaultMaxMsgBits {
+			t.Fatalf("seed %d: message bound violated: %d", seed, res.Counters.MaxMsgBits)
+		}
+	}
+}
+
+// TestBuildTreeSingleNode: the degenerate one-node graph must build
+// with zero messages.
+func TestBuildTreeSingleNode(t *testing.T) {
+	g, err := graph.Path(1, 1)
+	if err != nil {
+		t.Fatalf("path: %v", err)
+	}
+	res, err := BuildTree(g, 0, Config{})
+	if err != nil {
+		t.Fatalf("BuildTree: %v", err)
+	}
+	if res.Counters.Messages != 0 || res.Scheme.Size() != 1 {
+		t.Fatalf("unexpected single-node result: %+v", res.Counters)
+	}
+}
+
+// TestSendValidation: sending to a non-neighbor or over the size bound
+// must fail the run with the offending node's error.
+func TestSendValidation(t *testing.T) {
+	g, err := graph.Path(4, 1)
+	if err != nil {
+		t.Fatalf("path: %v", err)
+	}
+	_, err = Run(g, &rogueProto{to: 3}, Config{})
+	if err == nil || !strings.Contains(err.Error(), "non-neighbor") {
+		t.Fatalf("non-neighbor send not rejected: %v", err)
+	}
+	big := &rogueProto{to: 1, entries: 100}
+	_, err = Run(g, big, Config{MaxMsgBits: 64})
+	if err == nil || !strings.Contains(err.Error(), "bound") {
+		t.Fatalf("oversized send not rejected: %v", err)
+	}
+}
+
+// rogueProto sends one misbehaving message from node 0.
+type rogueProto struct {
+	to      int
+	entries int
+}
+
+func (p *rogueProto) Done(phase int) bool { return phase > 0 }
+func (p *rogueProto) Begin(phase int, c *Ctx) {
+	if c.Node() != 0 {
+		return
+	}
+	m := &Msg{Kind: KindRange}
+	for i := 0; i < p.entries; i++ {
+		m.Ranges = append(m.Ranges, RangeEntry{Node: int32(i)})
+	}
+	if p.entries == 0 {
+		m = &Msg{Kind: KindChild}
+	}
+	c.Send(p.to, m)
+}
+func (p *rogueProto) Recv(phase int, c *Ctx, from int, m *Msg) {}
+func (p *rogueProto) Flush(phase int, c *Ctx)                  {}

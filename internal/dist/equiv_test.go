@@ -1,0 +1,144 @@
+package dist
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"compactrouting/internal/core"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/labeled"
+	"compactrouting/internal/metric"
+	"compactrouting/internal/treeroute"
+)
+
+// equivEnv is one (family, seed) instance of the equivalence sweep.
+type equivEnv struct {
+	family string
+	seed   int64
+	g      *graph.Graph
+}
+
+// equivEnvs builds the sweep: nSeeds seeds across three graph families.
+func equivEnvs(t *testing.T, nSeeds int) []equivEnv {
+	t.Helper()
+	var out []equivEnv
+	for seed := int64(1); seed <= int64(nSeeds); seed++ {
+		out = append(out, equivEnv{"geometric", seed, geo(t, 40, seed)})
+		g, _, err := graph.GridWithHoles(6, 6, 0.25, seed)
+		if err != nil {
+			t.Fatalf("grid-holes seed %d: %v", seed, err)
+		}
+		out = append(out, equivEnv{"grid-holes", seed, g})
+		g, err = graph.RandomTree(40, 4, seed)
+		if err != nil {
+			t.Fatalf("random-tree seed %d: %v", seed, err)
+		}
+		out = append(out, equivEnv{"random-tree", seed, g})
+	}
+	return out
+}
+
+// TestTreeEquivalence: across 10 seeds x 3 graph families, the
+// distributed SPT construction reproduces the oracle pipeline
+// (metric.Dijkstra parents, treeroute DFS numbering and labels) exactly.
+func TestTreeEquivalence(t *testing.T) {
+	for _, env := range equivEnvs(t, 10) {
+		res, err := BuildTree(env.g, 0, Config{})
+		if err != nil {
+			t.Fatalf("%s seed %d: BuildTree: %v", env.family, env.seed, err)
+		}
+		spt := metric.Dijkstra(env.g, 0)
+		if !reflect.DeepEqual(res.Parent, spt.Parent) {
+			t.Fatalf("%s seed %d: parents differ from Dijkstra", env.family, env.seed)
+		}
+		oracle, err := treeroute.New(spt.Parent, 0)
+		if err != nil {
+			t.Fatalf("%s seed %d: oracle tree: %v", env.family, env.seed, err)
+		}
+		for v := 0; v < env.g.N(); v++ {
+			want, _ := oracle.Info(v)
+			if !reflect.DeepEqual(res.Info[v], want) {
+				t.Fatalf("%s seed %d node %d: info %+v != oracle %+v",
+					env.family, env.seed, v, res.Info[v], want)
+			}
+		}
+	}
+}
+
+// TestSimpleEquivalence: across the same sweep, the in-network Simple
+// construction emits tables byte-identical to the oracle compiler's —
+// the same hierarchy election, netting-tree enumeration, ring contents
+// and encoding, with no tolerance.
+func TestSimpleEquivalence(t *testing.T) {
+	for _, env := range equivEnvs(t, 10) {
+		res, err := BuildSimple(env.g, 0.25, Config{})
+		if err != nil {
+			t.Fatalf("%s seed %d: BuildSimple: %v", env.family, env.seed, err)
+		}
+		a := metric.NewAPSP(env.g)
+		oracle, err := labeled.NewSimple(env.g, a, 0.25)
+		if err != nil {
+			t.Fatalf("%s seed %d: oracle: %v", env.family, env.seed, err)
+		}
+		if res.TopLevel != oracle.MaxLevel() || res.Base != oracle.Hierarchy().Base() {
+			t.Fatalf("%s seed %d: hierarchy (L=%d base=%v) != oracle (L=%d base=%v)",
+				env.family, env.seed, res.TopLevel, res.Base, oracle.MaxLevel(), oracle.Hierarchy().Base())
+		}
+		for v := 0; v < env.g.N(); v++ {
+			if int(res.Labels[v]) != oracle.LabelOf(v) {
+				t.Fatalf("%s seed %d node %d: label %d != oracle %d",
+					env.family, env.seed, v, res.Labels[v], oracle.LabelOf(v))
+			}
+			wantB, wantN := oracle.EncodeTable(v)
+			if res.TableBits[v] != wantN || !bytes.Equal(res.Tables[v], wantB) {
+				t.Fatalf("%s seed %d node %d: table differs (%d bits vs %d)",
+					env.family, env.seed, v, res.TableBits[v], wantN)
+			}
+		}
+		for i, lv := range res.Levels {
+			if len(lv) != len(oracle.Hierarchy().Levels[i]) {
+				t.Fatalf("%s seed %d: level %d has %d members, oracle %d",
+					env.family, env.seed, i, len(lv), len(oracle.Hierarchy().Levels[i]))
+			}
+			for _, v := range lv {
+				if !oracle.Hierarchy().InLevel(v, i) {
+					t.Fatalf("%s seed %d: node %d not in oracle Y_%d", env.family, env.seed, v, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSimpleRoutesWithinBound: routing over the protocol-built tables
+// (through the pure decoded router, which shares nothing with the
+// compiler) stays within the scheme's analytical stretch bound.
+func TestSimpleRoutesWithinBound(t *testing.T) {
+	for _, env := range equivEnvs(t, 3) {
+		res, err := BuildSimple(env.g, 0.25, Config{})
+		if err != nil {
+			t.Fatalf("%s seed %d: BuildSimple: %v", env.family, env.seed, err)
+		}
+		dec, err := labeled.DecodeSimple(env.g, res.Tables, res.TableBits)
+		if err != nil {
+			t.Fatalf("%s seed %d: decode: %v", env.family, env.seed, err)
+		}
+		a := metric.NewAPSP(env.g)
+		oracle, err := labeled.NewSimple(env.g, a, 0.25)
+		if err != nil {
+			t.Fatalf("%s seed %d: oracle: %v", env.family, env.seed, err)
+		}
+		bound := oracle.StretchBound()
+		for _, pr := range core.SamplePairs(env.g.N(), 60, env.seed) {
+			label := int(res.Labels[pr[1]])
+			rt, err := dec.RouteToLabel(pr[0], label)
+			if err != nil {
+				t.Fatalf("%s seed %d: route %d->%d: %v", env.family, env.seed, pr[0], pr[1], err)
+			}
+			if s := rt.Stretch(a.Dist(pr[0], pr[1])); s > bound {
+				t.Fatalf("%s seed %d: stretch %v > bound %v for %d->%d",
+					env.family, env.seed, s, bound, pr[0], pr[1])
+			}
+		}
+	}
+}

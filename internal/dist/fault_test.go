@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"compactrouting/internal/faultsim"
+)
+
+// TestBuildTreeUnderLoss: construction over a lossy link layer (every
+// transmission dropped with probability 0.3, retransmitted next round)
+// must converge to exactly the tables a lossless run builds, at the
+// cost of a bounded number of extra rounds.
+func TestBuildTreeUnderLoss(t *testing.T) {
+	g := geo(t, 64, 5)
+	clean, err := BuildTree(g, 0, Config{})
+	if err != nil {
+		t.Fatalf("lossless BuildTree: %v", err)
+	}
+	lossy, err := BuildTree(g, 0, Config{Plan: &faultsim.FaultPlan{Seed: 9, Loss: 0.3}})
+	if err != nil {
+		t.Fatalf("lossy BuildTree: %v", err)
+	}
+	if !reflect.DeepEqual(clean.Parent, lossy.Parent) || !reflect.DeepEqual(clean.Info, lossy.Info) {
+		t.Fatal("lossy tree build converged to different tables")
+	}
+	if lossy.Counters.Drops == 0 {
+		t.Fatal("fault plan dropped nothing; the lossy run did not exercise retransmission")
+	}
+	// Losses stretch phases but cannot change the outcome; with p=0.3 the
+	// expected slowdown is ~1/(1-p), so 4x plus slack is a safe
+	// deterministic ceiling (both sides are seeded constants).
+	if lossy.Counters.Rounds > 4*clean.Counters.Rounds+64 {
+		t.Fatalf("lossy build took %d rounds vs %d lossless", lossy.Counters.Rounds, clean.Counters.Rounds)
+	}
+}
+
+// TestBuildSimpleUnderLoss: the full distributed Simple construction
+// under the same lossy plan yields byte-identical tables and labels.
+func TestBuildSimpleUnderLoss(t *testing.T) {
+	g := geo(t, 48, 5)
+	clean, err := BuildSimple(g, 0.25, Config{})
+	if err != nil {
+		t.Fatalf("lossless BuildSimple: %v", err)
+	}
+	lossy, err := BuildSimple(g, 0.25, Config{Plan: &faultsim.FaultPlan{Seed: 9, Loss: 0.3}})
+	if err != nil {
+		t.Fatalf("lossy BuildSimple: %v", err)
+	}
+	if !reflect.DeepEqual(clean.Labels, lossy.Labels) {
+		t.Fatal("lossy simple build assigned different labels")
+	}
+	for v := 0; v < g.N(); v++ {
+		if clean.TableBits[v] != lossy.TableBits[v] || !bytes.Equal(clean.Tables[v], lossy.Tables[v]) {
+			t.Fatalf("lossy simple build: table %d differs", v)
+		}
+	}
+	if lossy.Counters.Drops == 0 {
+		t.Fatal("fault plan dropped nothing")
+	}
+	if lossy.Counters.Rounds > 4*clean.Counters.Rounds+64 {
+		t.Fatalf("lossy build took %d rounds vs %d lossless", lossy.Counters.Rounds, clean.Counters.Rounds)
+	}
+}
+
+// TestBuildTreeLossDeterminism: two lossy runs with the same plan seed
+// replay the identical fault sequence — equal drops, rounds and bits.
+func TestBuildTreeLossDeterminism(t *testing.T) {
+	g := geo(t, 64, 5)
+	plan := &faultsim.FaultPlan{Seed: 9, Loss: 0.3}
+	a, err := BuildTree(g, 0, Config{Plan: plan})
+	if err != nil {
+		t.Fatalf("BuildTree: %v", err)
+	}
+	b, err := BuildTree(g, 0, Config{Plan: plan})
+	if err != nil {
+		t.Fatalf("BuildTree: %v", err)
+	}
+	if a.Counters != b.Counters {
+		t.Fatalf("same plan, different costs: %+v vs %+v", a.Counters, b.Counters)
+	}
+}

@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/treeroute"
+)
+
+// sampleMsgs is one representative message per wire kind, exercising
+// every field the codec serializes (including non-finite floats, which
+// round-trip as raw bit patterns).
+func sampleMsgs() []*Msg {
+	return []*Msg{
+		{Kind: KindDist, Dist: 3.25},
+		{Kind: KindDist, Dist: math.Inf(1)},
+		{Kind: KindDVec, DVec: []DistEntry{{Target: 0, Dist: 0}, {Target: 300, Dist: 1.5e-3}}},
+		{Kind: KindChild},
+		{Kind: KindSize, Count: 1 << 40},
+		{Kind: KindAssign, A: 17, B: 90, Light: []treeroute.LightEntry{{ParentIn: 17, Child: 23}}},
+		{Kind: KindAgg, Dist: 0.125, Aux: 77.5, Count: 64},
+		{Kind: KindParams, Level: 9, Aux: 0.03125, Count: 1024},
+		{Kind: KindDecide, Level: 4, Decides: []DecideEntry{{Node: 5, Accept: true}, {Node: 1000, Accept: false}}},
+		{Kind: KindRange, Ranges: []RangeEntry{{Level: 2, Node: 7, Lo: 12, Hi: 40}}},
+		{Kind: KindVChild, Level: 3, Src: 11, Dst: 200},
+		{Kind: KindVCount, Level: 3, Src: 11, Dst: 200, Count: 99},
+		{Kind: KindVAssign, Level: 2, Src: 11, Dst: 200, A: 6, B: 31},
+	}
+}
+
+// TestMsgCodecRoundTrip pins the codec contract the engine's accounting
+// rests on: Encode emits exactly Bits() bits for every kind, and the
+// encoding round-trips byte-identically.
+func TestMsgCodecRoundTrip(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		var w bits.Writer
+		m.Encode(&w)
+		if w.Len() != m.Bits() {
+			t.Fatalf("kind %d: encoded %d bits, Bits() promises %d", m.Kind, w.Len(), m.Bits())
+		}
+		got, err := DecodeMsg(bits.NewReader(w.Bytes(), w.Len()))
+		if err != nil {
+			t.Fatalf("kind %d: decode: %v", m.Kind, err)
+		}
+		var w2 bits.Writer
+		got.Encode(&w2)
+		if w2.Len() != w.Len() || !bytes.Equal(w2.Bytes(), w.Bytes()) {
+			t.Fatalf("kind %d: re-encode differs (%d vs %d bits)", m.Kind, w2.Len(), w.Len())
+		}
+	}
+}
+
+// FuzzDecodeMsg: arbitrary bytes either fail to decode cleanly or yield
+// a message whose encoding is a fixpoint — encode(decode(encode(m)))
+// is byte-identical to encode(m) and exactly Bits() wide. Byte-level
+// comparison (rather than struct equality) keeps NaN payloads honest.
+// Must never panic or over-allocate on hostile input.
+func FuzzDecodeMsg(f *testing.F) {
+	for _, m := range sampleMsgs() {
+		var w bits.Writer
+		m.Encode(&w)
+		f.Add(append([]byte(nil), w.Bytes()...))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMsg(bits.NewReader(data, 8*len(data)))
+		if err != nil {
+			return
+		}
+		var w1 bits.Writer
+		m.Encode(&w1)
+		if w1.Len() != m.Bits() {
+			t.Fatalf("decoded kind %d encodes to %d bits, Bits() promises %d", m.Kind, w1.Len(), m.Bits())
+		}
+		m2, err := DecodeMsg(bits.NewReader(w1.Bytes(), w1.Len()))
+		if err != nil {
+			t.Fatalf("re-decode of kind %d: %v", m.Kind, err)
+		}
+		var w2 bits.Writer
+		m2.Encode(&w2)
+		if w2.Len() != w1.Len() || !bytes.Equal(w2.Bytes(), w1.Bytes()) {
+			t.Fatalf("kind %d: canonical encoding is not a fixpoint", m.Kind)
+		}
+	})
+}
+
+// TestRegenFuzzCorpus rewrites the checked-in seed corpus from the
+// sample messages. Regenerate with:
+//
+//	REGEN_FUZZ_CORPUS=1 go test ./internal/... -run TestRegenFuzzCorpus
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_CORPUS") == "" {
+		t.Skip("set REGEN_FUZZ_CORPUS=1 to rewrite testdata/fuzz seed corpora")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeMsg")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range sampleMsgs() {
+		var w bits.Writer
+		m.Encode(&w)
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", w.Bytes())
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%03d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

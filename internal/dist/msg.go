@@ -1,0 +1,377 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/treeroute"
+)
+
+// Message kinds of the construction wire format. Every protocol message
+// is one Msg, encoded by Encode and decoded by DecodeMsg; which fields
+// are on the wire depends on the kind.
+const (
+	// KindDist announces the sender's current distance to the tree root
+	// (single-source distance election in BuildTree).
+	KindDist uint8 = iota + 1
+	// KindDVec batches distance-vector announcements: (target, distance)
+	// pairs the sender improved since its last flush (BuildSimple).
+	KindDVec
+	// KindChild tells the receiver the sender chose it as tree parent.
+	KindChild
+	// KindSize carries a subtree size up one tree edge (convergecast).
+	KindSize
+	// KindAssign pushes a DFS interval and label down one tree edge.
+	KindAssign
+	// KindAgg carries (min nonzero distance, eccentricity, node count)
+	// up the shortest-path tree toward the hierarchy root.
+	KindAgg
+	// KindParams broadcasts the hierarchy parameters (base radius, top
+	// level, node count) down the shortest-path tree.
+	KindParams
+	// KindDecide batches net-election decisions (node, accept/reject)
+	// for one level, flooded within the level's scope.
+	KindDecide
+	// KindRange batches netting-tree ranges (level, node, lo, hi),
+	// flooded within each entry's ring radius.
+	KindRange
+	// KindVChild announces a netting-tree child edge to the zoom parent
+	// (unicast, forwarded hop by hop along shortest paths).
+	KindVChild
+	// KindVCount carries a netting-tree leaf count to the zoom parent
+	// (unicast).
+	KindVCount
+	// KindVAssign pushes a netting-tree leaf-label range down to a child
+	// (unicast).
+	KindVAssign
+
+	kindEnd
+)
+
+// kindBits is the width of the kind field; all kinds fit in 4 bits.
+const kindBits = 4
+
+// DistEntry is one batched distance announcement.
+type DistEntry struct {
+	Target int32
+	Dist   float64
+}
+
+// DecideEntry is one batched net-election decision.
+type DecideEntry struct {
+	Node   int32
+	Accept bool
+}
+
+// RangeEntry is one batched netting-tree range announcement.
+type RangeEntry struct {
+	Level, Node, Lo, Hi int32
+}
+
+// Msg is a construction message. It is a tagged union: Kind selects
+// which of the remaining fields travel on the wire (see Encode). All id
+// and level fields must be non-negative; counts fit uint64.
+type Msg struct {
+	Kind  uint8
+	Level int32   // net level (KindDecide, KindParams, KindV*)
+	Src   int32   // unicast origin (KindV*)
+	Dst   int32   // unicast destination (KindV*)
+	A, B  int32   // interval bounds (KindAssign, KindVAssign)
+	Count uint64  // subtree size / node count / leaf count
+	Dist  float64 // distance payload (KindDist, KindAgg min)
+	Aux   float64 // second float payload (KindAgg max, KindParams base)
+
+	Light   []treeroute.LightEntry // label light list (KindAssign)
+	DVec    []DistEntry            // KindDVec batch
+	Decides []DecideEntry          // KindDecide batch
+	Ranges  []RangeEntry           // KindRange batch
+}
+
+// Encode appends the message to w. The bit cost is exactly Bits().
+func (m *Msg) Encode(w *bits.Writer) {
+	w.WriteBits(uint64(m.Kind), kindBits)
+	switch m.Kind {
+	case KindDist:
+		w.WriteBits(math.Float64bits(m.Dist), 64)
+	case KindDVec:
+		w.WriteUvarint(uint64(len(m.DVec)))
+		for _, e := range m.DVec {
+			w.WriteUvarint(uint64(e.Target))
+			w.WriteBits(math.Float64bits(e.Dist), 64)
+		}
+	case KindChild:
+		// kind only
+	case KindSize:
+		w.WriteUvarint(m.Count)
+	case KindAssign:
+		w.WriteUvarint(uint64(m.A))
+		w.WriteUvarint(uint64(m.B))
+		treeroute.Label{In: m.A, Light: m.Light}.Encode(w)
+	case KindAgg:
+		w.WriteBits(math.Float64bits(m.Dist), 64)
+		w.WriteBits(math.Float64bits(m.Aux), 64)
+		w.WriteUvarint(m.Count)
+	case KindParams:
+		w.WriteUvarint(uint64(m.Level))
+		w.WriteBits(math.Float64bits(m.Aux), 64)
+		w.WriteUvarint(m.Count)
+	case KindDecide:
+		w.WriteUvarint(uint64(m.Level))
+		w.WriteUvarint(uint64(len(m.Decides)))
+		for _, e := range m.Decides {
+			w.WriteUvarint(uint64(e.Node))
+			w.WriteBit(e.Accept)
+		}
+	case KindRange:
+		w.WriteUvarint(uint64(len(m.Ranges)))
+		for _, e := range m.Ranges {
+			w.WriteUvarint(uint64(e.Level))
+			w.WriteUvarint(uint64(e.Node))
+			w.WriteUvarint(uint64(e.Lo))
+			w.WriteUvarint(uint64(e.Hi))
+		}
+	case KindVChild:
+		m.encodeVHeader(w)
+	case KindVCount:
+		m.encodeVHeader(w)
+		w.WriteUvarint(m.Count)
+	case KindVAssign:
+		m.encodeVHeader(w)
+		w.WriteUvarint(uint64(m.A))
+		w.WriteUvarint(uint64(m.B))
+	default:
+		panic(fmt.Sprintf("dist: encode of unknown kind %d", m.Kind))
+	}
+}
+
+func (m *Msg) encodeVHeader(w *bits.Writer) {
+	w.WriteUvarint(uint64(m.Level))
+	w.WriteUvarint(uint64(m.Src))
+	w.WriteUvarint(uint64(m.Dst))
+}
+
+// Bits returns the exact encoded size of the message — the unit the
+// engine's counters account, mirroring Encode field by field the way
+// labeled.TableBits mirrors EncodeTable.
+func (m *Msg) Bits() int {
+	n := kindBits
+	switch m.Kind {
+	case KindDist:
+		n += 64
+	case KindDVec:
+		n += bits.UvarintLen(uint64(len(m.DVec)))
+		for _, e := range m.DVec {
+			n += bits.UvarintLen(uint64(e.Target)) + 64
+		}
+	case KindChild:
+	case KindSize:
+		n += bits.UvarintLen(m.Count)
+	case KindAssign:
+		n += bits.UvarintLen(uint64(m.A))
+		n += bits.UvarintLen(uint64(m.B))
+		n += treeroute.Label{In: m.A, Light: m.Light}.Bits()
+	case KindAgg:
+		n += 128 + bits.UvarintLen(m.Count)
+	case KindParams:
+		n += bits.UvarintLen(uint64(m.Level)) + 64 + bits.UvarintLen(m.Count)
+	case KindDecide:
+		n += bits.UvarintLen(uint64(m.Level))
+		n += bits.UvarintLen(uint64(len(m.Decides)))
+		for _, e := range m.Decides {
+			n += bits.UvarintLen(uint64(e.Node)) + 1
+		}
+	case KindRange:
+		n += bits.UvarintLen(uint64(len(m.Ranges)))
+		for _, e := range m.Ranges {
+			n += bits.UvarintLen(uint64(e.Level)) + bits.UvarintLen(uint64(e.Node))
+			n += bits.UvarintLen(uint64(e.Lo)) + bits.UvarintLen(uint64(e.Hi))
+		}
+	case KindVChild:
+		n += m.vHeaderBits()
+	case KindVCount:
+		n += m.vHeaderBits() + bits.UvarintLen(m.Count)
+	case KindVAssign:
+		n += m.vHeaderBits() + bits.UvarintLen(uint64(m.A)) + bits.UvarintLen(uint64(m.B))
+	default:
+		panic(fmt.Sprintf("dist: size of unknown kind %d", m.Kind))
+	}
+	return n
+}
+
+func (m *Msg) vHeaderBits() int {
+	return bits.UvarintLen(uint64(m.Level)) + bits.UvarintLen(uint64(m.Src)) + bits.UvarintLen(uint64(m.Dst))
+}
+
+// readID reads a uvarint that must fit a non-negative int32 (a node id,
+// level or label).
+func readID(r *bits.Reader) (int32, error) {
+	v, err := r.ReadUvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("dist: id field %d overflows int32", v)
+	}
+	return int32(v), nil
+}
+
+func readFloat(r *bits.Reader) (float64, error) {
+	v, err := r.ReadBits(64)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(v), nil
+}
+
+// DecodeMsg reads one message from r. It validates the kind tag and
+// bounds every batched count against the remaining bits before
+// allocating, so corrupt streams (the fuzz target feeds arbitrary
+// bytes) cannot force large allocations.
+func DecodeMsg(r *bits.Reader) (*Msg, error) {
+	kind, err := r.ReadBits(kindBits)
+	if err != nil {
+		return nil, err
+	}
+	m := &Msg{Kind: uint8(kind)}
+	if m.Kind == 0 || m.Kind >= kindEnd {
+		return nil, fmt.Errorf("dist: unknown message kind %d", kind)
+	}
+	switch m.Kind {
+	case KindDist:
+		if m.Dist, err = readFloat(r); err != nil {
+			return nil, err
+		}
+	case KindDVec:
+		cnt, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		// A distance entry costs at least 8+64 bits.
+		if cnt*72 > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("dist: dvec count %d exceeds stream", cnt)
+		}
+		m.DVec = make([]DistEntry, cnt)
+		for i := range m.DVec {
+			if m.DVec[i].Target, err = readID(r); err != nil {
+				return nil, err
+			}
+			if m.DVec[i].Dist, err = readFloat(r); err != nil {
+				return nil, err
+			}
+		}
+	case KindChild:
+	case KindSize:
+		if m.Count, err = r.ReadUvarint(); err != nil {
+			return nil, err
+		}
+	case KindAssign:
+		if m.A, err = readID(r); err != nil {
+			return nil, err
+		}
+		if m.B, err = readID(r); err != nil {
+			return nil, err
+		}
+		lbl, err := treeroute.DecodeLabel(r)
+		if err != nil {
+			return nil, err
+		}
+		if lbl.In != m.A {
+			return nil, fmt.Errorf("dist: assign label In %d != interval %d", lbl.In, m.A)
+		}
+		m.Light = lbl.Light
+	case KindAgg:
+		if m.Dist, err = readFloat(r); err != nil {
+			return nil, err
+		}
+		if m.Aux, err = readFloat(r); err != nil {
+			return nil, err
+		}
+		if m.Count, err = r.ReadUvarint(); err != nil {
+			return nil, err
+		}
+	case KindParams:
+		if m.Level, err = readID(r); err != nil {
+			return nil, err
+		}
+		if m.Aux, err = readFloat(r); err != nil {
+			return nil, err
+		}
+		if m.Count, err = r.ReadUvarint(); err != nil {
+			return nil, err
+		}
+	case KindDecide:
+		if m.Level, err = readID(r); err != nil {
+			return nil, err
+		}
+		cnt, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		// A decision costs at least 8+1 bits.
+		if cnt*9 > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("dist: decide count %d exceeds stream", cnt)
+		}
+		m.Decides = make([]DecideEntry, cnt)
+		for i := range m.Decides {
+			if m.Decides[i].Node, err = readID(r); err != nil {
+				return nil, err
+			}
+			if m.Decides[i].Accept, err = r.ReadBit(); err != nil {
+				return nil, err
+			}
+		}
+	case KindRange:
+		cnt, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		// A range entry costs at least four 1-group uvarints.
+		if cnt*32 > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("dist: range count %d exceeds stream", cnt)
+		}
+		m.Ranges = make([]RangeEntry, cnt)
+		for i := range m.Ranges {
+			e := &m.Ranges[i]
+			for _, f := range []*int32{&e.Level, &e.Node, &e.Lo, &e.Hi} {
+				if *f, err = readID(r); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case KindVChild:
+		if err := m.decodeVHeader(r); err != nil {
+			return nil, err
+		}
+	case KindVCount:
+		if err := m.decodeVHeader(r); err != nil {
+			return nil, err
+		}
+		if m.Count, err = r.ReadUvarint(); err != nil {
+			return nil, err
+		}
+	case KindVAssign:
+		if err := m.decodeVHeader(r); err != nil {
+			return nil, err
+		}
+		if m.A, err = readID(r); err != nil {
+			return nil, err
+		}
+		if m.B, err = readID(r); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (m *Msg) decodeVHeader(r *bits.Reader) error {
+	var err error
+	if m.Level, err = readID(r); err != nil {
+		return err
+	}
+	if m.Src, err = readID(r); err != nil {
+		return err
+	}
+	m.Dst, err = readID(r)
+	return err
+}

@@ -1,0 +1,57 @@
+package dist
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestBuildTreeParallelEquivalence: the engine runs Begin/Recv/Flush
+// over the shared worker pool but delivers serially in sender-id order,
+// so a build — tables, labels and every counter — must be bit-identical
+// at GOMAXPROCS=1 and 8.
+func TestBuildTreeParallelEquivalence(t *testing.T) {
+	g := geo(t, 96, 11)
+	build := func() *TreeResult {
+		res, err := BuildTree(g, 0, Config{})
+		if err != nil {
+			t.Fatalf("BuildTree: %v", err)
+		}
+		return res
+	}
+	old := runtime.GOMAXPROCS(1)
+	serial := build()
+	runtime.GOMAXPROCS(8)
+	parallel := build()
+	runtime.GOMAXPROCS(old)
+	if !reflect.DeepEqual(serial.Parent, parallel.Parent) {
+		t.Fatal("parallel tree build elected different parents than serial build")
+	}
+	if !reflect.DeepEqual(serial.Info, parallel.Info) {
+		t.Fatal("parallel tree build produced different node info than serial build")
+	}
+	if serial.Counters != parallel.Counters {
+		t.Fatalf("parallel tree build counted differently: %+v vs %+v", parallel.Counters, serial.Counters)
+	}
+}
+
+// TestBuildSimpleParallelEquivalence: same contract for the full
+// distributed Simple construction, byte-level on the encoded tables.
+func TestBuildSimpleParallelEquivalence(t *testing.T) {
+	g := geo(t, 96, 11)
+	build := func() *SimpleResult {
+		res, err := BuildSimple(g, 0.25, Config{})
+		if err != nil {
+			t.Fatalf("BuildSimple: %v", err)
+		}
+		return res
+	}
+	old := runtime.GOMAXPROCS(1)
+	serial := build()
+	runtime.GOMAXPROCS(8)
+	parallel := build()
+	runtime.GOMAXPROCS(old)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel simple build differs from serial build")
+	}
+}

@@ -1,0 +1,756 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/labeled"
+	"compactrouting/internal/par"
+)
+
+// simpleRingFactor mirrors labeled's default ring radius multiplier:
+// rings have radius simpleRingFactor * Radius(i) / eps. The protocol
+// pins the oracle's default because the two builds are asserted
+// byte-identical.
+const simpleRingFactor = 2.0
+
+// SimpleResult is the output of BuildSimple: per-node encoded tables
+// (byte-identical to labeled.NewSimple + EncodeTable on the same graph
+// and eps), the elected hierarchy, and the construction cost.
+type SimpleResult struct {
+	N          int
+	Eps        float64
+	RingFactor float64
+	// Base is the level-0 net radius the aggregation derived (the
+	// minimum pairwise distance).
+	Base float64
+	// TopLevel is L, the index of the singleton top net level.
+	TopLevel int
+	// Labels[v] is v's netting-tree DFS leaf label.
+	Labels []int32
+	// Levels[i] lists the elected Y_i members in ascending id (the
+	// oracle's Levels hold the same sets in greedy-acceptance order).
+	Levels [][]int
+	// Tables[v] is v's encoded routing table (TableBits[v] valid bits),
+	// consumable by labeled.DecodeSimple.
+	Tables    [][]byte
+	TableBits []int
+	Counters  Counters
+}
+
+// ringRec is one collected ring entry before final table assembly.
+type ringRec struct {
+	x, lo, hi int32
+}
+
+// vkid is one external netting-tree child with its reported leaf count
+// (-1 until the count arrives).
+type vkid struct {
+	id  int32
+	cnt int64
+}
+
+// simpleNode is one node's protocol state for BuildSimple.
+type simpleNode struct {
+	// Distance vector (phase 0): full rows, built by exchange.
+	distRow []float64
+	nhRow   []int32
+	queued  []bool
+	queue   []int32
+
+	// Shortest-path tree toward node 0 (phases 1-3).
+	sptKids []int32
+	aggGot  int
+	aggMin  float64
+	aggMax  float64
+	aggCnt  uint64
+
+	// Hierarchy parameters, learned in phase 3.
+	haveParams bool
+	base       float64
+	topL       int
+	n          int
+
+	// Membership knowledge accumulated from accept floods.
+	joinKnown []int16 // per node: its join level, or -1
+	memb      []int32 // known members in discovery order
+	selfJoin  int16
+
+	// Election scratch, reset per level.
+	decided  bool
+	pendBit  []uint64
+	pendCnt  int
+	seen     []uint64
+	relayDec []DecideEntry
+
+	// Virtual netting-tree state for the chain (v, 0..selfJoin).
+	zpTop        int32
+	vkids        [][]vkid
+	vgot         []int
+	vcnt         []int64
+	vcur         int
+	rngLo, rngHi []int32
+
+	// Range flood state and collected rings.
+	seenRng  [][]uint64
+	rings    [][]ringRec
+	relayRng []RangeEntry
+
+	label int32
+}
+
+// simpleProto builds the labeled Simple scheme in-network. Phases
+// (L = top level, known to all nodes after phase 3):
+//
+//	0      distance-vector exchange: full distance/next-hop rows with
+//	       Dijkstra's exact tie-breaks.
+//	1      shortest-path-tree child announce toward node 0.
+//	2      aggregation convergecast: (min pair distance, diameter, n).
+//	3      parameter broadcast: (base, L, n) down the tree.
+//	4      the root announces itself as Y_L (scoped accept flood).
+//	5..4+L per-level net election, level i = L-(phase-4): the greedy
+//	       by-id net election as a decision-wait protocol (see Begin).
+//	5+L    netting-tree child announce to zoom parents (unicast).
+//	6+L    netting-tree leaf-count convergecast (unicast).
+//	7+L    leaf-label range downcast (unicast) — the DFS enumeration.
+//	8+L    range floods: each member floods Range(v, i) within ring
+//	       radius; receivers keep exactly their oracle ring entries.
+type simpleProto struct {
+	n          int
+	eps        float64
+	factor     float64
+	maxMsgBits int
+	nodes      []simpleNode
+}
+
+// radius is Hierarchy.Radius: base * 2^i, with the node's learned base.
+func (st *simpleNode) radius(i int32) float64 {
+	return st.base * math.Pow(2, float64(i))
+}
+
+// ringRadius mirrors the oracle's ring radius expression
+// (labeled.(*Simple).ringAt) term for term.
+func (p *simpleProto) ringRadius(st *simpleNode, i int32) float64 {
+	return p.factor * st.radius(i) / p.eps
+}
+
+// level maps an announce/election phase to its net level.
+func (st *simpleNode) level(phase int) int32 { return int32(st.topL - (phase - 4)) }
+
+func (p *simpleProto) Done(phase int) bool {
+	if phase <= 4 {
+		return false
+	}
+	// The root's parameters are authoritative; Done runs serially
+	// between phases, after the broadcast phase completed.
+	return phase >= 9+p.nodes[0].topL
+}
+
+func (p *simpleProto) Begin(phase int, c *Ctx) {
+	v := c.Node()
+	st := &p.nodes[v]
+	switch {
+	case phase == 0:
+		st.distRow = make([]float64, p.n)
+		st.nhRow = make([]int32, p.n)
+		st.queued = make([]bool, p.n)
+		for u := range st.distRow {
+			st.distRow[u] = math.Inf(1)
+			st.nhRow[u] = -1
+		}
+		st.distRow[v] = 0
+		st.queued[v] = true
+		st.queue = append(st.queue, int32(v))
+	case phase == 1:
+		if v != 0 {
+			c.Send(int(st.nhRow[0]), &Msg{Kind: KindChild})
+		}
+	case phase == 2:
+		sort.Slice(st.sptKids, func(a, b int) bool { return st.sptKids[a] < st.sptKids[b] })
+		st.aggMin = math.Inf(1)
+		st.aggMax = 0
+		st.aggCnt = 1
+		for u := 0; u < p.n; u++ {
+			if u == v {
+				continue
+			}
+			if d := st.distRow[u]; d < st.aggMin {
+				st.aggMin = d
+			}
+			if d := st.distRow[u]; d > st.aggMax {
+				st.aggMax = d
+			}
+		}
+		if len(st.sptKids) == 0 {
+			p.aggReady(c, st)
+		}
+	case phase == 3:
+		if v == 0 {
+			for _, k := range st.sptKids {
+				c.Send(int(k), &Msg{Kind: KindParams, Level: int32(st.topL), Aux: st.base, Count: uint64(st.n)})
+			}
+		}
+	case phase == 4:
+		if v == 0 {
+			st.decided = true
+			st.selfJoin = int16(st.topL)
+			p.handleDecide(c, st, int32(st.topL), 0, true)
+		}
+	case phase <= 4+st.topL:
+		p.beginElection(c, st, st.level(phase))
+	case phase == 5+st.topL:
+		p.beginVChild(c, st)
+	case phase == 6+st.topL:
+		p.vcascade(c, st)
+	case phase == 7+st.topL:
+		if v == 0 {
+			lv := int(st.selfJoin)
+			st.rngLo[lv], st.rngHi[lv] = 0, int32(st.n)-1
+			p.descend(c, st, lv)
+		}
+	case phase == 8+st.topL:
+		p.beginRangeFlood(c, st)
+	}
+}
+
+// aggReady fires when v has folded all child aggregates: push the
+// partial aggregate up, or derive the hierarchy parameters at the root
+// exactly as rnet.NewHierarchy would (base = min pair distance,
+// L = ceil(log2(diameter/base))).
+func (p *simpleProto) aggReady(c *Ctx, st *simpleNode) {
+	if c.Node() != 0 {
+		c.Send(int(st.nhRow[0]), &Msg{Kind: KindAgg, Dist: st.aggMin, Aux: st.aggMax, Count: st.aggCnt})
+		return
+	}
+	if st.aggCnt != uint64(p.n) {
+		c.Fail(fmt.Errorf("dist: aggregation counted %d of %d nodes", st.aggCnt, p.n))
+		return
+	}
+	base, diam := st.aggMin, st.aggMax
+	topL := int(math.Ceil(math.Log2(diam / base)))
+	if topL < 1 {
+		// L = 0 means diameter == min distance: the hierarchy would be a
+		// single level and only the root would carry a leaf label. The
+		// oracle scheme is equally degenerate there; reject explicitly.
+		c.Fail(fmt.Errorf("dist: degenerate hierarchy (L = %d) on %d nodes", topL, p.n))
+		return
+	}
+	p.setParams(st, base, topL, p.n)
+}
+
+// setParams installs the learned hierarchy parameters and sizes the
+// membership structures.
+func (p *simpleProto) setParams(st *simpleNode, base float64, topL, n int) {
+	st.haveParams = true
+	st.base, st.topL, st.n = base, topL, n
+	st.selfJoin = -1
+	st.joinKnown = make([]int16, n)
+	for i := range st.joinKnown {
+		st.joinKnown[i] = -1
+	}
+	words := (n + 63) / 64
+	st.pendBit = make([]uint64, words)
+	st.seen = make([]uint64, words)
+}
+
+// beginElection opens level lv: already-members sit out; nodes within
+// the level radius of a known coarser member reject immediately; the
+// rest wait for every smaller-id node within the radius to decide.
+// This is exactly rnet.Net's greedy-by-id scan as a message-passing
+// protocol: v is accepted iff no member of Y_{lv+1} is within
+// Radius(lv) and no accepted smaller-id candidate is.
+func (p *simpleProto) beginElection(c *Ctx, st *simpleNode, lv int32) {
+	for i := range st.seen {
+		st.seen[i] = 0
+		st.pendBit[i] = 0
+	}
+	st.pendCnt = 0
+	st.decided = false
+	if st.selfJoin >= 0 {
+		// Already in a coarser net, hence in this level by nesting; the
+		// membership was announced once at the join level.
+		st.decided = true
+		return
+	}
+	r := st.radius(lv)
+	minSeed := math.Inf(1)
+	for _, y := range st.memb {
+		if int32(st.joinKnown[y]) >= lv+1 {
+			if d := st.distRow[y]; d < minSeed {
+				minSeed = d
+			}
+		}
+	}
+	if minSeed < r {
+		p.decideSelf(c, st, lv, false)
+		return
+	}
+	v := c.Node()
+	for u := 0; u < v; u++ {
+		if st.distRow[u] < r {
+			st.pendBit[u/64] |= 1 << uint(u%64)
+			st.pendCnt++
+		}
+	}
+	if st.pendCnt == 0 {
+		p.decideSelf(c, st, lv, true)
+	}
+}
+
+// decideSelf records v's own election decision and floods it.
+func (p *simpleProto) decideSelf(c *Ctx, st *simpleNode, lv int32, accept bool) {
+	st.decided = true
+	if accept {
+		st.selfJoin = int16(lv)
+	}
+	p.handleDecide(c, st, lv, int32(c.Node()), accept)
+}
+
+// handleDecide processes one election decision (possibly v's own):
+// record membership, settle v's own pending election if y was awaited,
+// and queue the scoped relay. Accept floods carry to the ring radius
+// (they feed seed checks at every lower level, zoom-parent searches and
+// the implied membership of coarser members); reject floods only need
+// to reach the origin's level-radius ball.
+func (p *simpleProto) handleDecide(c *Ctx, st *simpleNode, lv, y int32, accept bool) {
+	w, bit := y/64, uint64(1)<<uint(y%64)
+	if st.seen[w]&bit != 0 {
+		return
+	}
+	st.seen[w] |= bit
+	if accept {
+		if st.joinKnown[y] != -1 {
+			c.Fail(fmt.Errorf("dist: node %d announced twice (levels %d, %d)", y, st.joinKnown[y], lv))
+			return
+		}
+		st.joinKnown[y] = int16(lv)
+		st.memb = append(st.memb, y)
+		if !st.decided && st.pendBit[w]&bit != 0 {
+			// A smaller-id candidate within the radius was accepted:
+			// the greedy scan rejects v.
+			p.decideSelf(c, st, lv, false)
+		}
+	} else if !st.decided && st.pendBit[w]&bit != 0 {
+		st.pendBit[w] &^= bit
+		st.pendCnt--
+		if st.pendCnt == 0 {
+			p.decideSelf(c, st, lv, true)
+		}
+	}
+	scope := st.radius(lv)
+	inScope := st.distRow[y] < scope
+	if accept {
+		inScope = st.distRow[y] <= p.ringRadius(st, lv)
+	}
+	if inScope {
+		st.relayDec = append(st.relayDec, DecideEntry{Node: y, Accept: accept})
+	}
+}
+
+// beginVChild announces v's top netting-tree node (v, selfJoin) to its
+// zoom parent — the nearest known member of the next level up, ties by
+// least id, exactly metric.Nearest's rule. Lower chain nodes (v, i<
+// selfJoin) have (v, i+1) as parent: a local edge, no message.
+func (p *simpleProto) beginVChild(c *Ctx, st *simpleNode) {
+	if st.selfJoin < 0 {
+		c.Fail(fmt.Errorf("dist: node %d never joined any level", c.Node()))
+		return
+	}
+	lv := int(st.selfJoin)
+	st.vkids = make([][]vkid, lv+1)
+	st.vgot = make([]int, lv+1)
+	st.vcnt = make([]int64, lv+1)
+	st.rngLo = make([]int32, lv+1)
+	st.rngHi = make([]int32, lv+1)
+	st.zpTop = -1
+	if lv == st.topL {
+		return
+	}
+	best, bd := int32(-1), math.Inf(1)
+	for _, y := range st.memb {
+		if int(st.joinKnown[y]) < lv+1 {
+			continue
+		}
+		d := st.distRow[y]
+		//determinlint:allow floateq deliberate exact tie-break: zoom parents must match metric.Nearest's (distance, id) rule bit for bit
+		if d < bd || (d == bd && y < best) {
+			best, bd = y, d
+		}
+	}
+	if best < 0 {
+		c.Fail(fmt.Errorf("dist: node %d found no zoom parent above level %d", c.Node(), lv))
+		return
+	}
+	st.zpTop = best
+	p.unicast(c, st, &Msg{Kind: KindVChild, Level: int32(lv), Src: int32(c.Node()), Dst: best})
+}
+
+// unicast forwards m one hop along the sender's shortest path to Dst.
+func (p *simpleProto) unicast(c *Ctx, st *simpleNode, m *Msg) {
+	c.Send(int(st.nhRow[m.Dst]), m)
+}
+
+// vcascade folds leaf counts up v's local chain as external child
+// counts arrive; once the chain top is complete, its total goes to the
+// zoom parent (or is validated against n at the root).
+func (p *simpleProto) vcascade(c *Ctx, st *simpleNode) {
+	lv := int(st.selfJoin)
+	for st.vcur <= lv {
+		i := st.vcur
+		if st.vgot[i] != len(st.vkids[i]) {
+			return
+		}
+		cnt := int64(1)
+		if i > 0 {
+			cnt = st.vcnt[i-1]
+			for _, k := range st.vkids[i] {
+				cnt += k.cnt
+			}
+		} else if len(st.vkids[0]) != 0 {
+			c.Fail(fmt.Errorf("dist: node %d has children below level 0", c.Node()))
+			return
+		}
+		st.vcnt[i] = cnt
+		st.vcur++
+	}
+	if lv < st.topL {
+		p.unicast(c, st, &Msg{Kind: KindVCount, Level: int32(lv), Src: int32(c.Node()), Dst: st.zpTop, Count: uint64(st.vcnt[lv])})
+	} else if st.vcnt[lv] != int64(st.n) {
+		c.Fail(fmt.Errorf("dist: netting tree counts %d leaves of %d", st.vcnt[lv], st.n))
+	}
+}
+
+// descend assigns contiguous leaf-label blocks to the children of
+// (v, i) in ascending child id — the netting tree's DFS order — and
+// recurses down v's own chain. At level 0 the block is v's leaf label.
+func (p *simpleProto) descend(c *Ctx, st *simpleNode, i int) {
+	if i == 0 {
+		if st.rngLo[0] != st.rngHi[0] {
+			c.Fail(fmt.Errorf("dist: node %d leaf range [%d,%d]", c.Node(), st.rngLo[0], st.rngHi[0]))
+			return
+		}
+		st.label = st.rngLo[0]
+		return
+	}
+	v := int32(c.Node())
+	kids := make([]vkid, 0, len(st.vkids[i])+1)
+	kids = append(kids, st.vkids[i]...)
+	kids = append(kids, vkid{id: v, cnt: st.vcnt[i-1]})
+	sort.Slice(kids, func(a, b int) bool { return kids[a].id < kids[b].id })
+	cur := st.rngLo[i]
+	for _, k := range kids {
+		lo, hi := cur, cur+int32(k.cnt)-1
+		cur = hi + 1
+		if k.id == v {
+			st.rngLo[i-1], st.rngHi[i-1] = lo, hi
+		} else {
+			p.unicast(c, st, &Msg{Kind: KindVAssign, Level: int32(i) - 1, Src: v, Dst: k.id, A: lo, B: hi})
+		}
+	}
+	if cur != st.rngHi[i]+1 {
+		c.Fail(fmt.Errorf("dist: node %d level %d blocks end at %d, range ends at %d", v, i, cur-1, st.rngHi[i]))
+		return
+	}
+	p.descend(c, st, i-1)
+}
+
+// beginRangeFlood floods Range(v, i) for every level of v's chain. A
+// node stores and relays an entry iff the origin is within its level's
+// ring radius — on a shortest path every intermediate is at most as far
+// from the origin as the target, so the inclusive gate loses nobody.
+func (p *simpleProto) beginRangeFlood(c *Ctx, st *simpleNode) {
+	words := (st.n + 63) / 64
+	st.seenRng = make([][]uint64, st.topL+1)
+	st.rings = make([][]ringRec, st.topL+1)
+	for i := range st.seenRng {
+		st.seenRng[i] = make([]uint64, words)
+	}
+	for i := 0; i <= int(st.selfJoin); i++ {
+		p.handleRange(st, int32(i), int32(c.Node()), st.rngLo[i], st.rngHi[i])
+	}
+}
+
+func (p *simpleProto) handleRange(st *simpleNode, lv, x, lo, hi int32) {
+	w, bit := x/64, uint64(1)<<uint(x%64)
+	if st.seenRng[lv][w]&bit != 0 {
+		return
+	}
+	st.seenRng[lv][w] |= bit
+	if st.distRow[x] <= p.ringRadius(st, lv) {
+		st.rings[lv] = append(st.rings[lv], ringRec{x: x, lo: lo, hi: hi})
+		st.relayRng = append(st.relayRng, RangeEntry{Level: lv, Node: x, Lo: lo, Hi: hi})
+	}
+}
+
+func (p *simpleProto) Recv(phase int, c *Ctx, from int, m *Msg) {
+	v := c.Node()
+	st := &p.nodes[v]
+	switch {
+	case phase == 0 && m.Kind == KindDVec:
+		w := c.EdgeWeight(from)
+		for _, e := range m.DVec {
+			t := e.Target
+			if t < 0 || int(t) >= p.n {
+				c.Fail(fmt.Errorf("dist: node %d announced distance to %d", from, t))
+				return
+			}
+			cand := e.Dist + w
+			if cand < st.distRow[t] {
+				st.distRow[t] = cand
+				st.nhRow[t] = int32(from)
+				if !st.queued[t] {
+					st.queued[t] = true
+					st.queue = append(st.queue, t)
+				}
+				//determinlint:allow floateq deliberate exact tie-break: must match Dijkstra's equal-distance min-id parent rule bit for bit
+			} else if cand == st.distRow[t] && int32(from) < st.nhRow[t] {
+				st.nhRow[t] = int32(from)
+			}
+		}
+	case phase == 1 && m.Kind == KindChild:
+		st.sptKids = append(st.sptKids, int32(from))
+	case phase == 2 && m.Kind == KindAgg:
+		if m.Dist < st.aggMin {
+			st.aggMin = m.Dist
+		}
+		if m.Aux > st.aggMax {
+			st.aggMax = m.Aux
+		}
+		st.aggCnt += m.Count
+		st.aggGot++
+		if st.aggGot == len(st.sptKids) {
+			p.aggReady(c, st)
+		}
+	case phase == 3 && m.Kind == KindParams:
+		p.setParams(st, m.Aux, int(m.Level), int(m.Count))
+		for _, k := range st.sptKids {
+			c.Send(int(k), m)
+		}
+	case phase >= 4 && phase <= 4+st.topL && m.Kind == KindDecide:
+		if m.Level != st.level(phase) {
+			c.Fail(fmt.Errorf("dist: node %d got level-%d decision in level-%d phase", v, m.Level, st.level(phase)))
+			return
+		}
+		for _, e := range m.Decides {
+			if e.Node < 0 || int(e.Node) >= st.n {
+				c.Fail(fmt.Errorf("dist: decision for unknown node %d", e.Node))
+				return
+			}
+			p.handleDecide(c, st, m.Level, e.Node, e.Accept)
+		}
+	case phase == 5+st.topL && m.Kind == KindVChild:
+		if int(m.Dst) != v {
+			p.unicast(c, st, m)
+			return
+		}
+		idx := int(m.Level) + 1
+		if idx < 1 || idx > int(st.selfJoin) {
+			c.Fail(fmt.Errorf("dist: node %d (top level %d) got level-%d child %d", v, st.selfJoin, m.Level, m.Src))
+			return
+		}
+		st.vkids[idx] = append(st.vkids[idx], vkid{id: m.Src, cnt: -1})
+	case phase == 6+st.topL && m.Kind == KindVCount:
+		if int(m.Dst) != v {
+			p.unicast(c, st, m)
+			return
+		}
+		p.recvVCount(c, st, m)
+	case phase == 7+st.topL && m.Kind == KindVAssign:
+		if int(m.Dst) != v {
+			p.unicast(c, st, m)
+			return
+		}
+		if int(m.Level) != int(st.selfJoin) {
+			c.Fail(fmt.Errorf("dist: node %d (top level %d) assigned range at level %d", v, st.selfJoin, m.Level))
+			return
+		}
+		st.rngLo[m.Level], st.rngHi[m.Level] = m.A, m.B
+		p.descend(c, st, int(m.Level))
+	case phase == 8+st.topL && m.Kind == KindRange:
+		for _, e := range m.Ranges {
+			if e.Level < 0 || int(e.Level) > st.topL || e.Node < 0 || int(e.Node) >= st.n {
+				c.Fail(fmt.Errorf("dist: range entry (%d,%d) out of bounds", e.Level, e.Node))
+				return
+			}
+			p.handleRange(st, e.Level, e.Node, e.Lo, e.Hi)
+		}
+	default:
+		c.Fail(fmt.Errorf("dist: node %d got kind %d in simple phase %d", v, m.Kind, phase))
+	}
+}
+
+func (p *simpleProto) recvVCount(c *Ctx, st *simpleNode, m *Msg) {
+	idx := int(m.Level) + 1
+	if idx < 1 || idx > int(st.selfJoin) {
+		c.Fail(fmt.Errorf("dist: node %d got level-%d count", c.Node(), m.Level))
+		return
+	}
+	for i := range st.vkids[idx] {
+		if st.vkids[idx][i].id == m.Src {
+			if st.vkids[idx][i].cnt != -1 {
+				c.Fail(fmt.Errorf("dist: duplicate count from %d", m.Src))
+				return
+			}
+			st.vkids[idx][i].cnt = int64(m.Count)
+			st.vgot[idx]++
+			p.vcascade(c, st)
+			return
+		}
+	}
+	c.Fail(fmt.Errorf("dist: count from non-child %d at node %d", m.Src, c.Node()))
+}
+
+func (p *simpleProto) Flush(phase int, c *Ctx) {
+	st := &p.nodes[c.Node()]
+	switch {
+	case phase == 0:
+		p.flushDVec(c, st)
+	case phase >= 4 && st.haveParams && phase <= 4+st.topL:
+		p.flushDecides(c, st, st.level(phase))
+	case st.haveParams && phase == 8+st.topL:
+		p.flushRanges(c, st)
+	}
+}
+
+// batchOverheadBits reserves the message framing: kind, an up-to-16-bit
+// count varint, and (for decides) the level varint.
+const batchOverheadBits = kindBits + 16
+
+// flushDVec drains the improved-distance queue into size-bounded DVec
+// batches broadcast to every neighbor.
+func (p *simpleProto) flushDVec(c *Ctx, st *simpleNode) {
+	if len(st.queue) == 0 {
+		return
+	}
+	entries := make([]DistEntry, len(st.queue))
+	for i, t := range st.queue {
+		entries[i] = DistEntry{Target: t, Dist: st.distRow[t]}
+		st.queued[t] = false
+	}
+	st.queue = st.queue[:0]
+	p.batched(c, len(entries),
+		func(i int) int { return bits.UvarintLen(uint64(entries[i].Target)) + 64 },
+		func(lo, hi int) *Msg { return &Msg{Kind: KindDVec, DVec: entries[lo:hi]} })
+}
+
+func (p *simpleProto) flushDecides(c *Ctx, st *simpleNode, lv int32) {
+	if len(st.relayDec) == 0 {
+		return
+	}
+	dec := st.relayDec
+	p.batched(c, len(dec),
+		func(i int) int { return bits.UvarintLen(uint64(dec[i].Node)) + 1 },
+		func(lo, hi int) *Msg { return &Msg{Kind: KindDecide, Level: lv, Decides: dec[lo:hi]} })
+	st.relayDec = st.relayDec[:0]
+}
+
+func (p *simpleProto) flushRanges(c *Ctx, st *simpleNode) {
+	if len(st.relayRng) == 0 {
+		return
+	}
+	rng := st.relayRng
+	p.batched(c, len(rng),
+		func(i int) int {
+			e := rng[i]
+			return bits.UvarintLen(uint64(e.Level)) + bits.UvarintLen(uint64(e.Node)) +
+				bits.UvarintLen(uint64(e.Lo)) + bits.UvarintLen(uint64(e.Hi))
+		},
+		func(lo, hi int) *Msg { return &Msg{Kind: KindRange, Ranges: rng[lo:hi]} })
+	st.relayRng = st.relayRng[:0]
+}
+
+// batched splits n entries into contiguous blocks whose encoded size
+// fits the message bound and broadcasts each block to every neighbor.
+// entryBits must account entry i exactly; mk builds the message for
+// [lo, hi). A single oversized entry still goes out alone and trips
+// Send's bound check — the bound must fit at least one entry.
+func (p *simpleProto) batched(c *Ctx, n int, entryBits func(int) int, mk func(lo, hi int) *Msg) {
+	send := func(lo, hi int) {
+		m := mk(lo, hi)
+		for _, e := range c.Neighbors() {
+			c.Send(e.To, m)
+		}
+	}
+	cur, start := batchOverheadBits, 0
+	for i := 0; i < n; i++ {
+		eb := entryBits(i)
+		if cur+eb > p.maxMsgBits && i > start {
+			send(start, i)
+			start, cur = i, batchOverheadBits
+		}
+		cur += eb
+	}
+	send(start, n)
+}
+
+// BuildSimple runs the full in-network construction of the labeled
+// Simple scheme with hierarchy root 0 and the default ring factor. The
+// returned per-node tables are byte-identical to the oracle pipeline
+// labeled.NewSimple(g, metric.NewAPSP(g), eps) + EncodeTable, and
+// route through labeled.DecodeSimple.
+func BuildSimple(g *graph.Graph, eps float64, cfg Config) (*SimpleResult, error) {
+	if eps <= 0 || eps > 0.5 {
+		return nil, fmt.Errorf("dist: eps %v out of (0, 0.5]", eps)
+	}
+	if g.N() < 2 {
+		return nil, fmt.Errorf("dist: need at least 2 nodes, have %d", g.N())
+	}
+	p := &simpleProto{
+		n:          g.N(),
+		eps:        eps,
+		factor:     simpleRingFactor,
+		maxMsgBits: cfg.MaxMsgBits,
+		nodes:      make([]simpleNode, g.N()),
+	}
+	if p.maxMsgBits <= 0 {
+		p.maxMsgBits = DefaultMaxMsgBits
+	}
+	counters, err := Run(g, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	root := &p.nodes[0]
+	res := &SimpleResult{
+		N:          p.n,
+		Eps:        eps,
+		RingFactor: p.factor,
+		Base:       root.base,
+		TopLevel:   root.topL,
+		Labels:     make([]int32, p.n),
+		Levels:     make([][]int, root.topL+1),
+		Tables:     make([][]byte, p.n),
+		TableBits:  make([]int, p.n),
+		Counters:   counters,
+	}
+	// Per-node table assembly is local work over protocol output; it
+	// writes only index-owned state.
+	idBits := bits.UintBits(p.n)
+	par.For(p.n, func(v int) {
+		st := &p.nodes[v]
+		res.Labels[v] = st.label
+		levels := make([][]labeled.TableEntry, st.topL+1)
+		for i := range levels {
+			recs := st.rings[i]
+			sort.Slice(recs, func(a, b int) bool { return recs[a].x < recs[b].x })
+			lv := make([]labeled.TableEntry, 0, len(recs))
+			for _, r := range recs {
+				next := st.nhRow[r.x]
+				if next < 0 {
+					next = int32(v) // own entry: the hop is never followed
+				}
+				lv = append(lv, labeled.TableEntry{X: r.x, Lo: r.lo, Hi: r.hi, Next: next})
+			}
+			levels[i] = lv
+		}
+		res.Tables[v], res.TableBits[v] = labeled.EncodeSimpleTable(idBits, st.label, levels)
+	})
+	for v := 0; v < p.n; v++ {
+		for i := 0; i <= int(p.nodes[v].selfJoin); i++ {
+			res.Levels[i] = append(res.Levels[i], v)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,229 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"compactrouting/internal/graph"
+	"compactrouting/internal/treeroute"
+)
+
+// TreeResult is the output of BuildTree: every node's protocol-built
+// routing state plus the assembled treeroute scheme and the
+// construction cost.
+type TreeResult struct {
+	Root int
+	// Parent[v] is v's elected shortest-path-tree parent (-1 at root) —
+	// identical to metric.Dijkstra(g, root).Parent.
+	Parent []int
+	// Info[v] is the per-node table state the protocol computed.
+	Info []treeroute.NodeInfo
+	// Scheme is treeroute.Assemble(root, Info).
+	Scheme   *treeroute.Scheme
+	Counters Counters
+}
+
+// treeChild pairs a child with its reported subtree size.
+type treeChild struct {
+	id   int32
+	size uint64
+}
+
+// treeNode is one node's protocol state for BuildTree.
+type treeNode struct {
+	dist     float64
+	parent   int32
+	announce bool // distance improved since last flush
+	kids     []treeChild
+	sizeGot  int
+	size     uint64
+	info     treeroute.NodeInfo
+}
+
+// treeProto elects the shortest-path tree rooted at root and compiles
+// per-node treeroute state in four phases:
+//
+//	0: distance election — synchronous Bellman–Ford from the root.
+//	   On equal distance the min-id neighbor wins, which converges to
+//	   exactly metric.Dijkstra's parent choice.
+//	1: child announce — each non-root tells its parent it is a child.
+//	2: size convergecast — leaves report 1; internal nodes report
+//	   1 + sum of children once all children reported.
+//	3: interval downcast — the root numbers itself [0, n-1]; every node
+//	   orders its children (subtree size desc, id asc — treeroute's
+//	   HeavyFirst order), carves contiguous DFS blocks and pushes each
+//	   child its interval and label.
+type treeProto struct {
+	root  int
+	nodes []treeNode
+}
+
+func (p *treeProto) Done(phase int) bool { return phase > 3 }
+
+func (p *treeProto) Begin(phase int, c *Ctx) {
+	v := c.Node()
+	st := &p.nodes[v]
+	switch phase {
+	case 0:
+		st.parent = -1
+		if v == p.root {
+			st.dist = 0
+			st.announce = true
+		} else {
+			st.dist = math.Inf(1)
+		}
+	case 1:
+		if v != p.root {
+			c.Send(int(st.parent), &Msg{Kind: KindChild})
+		}
+	case 2:
+		// Arrival order of child announcements depends on the fault
+		// schedule; sort so later phases are schedule-independent.
+		sort.Slice(st.kids, func(a, b int) bool { return st.kids[a].id < st.kids[b].id })
+		if len(st.kids) == 0 {
+			p.sizeReady(c, st)
+		}
+	case 3:
+		if v == p.root {
+			st.info = treeroute.NodeInfo{In: 0, Out: int32(st.size) - 1, Parent: -1}
+			// Empty, not nil: labels decoded off the wire always carry a
+			// non-nil slice, and the oracle equivalence is DeepEqual.
+			st.info.Label.Light = []treeroute.LightEntry{}
+			p.assignChildren(c, st)
+		}
+	}
+}
+
+// sizeReady fires when v knows its subtree size: report it to the
+// parent, or record the total at the root.
+func (p *treeProto) sizeReady(c *Ctx, st *treeNode) {
+	st.size = 1
+	for _, k := range st.kids {
+		st.size += k.size
+	}
+	if c.Node() != p.root {
+		c.Send(int(st.parent), &Msg{Kind: KindSize, Count: st.size})
+	}
+}
+
+// assignChildren carves v's interval into contiguous child blocks in
+// HeavyFirst order and pushes each child its interval and label. It
+// also completes v's own table (heavy child and interval) and label.
+func (p *treeProto) assignChildren(c *Ctx, st *treeNode) {
+	st.info.Heavy = -1
+	st.info.Label = treeroute.Label{In: st.info.In, Light: st.info.Label.Light}
+	kids := st.kids
+	sort.Slice(kids, func(a, b int) bool {
+		if kids[a].size != kids[b].size {
+			return kids[a].size > kids[b].size
+		}
+		return kids[a].id < kids[b].id
+	})
+	next := st.info.In + 1
+	for i, k := range kids {
+		in, out := next, next+int32(k.size)-1
+		next = out + 1
+		light := st.info.Label.Light
+		if i == 0 {
+			st.info.Heavy = k.id
+			st.info.HeavyIn, st.info.HeavyOut = in, out
+		} else {
+			ext := make([]treeroute.LightEntry, len(light)+1)
+			copy(ext, light)
+			ext[len(light)] = treeroute.LightEntry{ParentIn: st.info.In, Child: k.id}
+			light = ext
+		}
+		c.Send(int(k.id), &Msg{Kind: KindAssign, A: in, B: out, Light: light})
+	}
+	if next != st.info.Out+1 {
+		c.Fail(fmt.Errorf("dist: node %d children cover [%d,%d) inside [%d,%d]",
+			c.Node(), st.info.In+1, next, st.info.In, st.info.Out))
+	}
+}
+
+func (p *treeProto) Recv(phase int, c *Ctx, from int, m *Msg) {
+	v := c.Node()
+	st := &p.nodes[v]
+	switch {
+	case phase == 0 && m.Kind == KindDist:
+		cand := m.Dist + c.EdgeWeight(from)
+		if cand < st.dist {
+			st.dist = cand
+			st.parent = int32(from)
+			st.announce = true
+			//determinlint:allow floateq deliberate exact tie-break: must match Dijkstra's equal-distance min-id parent rule bit for bit
+		} else if cand == st.dist && int32(from) < st.parent {
+			// Same min-id-on-equal rule as metric.Dijkstra, and order-
+			// independent once every neighbor's final distance has been
+			// heard.
+			st.parent = int32(from)
+		}
+	case phase == 1 && m.Kind == KindChild:
+		st.kids = append(st.kids, treeChild{id: int32(from)})
+	case phase == 2 && m.Kind == KindSize:
+		p.recvSize(c, st, from, m.Count)
+	case phase == 3 && m.Kind == KindAssign:
+		st.info.In, st.info.Out, st.info.Parent = m.A, m.B, st.parent
+		st.info.Label.Light = m.Light
+		p.assignChildren(c, st)
+	default:
+		c.Fail(fmt.Errorf("dist: node %d got kind %d in tree phase %d", v, m.Kind, phase))
+	}
+}
+
+func (p *treeProto) recvSize(c *Ctx, st *treeNode, from int, size uint64) {
+	for i := range st.kids {
+		if st.kids[i].id == int32(from) {
+			st.kids[i].size = size
+			st.sizeGot++
+			if st.sizeGot == len(st.kids) {
+				p.sizeReady(c, st)
+			}
+			return
+		}
+	}
+	c.Fail(fmt.Errorf("dist: node %d got size from non-child %d", c.Node(), from))
+}
+
+func (p *treeProto) Flush(phase int, c *Ctx) {
+	st := &p.nodes[c.Node()]
+	if phase == 0 && st.announce {
+		// One announcement per round regardless of how many relaxations
+		// the round's inbox caused.
+		st.announce = false
+		for _, e := range c.Neighbors() {
+			c.Send(e.To, &Msg{Kind: KindDist, Dist: st.dist})
+		}
+	}
+}
+
+// BuildTree runs the distributed shortest-path-tree construction rooted
+// at root and assembles the resulting treeroute scheme. The tree, its
+// DFS numbering and every label are identical to the oracle pipeline
+// treeroute.New(metric.Dijkstra(g, root).Parent, root).
+func BuildTree(g *graph.Graph, root int, cfg Config) (*TreeResult, error) {
+	if root < 0 || root >= g.N() {
+		return nil, fmt.Errorf("dist: root %d out of range", root)
+	}
+	p := &treeProto{root: root, nodes: make([]treeNode, g.N())}
+	counters, err := Run(g, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &TreeResult{
+		Root:     root,
+		Parent:   make([]int, g.N()),
+		Info:     make([]treeroute.NodeInfo, g.N()),
+		Counters: counters,
+	}
+	for v := range p.nodes {
+		res.Parent[v] = int(p.nodes[v].parent)
+		res.Info[v] = p.nodes[v].info
+	}
+	res.Scheme, err = treeroute.Assemble(root, res.Info)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -212,6 +212,23 @@ func (in *Injector) edgeUp(u, v int, t float64) bool {
 	return true
 }
 
+// TransmitOK decides the fate of one raw link transmission from u to v
+// at virtual time t: sender and edge and receiver must be up, and the
+// transmission must survive the edge's loss draw. id and attempt key
+// the draw the way delivery id and attempt number key packet-level
+// draws, so the outcome is a pure hash of (seed, id, attempt) — the
+// contract the dist engine's link layer relies on for byte-identical
+// reruns (see internal/dist).
+func (in *Injector) TransmitOK(u, v int, t float64, id, attempt uint64) bool {
+	if !in.nodeUp(u, t) || !in.edgeUp(u, v, t) {
+		return false
+	}
+	if p := in.lossOn(u, v); p > 0 && in.unit(drawLoss, id, attempt, 0) < p {
+		return false
+	}
+	return in.nodeUp(v, t)
+}
+
 // Draw kinds, mixed into the hash so the same (delivery, attempt, hop)
 // coordinate yields independent streams per purpose.
 const (

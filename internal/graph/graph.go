@@ -64,6 +64,19 @@ func (g *Graph) EdgeWeight(u, v int) (float64, bool) {
 	return 0, false
 }
 
+// NeighborWeight is EdgeWeight by binary search: adjacency lists are
+// sorted by neighbor id, so per-transmission lookups (the dist engine
+// validates and weighs every message against the sender's adjacency)
+// cost O(log deg) instead of EdgeWeight's linear scan.
+func (g *Graph) NeighborWeight(u, v int) (float64, bool) {
+	adj := g.adj[u]
+	i := sort.Search(len(adj), func(k int) bool { return adj[k].To >= v })
+	if i < len(adj) && adj[i].To == v {
+		return adj[i].Weight, true
+	}
+	return 0, false
+}
+
 // MinEdgeWeight returns the smallest edge weight in the graph.
 func (g *Graph) MinEdgeWeight() float64 {
 	min := math.Inf(1)

@@ -8,27 +8,54 @@ import (
 	"compactrouting/internal/graph"
 )
 
-// EncodeTable serializes node v's routing table. The encoded length in
-// bits is exactly TableBits(v) — the number the experiments report —
-// so the space claims are backed by a real byte layout, not an
-// estimate. Layout: uvarint level count, the node's own label
-// (idBits), then per level a uvarint entry count and fixed-width
-// entries (x, lo, hi, next as idBits fields, plus the far flag).
-func (s *Simple) EncodeTable(v int) ([]byte, int) {
+// TableEntry is one ring record of a Simple table in its wire order:
+// the net point X, the netting-tree range [Lo, Hi] of (X, level), the
+// next hop toward X, and the far flag. It exists so constructors
+// outside this package — the distributed builder in internal/dist —
+// can emit tables through EncodeSimpleTable.
+type TableEntry struct {
+	X, Lo, Hi, Next int32
+	Far             bool
+}
+
+// EncodeSimpleTable serializes one node's Simple table from raw ring
+// levels (levels[i] lists the level-i entries in ascending X). Layout:
+// uvarint level count, the node's own label (idBits wide), then per
+// level a uvarint entry count and fixed-width entries (x, lo, hi, next
+// as idBits fields, plus the far flag). (*Simple).EncodeTable delegates
+// here, so a table built in-network from the same rings is
+// byte-identical to the oracle's.
+func EncodeSimpleTable(idBits int, selfLabel int32, levels [][]TableEntry) ([]byte, int) {
 	var w bits.Writer
-	w.WriteUvarint(uint64(len(s.rings[v])))
-	w.WriteBits(uint64(s.nt.Label(v)), s.idBits)
-	for _, ring := range s.rings[v] {
+	w.WriteUvarint(uint64(len(levels)))
+	w.WriteBits(uint64(selfLabel), idBits)
+	for _, ring := range levels {
 		w.WriteUvarint(uint64(len(ring)))
 		for _, e := range ring {
-			w.WriteBits(uint64(e.x), s.idBits)
-			w.WriteBits(uint64(e.lo), s.idBits)
-			w.WriteBits(uint64(e.hi), s.idBits)
-			w.WriteBits(uint64(e.next), s.idBits)
-			w.WriteBit(e.far)
+			w.WriteBits(uint64(e.X), idBits)
+			w.WriteBits(uint64(e.Lo), idBits)
+			w.WriteBits(uint64(e.Hi), idBits)
+			w.WriteBits(uint64(e.Next), idBits)
+			w.WriteBit(e.Far)
 		}
 	}
 	return w.Bytes(), w.Len()
+}
+
+// EncodeTable serializes node v's routing table. The encoded length in
+// bits is exactly TableBits(v) — the number the experiments report —
+// so the space claims are backed by a real byte layout, not an
+// estimate. See EncodeSimpleTable for the layout.
+func (s *Simple) EncodeTable(v int) ([]byte, int) {
+	levels := make([][]TableEntry, len(s.rings[v]))
+	for i, ring := range s.rings[v] {
+		lv := make([]TableEntry, len(ring))
+		for k, e := range ring {
+			lv[k] = TableEntry{X: e.x, Lo: e.lo, Hi: e.hi, Next: e.next, Far: e.far}
+		}
+		levels[i] = lv
+	}
+	return EncodeSimpleTable(s.idBits, int32(s.nt.Label(v)), levels)
 }
 
 // DecodedSimple is a simple-labeled-scheme router reconstructed purely

@@ -177,6 +177,7 @@ type Suite struct {
 // belt-and-braces with the //determinlint:deterministic directive each
 // of these packages also carries.
 var DeterministicPaths = map[string]bool{
+	"compactrouting/internal/dist":      true,
 	"compactrouting/internal/labeled":   true,
 	"compactrouting/internal/nameind":   true,
 	"compactrouting/internal/rnet":      true,

@@ -122,11 +122,40 @@ func NewHierarchy(a *metric.APSP, root int) *Hierarchy {
 	for i := L - 1; i >= 0; i-- {
 		h.Levels[i] = Net(a, h.Radius(i), h.Levels[i+1], nil)
 	}
+	h.finish()
+	return h
+}
+
+// NewHierarchyFromLevels wraps externally elected net levels — the
+// membership sets the distributed protocol in internal/dist builds by
+// message passing — into a Hierarchy, deriving positions, max levels
+// and zoom parents exactly as NewHierarchy does for its own greedy
+// election. levels[i] must list Y_i's members; the chain must be nested
+// with levels[len(levels)-1] a singleton and levels[0] = V, and base is
+// the level-0 net radius (Radius(i) = base * 2^i). The caller vouches
+// for the net properties; a hierarchy wrapped around the output of a
+// correct election is indistinguishable from a NewHierarchy build.
+func NewHierarchyFromLevels(a *metric.APSP, base float64, levels [][]int) *Hierarchy {
+	h := &Hierarchy{
+		a:        a,
+		base:     base,
+		L:        len(levels) - 1,
+		Levels:   levels,
+		maxLevel: make([]int, a.N()),
+	}
+	h.finish()
+	return h
+}
+
+// finish derives the lookup structures (pos, maxLevel, zoomParent) from
+// the Levels sets.
+func (h *Hierarchy) finish() {
+	n := len(h.maxLevel)
 	for _, v := range h.Levels[0] {
 		h.maxLevel[v] = 0
 	}
-	h.pos = make([][]int32, L+1)
-	for i := 0; i <= L; i++ {
+	h.pos = make([][]int32, h.L+1)
+	for i := 0; i <= h.L; i++ {
 		h.pos[i] = make([]int32, n)
 		for v := range h.pos[i] {
 			h.pos[i][v] = -1
@@ -136,8 +165,8 @@ func NewHierarchy(a *metric.APSP, root int) *Hierarchy {
 			h.maxLevel[v] = i // levels ascend, so the last write wins
 		}
 	}
-	h.zoomParent = make([][]int32, L)
-	for i := 0; i < L; i++ {
+	h.zoomParent = make([][]int32, h.L)
+	for i := 0; i < h.L; i++ {
 		h.zoomParent[i] = make([]int32, n)
 		for v := range h.zoomParent[i] {
 			h.zoomParent[i][v] = -1
@@ -147,11 +176,10 @@ func NewHierarchy(a *metric.APSP, root int) *Hierarchy {
 		// O(|Y_i| * |Y_{i+1}|) scan parallelizes per member.
 		lv := h.Levels[i]
 		par.For(len(lv), func(k int) {
-			p, _ := a.Nearest(lv[k], h.Levels[i+1])
+			p, _ := h.a.Nearest(lv[k], h.Levels[i+1])
 			h.zoomParent[i][lv[k]] = int32(p)
 		})
 	}
-	return h
 }
 
 // Base returns the radius of level 0 (the minimum pairwise distance).
