@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench serve profile chaos-determinism routebench-determinism distsim-determinism fuzz-smoke
+.PHONY: check fmt vet build test race lint bench serve profile chaos-determinism routebench-determinism distsim-determinism routeload-determinism fuzz-smoke
 
 # The gate: vet, build and -race cover every package (./...), including
 # internal/faultsim and cmd/chaossim; lint runs the repo's own static
@@ -12,7 +12,7 @@ GO ?= go
 # build pipeline and the fault injector's seed guarantee produce
 # byte-identical JSON across runs; fuzz-smoke gives every wire codec a
 # short fuzz burst on top of its checked-in seed corpus.
-check: fmt vet lint build race chaos-determinism routebench-determinism distsim-determinism fuzz-smoke
+check: fmt vet lint build race chaos-determinism routebench-determinism distsim-determinism routeload-determinism fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -41,6 +41,7 @@ bench:
 	$(GO) run ./cmd/routebench -json BENCH_routebench.json
 	$(GO) run ./cmd/chaossim -json BENCH_chaossim.json
 	$(GO) run ./cmd/distsim -json BENCH_distsim.json
+	$(GO) run ./cmd/routeload -json -duration 3s -conns 4 -batch 16 > BENCH_routeload.json
 
 # chaossim must be seed-deterministic: the same seed produces a
 # byte-identical JSON sweep. Run a small sweep twice and diff.
@@ -75,6 +76,17 @@ distsim-determinism:
 	{ cmp -s $$tmp1 $$tmp2 || { echo "distsim -json is not seed-deterministic"; rm -f $$tmp1 $$tmp2; exit 1; }; } && \
 	rm -f $$tmp1 $$tmp2 && echo "distsim determinism: ok"
 
+# routeload's deterministic mode must be a pure function of the flags:
+# with -timing=false every connection does fixed work over a static pair
+# share and the report carries only counts and route-shape sums, so two
+# runs over both protocols are byte-identical. Run twice and diff.
+routeload-determinism:
+	@tmp1=$$(mktemp) && tmp2=$$(mktemp) && \
+	$(GO) run ./cmd/routeload -n 48 -pairs 60 -seed 11 -iters 5 -json -timing=false > $$tmp1 && \
+	$(GO) run ./cmd/routeload -n 48 -pairs 60 -seed 11 -iters 5 -json -timing=false > $$tmp2 && \
+	{ cmp -s $$tmp1 $$tmp2 || { echo "routeload -json is not deterministic"; rm -f $$tmp1 $$tmp2; exit 1; }; } && \
+	rm -f $$tmp1 $$tmp2 && echo "routeload determinism: ok"
+
 # ~10s total: each codec fuzzer runs briefly from its seed corpus
 # (testdata/fuzz; regenerate with REGEN_FUZZ_CORPUS=1 go test
 # ./internal/... -run TestRegenFuzzCorpus). A fuzzer accepts exactly
@@ -88,7 +100,9 @@ fuzz-smoke:
 		"./internal/baseline FuzzDecodeDestination" \
 		"./internal/baseline FuzzDecodeTreeHeader" \
 		"./internal/trace FuzzTraceCodec" \
-		"./internal/dist FuzzDecodeMsg"; do \
+		"./internal/dist FuzzDecodeMsg" \
+		"./internal/frame FuzzDecodeFrame" \
+		"./internal/snapshot FuzzDecodeSnapshot"; do \
 		set -- $$spec; \
 		$(GO) test $$1 -run '^$$' -fuzz "^$$2$$$$" -fuzztime 1s >/dev/null || \
 			{ echo "fuzz-smoke failed: $$2"; exit 1; }; \

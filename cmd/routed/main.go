@@ -7,8 +7,22 @@
 //
 //	routed -addr :8080 -graph geometric -n 256 -schemes simple-labeled,full-table
 //	routed -load net.txt -cache 65536
+//	routed -listen-tcp :8081               # binary frame protocol next to HTTP
+//	routed -snapshot tables.snap           # load tables if present, else build+save
 //	routed -chaos 0.05 -chaos-retries 4    # inject 5% per-hop loss, retry
 //	routed -pprof localhost:6060           # net/http/pprof debug listener
+//
+// With -listen-tcp, the engine also serves the length-prefixed binary
+// frame protocol (internal/frame): batched route queries, no JSON, no
+// per-query allocation — see cmd/routeload for a client and DESIGN.md
+// §Serving plane for the wire format. Both protocols share one engine,
+// one cache, and one /metrics block.
+//
+// With -snapshot, startup is load-and-serve: if the file exists, the
+// graph, oracle, and every scheme's tables are restored from it without
+// running any scheme constructor; if it does not, routed builds as
+// usual and writes the snapshot for the next restart. Version-skewed or
+// corrupt snapshots are rejected with an explicit error.
 //
 // With -chaos, every served route runs through internal/faultsim: hops
 // are dropped with the given probability, the source retries with
@@ -32,6 +46,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // debug handlers for the -pprof listener
 	"os"
@@ -42,11 +57,14 @@ import (
 
 	"compactrouting"
 	"compactrouting/internal/server"
+	"compactrouting/internal/snapshot"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
+		tcpAddr = flag.String("listen-tcp", "", "also serve the binary frame protocol on this TCP address (empty disables)")
+		snapP   = flag.String("snapshot", "", "table snapshot path: load it if present, else build and save it (empty disables)")
 		kind    = flag.String("graph", "geometric", "generated workload: geometric|grid|grid-holes|ring|exp-path")
 		n       = flag.Int("n", 256, "target network size for generated graphs")
 		seed    = flag.Int64("seed", 1, "generator / naming seed")
@@ -69,7 +87,7 @@ func main() {
 	if *chaosLoss > 0 {
 		chaos = &server.ChaosParams{Loss: *chaosLoss, Seed: *chaosSeed, MaxAttempts: *chaosRetries}
 	}
-	if err := run(*addr, *kind, *n, *seed, *eps, *schemes, *load, *cache, *workers, *pprofA, chaos, *traceSample, *traceCap); err != nil {
+	if err := run(*addr, *tcpAddr, *snapP, *kind, *n, *seed, *eps, *schemes, *load, *cache, *workers, *pprofA, chaos, *traceSample, *traceCap); err != nil {
 		fmt.Fprintln(os.Stderr, "routed:", err)
 		os.Exit(1)
 	}
@@ -122,9 +140,42 @@ func buildFunc(kind string, n int, load string) func(seed int64) (*compactroutin
 	}
 }
 
-func run(addr, kind string, n int, seed int64, eps float64, schemes, load string, cache, workers int, pprofAddr string, chaos *server.ChaosParams, traceSample, traceCap int) error {
+// newEngine builds the engine, preferring a snapshot restore when
+// snapPath names an existing file; on a fresh build with snapPath set,
+// the compiled tables are saved for the next restart.
+func newEngine(cfg server.Config, snapPath string) (*server.Engine, error) {
+	if snapPath != "" {
+		if f, err := snapshot.Load(snapPath); err == nil {
+			eng, rerr := server.NewFromSnapshot(cfg, f)
+			if rerr != nil {
+				return nil, fmt.Errorf("snapshot %s: %w", snapPath, rerr)
+			}
+			log.Printf("routed: restored engine from snapshot %s (generation %d, no scheme rebuilt)", snapPath, f.Generation)
+			return eng, nil
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("snapshot %s: %w", snapPath, err)
+		}
+	}
+	eng, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if snapPath != "" {
+		f, err := eng.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %s: %w", snapPath, err)
+		}
+		if err := snapshot.Save(snapPath, f); err != nil {
+			return nil, fmt.Errorf("snapshot %s: %w", snapPath, err)
+		}
+		log.Printf("routed: wrote table snapshot %s", snapPath)
+	}
+	return eng, nil
+}
+
+func run(addr, tcpAddr, snapPath, kind string, n int, seed int64, eps float64, schemes, load string, cache, workers int, pprofAddr string, chaos *server.ChaosParams, traceSample, traceCap int) error {
 	start := time.Now()
-	eng, err := server.New(server.Config{
+	eng, err := newEngine(server.Config{
 		Build:        buildFunc(kind, n, load),
 		Seed:         seed,
 		Eps:          eps,
@@ -134,7 +185,7 @@ func run(addr, kind string, n int, seed int64, eps float64, schemes, load string
 		Chaos:        chaos,
 		TraceSample:  traceSample,
 		TraceHopCap:  traceCap,
-	})
+	}, snapPath)
 	if err != nil {
 		return err
 	}
@@ -167,15 +218,40 @@ func run(addr, kind string, n int, seed int64, eps float64, schemes, load string
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
+	var tcp *server.TCPServer
+	tcpErrc := make(chan error, 1)
+	if tcpAddr != "" {
+		ln, err := net.Listen("tcp", tcpAddr)
+		if err != nil {
+			return fmt.Errorf("listen-tcp %s: %w", tcpAddr, err)
+		}
+		tcp = server.NewTCPServer(eng)
+		log.Printf("routed: binary frame protocol on %s", ln.Addr())
+		go func() { tcpErrc <- tcp.Serve(ln) }()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		return err
+	case err := <-tcpErrc:
+		return err
 	case s := <-sig:
 		log.Printf("routed: %v, draining", s)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if tcp != nil {
+			// Drain in-flight TCP frames first: handlers finish the frame
+			// they are serving, then exit; the deadline force-closes
+			// stragglers.
+			if err := tcp.Shutdown(ctx); err != nil {
+				return err
+			}
+			if err := <-tcpErrc; !errors.Is(err, server.ErrTCPServerClosed) {
+				return err
+			}
+		}
 		if err := srv.Shutdown(ctx); err != nil {
 			return err
 		}

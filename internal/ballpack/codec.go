@@ -1,0 +1,109 @@
+package ballpack
+
+import (
+	"fmt"
+	"math"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/metric"
+)
+
+// Encode serializes the packing — every level's greedy ball selection
+// plus the per-node covering witnesses — into w, so a restore replays
+// neither the greedy election nor the witness search.
+func (p *Packing) Encode(w *bits.Writer) {
+	w.WriteUvarint(uint64(len(p.Balls)))
+	for j := range p.Balls {
+		w.WriteUvarint(uint64(len(p.Balls[j])))
+		for k := range p.Balls[j] {
+			b := &p.Balls[j][k]
+			w.WriteUvarint(uint64(b.Center))
+			w.WriteBits(math.Float64bits(b.Radius), 64)
+			w.WriteUvarint(uint64(len(b.Members)))
+			for _, m := range b.Members {
+				w.WriteUvarint(uint64(m))
+			}
+		}
+		for _, wi := range p.witness[j] {
+			w.WriteUvarint(uint64(wi))
+		}
+	}
+}
+
+// Decode reads a packing written by Encode, rebinding it to the given
+// oracle. Malformed input is rejected with an error, never a panic.
+func Decode(r *bits.Reader, a *metric.APSP) (*Packing, error) {
+	n := a.N()
+	nj, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nj < 1 || nj > 66 {
+		return nil, fmt.Errorf("ballpack: decoded %d levels out of range", nj)
+	}
+	p := &Packing{
+		a:       a,
+		Balls:   make([][]Ball, nj),
+		witness: make([][]int32, nj),
+	}
+	for j := range p.Balls {
+		cnt, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if cnt > uint64(n) {
+			return nil, fmt.Errorf("ballpack: level %d has %d balls, want <= %d", j, cnt, n)
+		}
+		balls := make([]Ball, cnt)
+		for k := range balls {
+			c, err := r.ReadUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if c >= uint64(n) {
+				return nil, fmt.Errorf("ballpack: level %d ball %d center out of range", j, k)
+			}
+			rb, err := r.ReadBits(64)
+			if err != nil {
+				return nil, err
+			}
+			radius := math.Float64frombits(rb)
+			if math.IsNaN(radius) || radius < 0 {
+				return nil, fmt.Errorf("ballpack: level %d ball %d radius invalid", j, k)
+			}
+			mc, err := r.ReadUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if mc < 1 || mc > uint64(n) {
+				return nil, fmt.Errorf("ballpack: level %d ball %d has %d members", j, k, mc)
+			}
+			members := make([]int32, mc)
+			for i := range members {
+				m, err := r.ReadUvarint()
+				if err != nil {
+					return nil, err
+				}
+				if m >= uint64(n) {
+					return nil, fmt.Errorf("ballpack: level %d ball %d member out of range", j, k)
+				}
+				members[i] = int32(m)
+			}
+			balls[k] = Ball{Center: int(c), Radius: radius, Members: members}
+		}
+		p.Balls[j] = balls
+		wit := make([]int32, n)
+		for u := range wit {
+			wi, err := r.ReadUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if wi >= uint64(len(balls)) {
+				return nil, fmt.Errorf("ballpack: level %d witness of node %d out of range", j, u)
+			}
+			wit[u] = int32(wi)
+		}
+		p.witness[j] = wit
+	}
+	return p, nil
+}

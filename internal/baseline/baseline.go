@@ -38,6 +38,7 @@ var (
 
 // NewFullTable compiles the scheme (the APSP matrix is its table).
 func NewFullTable(g *graph.Graph, a *metric.APSP) *FullTable {
+	core.NoteSchemeBuild()
 	return &FullTable{g: g, a: a, idBits: bits.UintBits(g.N())}
 }
 
@@ -92,6 +93,7 @@ var (
 // NewSingleTree compiles the scheme over the shortest-path tree rooted
 // at root.
 func NewSingleTree(g *graph.Graph, root int) (*SingleTree, error) {
+	core.NoteSchemeBuild()
 	spt := metric.Dijkstra(g, root)
 	parent := make([]int, g.N())
 	copy(parent, spt.Parent)

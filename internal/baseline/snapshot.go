@@ -1,0 +1,36 @@
+package baseline
+
+import (
+	"compactrouting/internal/bits"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+	"compactrouting/internal/treeroute"
+)
+
+// Snapshot codecs for the baselines. Both restores are struct-literal
+// rebinds (FullTable's table IS the oracle matrix; SingleTree decodes
+// its compiled tree scheme) — neither calls a counted constructor.
+
+// EncodeSnapshot writes FullTable's serialized state, which is empty:
+// the scheme is fully determined by the graph and oracle it rebinds to.
+func (s *FullTable) EncodeSnapshot(w *bits.Writer) {}
+
+// RestoreFullTable rebinds a FullTable to the given graph and oracle.
+func RestoreFullTable(g *graph.Graph, a *metric.APSP) *FullTable {
+	return &FullTable{g: g, a: a, idBits: bits.UintBits(g.N())}
+}
+
+// EncodeSnapshot writes SingleTree's compiled tree-routing scheme.
+func (s *SingleTree) EncodeSnapshot(w *bits.Writer) {
+	treeroute.EncodeScheme(w, s.scheme, s.g.N())
+}
+
+// RestoreSingleTree rebuilds a SingleTree from an EncodeSnapshot
+// stream without re-running Dijkstra or the tree compile.
+func RestoreSingleTree(r *bits.Reader, g *graph.Graph) (*SingleTree, error) {
+	sch, err := treeroute.DecodeScheme(r, g.N())
+	if err != nil {
+		return nil, err
+	}
+	return &SingleTree{g: g, scheme: sch, idBits: bits.UintBits(g.N())}, nil
+}

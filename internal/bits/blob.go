@@ -1,0 +1,53 @@
+package bits
+
+import "fmt"
+
+// WriteBlob appends a length-prefixed sub-stream: a uvarint bit count
+// followed by the first nbit bits of buf. It lets independently encoded
+// tables (e.g. the per-node blobs of labeled.EncodeTable) be embedded
+// verbatim in an outer stream and recovered bit-exactly.
+func (w *Writer) WriteBlob(buf []byte, nbit int) {
+	if nbit < 0 || (nbit+7)/8 > len(buf) {
+		panic(fmt.Sprintf("bits: WriteBlob of %d bits over %d bytes", nbit, len(buf)))
+	}
+	w.WriteUvarint(uint64(nbit))
+	full := nbit / 8
+	for k := 0; k < full; k++ {
+		w.WriteBits(uint64(buf[k]), 8)
+	}
+	if rem := nbit % 8; rem > 0 {
+		w.WriteBits(uint64(buf[full]>>uint(8-rem)), rem)
+	}
+}
+
+// ReadBlob reads a sub-stream written by WriteBlob, returning the
+// payload bytes (zero-padded to a byte boundary) and its exact bit
+// length. The declared length is checked against the remaining stream
+// before allocating.
+func (r *Reader) ReadBlob() ([]byte, int, error) {
+	nbit, err := r.ReadUvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	if nbit > uint64(r.Remaining()) {
+		return nil, 0, fmt.Errorf("bits: blob of %d bits exceeds stream", nbit)
+	}
+	n := int(nbit)
+	buf := make([]byte, (n+7)/8)
+	full := n / 8
+	for k := 0; k < full; k++ {
+		b, err := r.ReadBits(8)
+		if err != nil {
+			return nil, 0, err
+		}
+		buf[k] = byte(b)
+	}
+	if rem := n % 8; rem > 0 {
+		b, err := r.ReadBits(rem)
+		if err != nil {
+			return nil, 0, err
+		}
+		buf[full] = byte(b << uint(8-rem))
+	}
+	return buf, n, nil
+}

@@ -1,0 +1,16 @@
+package bits
+
+// Reset truncates the writer to empty, retaining the underlying buffer
+// so hot encode loops can reuse one Writer without allocating.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// Reset repoints the reader at the first nbit bits of buf, so hot
+// decode loops can reuse one Reader without allocating.
+func (r *Reader) Reset(buf []byte, nbit int) {
+	r.buf = buf
+	r.pos = 0
+	r.nbit = nbit
+}

@@ -1,0 +1,18 @@
+package core
+
+import "sync/atomic"
+
+// schemeBuilds counts top-level scheme constructor invocations across
+// the process. The snapshot plane's load-and-serve guarantee is pinned
+// against it: restoring tables from a snapshot and serving queries must
+// not move this counter (see the cold-start test in internal/server).
+var schemeBuilds atomic.Uint64
+
+// NoteSchemeBuild records one scheme constructor invocation. Every
+// top-level constructor (labeled.NewSimple*/NewScaleFree,
+// nameind.NewSimple/NewScaleFree, baseline.NewFullTable/NewSingleTree)
+// calls it on entry.
+func NoteSchemeBuild() { schemeBuilds.Add(1) }
+
+// SchemeBuilds returns the process-wide constructor invocation count.
+func SchemeBuilds() uint64 { return schemeBuilds.Load() }

@@ -1,0 +1,403 @@
+// Package frame is the wire format of the binary serving plane: a
+// length-prefixed, versioned TCP framing that batches route queries and
+// responses. A connection is a sequence of frames; each frame is a
+// fixed 16-byte header followed by a payload encoded with the
+// repository's internal/bits codecs:
+//
+//	offset  size  field
+//	0       2     magic "CR"
+//	2       1     protocol version (Version)
+//	3       1     frame type (Type)
+//	4       8     request id, big endian (echoed in the response)
+//	12      4     payload length in bytes, big endian (<= MaxPayload)
+//
+// Responses carry route shapes (hops, cost, optimal, header bits) but
+// never paths: the binary plane exists for throughput, and the codecs
+// are written so decode→route→encode runs allocation-free against
+// reused buffers (pinned by testing.AllocsPerRun in internal/server).
+//
+// Payload bit streams are byte-padded with zero bits; every decoder
+// rejects non-zero padding and trailing bytes, so decode→encode is a
+// byte-exact fixpoint (fuzzed by FuzzDecodeFrame).
+//
+// This package is bound by the repo's deterministic ruleset: its
+// outputs must be a pure function of explicit inputs (determinlint
+// enforces the source-level contract; see DESIGN.md §Static analysis).
+//
+//determinlint:deterministic
+package frame
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"compactrouting/internal/bits"
+)
+
+// Wire-format constants.
+const (
+	magic0 = 'C'
+	magic1 = 'R'
+	// Version is the protocol version this package speaks. A frame with
+	// any other version is rejected at the header (version skew must be
+	// explicit, never a misparse).
+	Version = 1
+	// HeaderSize is the fixed frame-header length in bytes.
+	HeaderSize = 16
+	// MaxPayload bounds a frame's payload so a corrupt or hostile length
+	// prefix cannot make a reader allocate unboundedly.
+	MaxPayload = 1 << 24
+	// MaxPairs bounds the route pairs in one request frame (matches the
+	// HTTP batch endpoint's MaxBatchPairs).
+	MaxPairs = 100000
+	// maxNameLen / maxSchemes / maxErrorLen bound the variable-length
+	// fields of control frames.
+	maxNameLen  = 256
+	maxSchemes  = 1024
+	maxErrorLen = 4096
+)
+
+// Type identifies a frame's payload.
+type Type uint8
+
+// Frame types. Requests flow client→server, responses server→client;
+// TypeError answers any request the server could not serve.
+const (
+	TypeSchemesRequest  Type = 1
+	TypeSchemesResponse Type = 2
+	TypeRouteRequest    Type = 3
+	TypeRouteResponse   Type = 4
+	TypeError           Type = 5
+)
+
+func (t Type) valid() bool { return t >= TypeSchemesRequest && t <= TypeError }
+
+// Header is a parsed frame header.
+type Header struct {
+	Type       Type
+	RequestID  uint64
+	PayloadLen uint32
+}
+
+// PutHeader encodes h into buf, which must be at least HeaderSize long.
+func PutHeader(buf []byte, h Header) {
+	buf[0], buf[1], buf[2], buf[3] = magic0, magic1, Version, byte(h.Type)
+	binary.BigEndian.PutUint64(buf[4:12], h.RequestID)
+	binary.BigEndian.PutUint32(buf[12:16], h.PayloadLen)
+}
+
+// ParseHeader decodes and validates a frame header.
+func ParseHeader(buf []byte) (Header, error) {
+	if len(buf) < HeaderSize {
+		return Header{}, fmt.Errorf("frame: short header: %d bytes", len(buf))
+	}
+	if buf[0] != magic0 || buf[1] != magic1 {
+		return Header{}, fmt.Errorf("frame: bad magic %#02x%02x", buf[0], buf[1])
+	}
+	if buf[2] != Version {
+		return Header{}, fmt.Errorf("frame: protocol version %d, this build speaks %d", buf[2], Version)
+	}
+	h := Header{
+		Type:       Type(buf[3]),
+		RequestID:  binary.BigEndian.Uint64(buf[4:12]),
+		PayloadLen: binary.BigEndian.Uint32(buf[12:16]),
+	}
+	if !h.Type.valid() {
+		return Header{}, fmt.Errorf("frame: unknown frame type %d", h.Type)
+	}
+	if h.PayloadLen > MaxPayload {
+		return Header{}, fmt.Errorf("frame: payload %d exceeds cap %d", h.PayloadLen, MaxPayload)
+	}
+	return h, nil
+}
+
+// AppendFrame appends a complete frame to dst and returns the extended
+// slice (append-style, so callers reuse one buffer across frames).
+func AppendFrame(dst []byte, t Type, requestID uint64, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return dst, fmt.Errorf("frame: payload %d exceeds cap %d", len(payload), MaxPayload)
+	}
+	var hdr [HeaderSize]byte
+	PutHeader(hdr[:], Header{Type: t, RequestID: requestID, PayloadLen: uint32(len(payload))})
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// finish rejects anything after the decoded payload: at most 7 bits of
+// zero padding may remain, making decode→encode a byte-exact fixpoint.
+func finish(r *bits.Reader) error {
+	rem := r.Remaining()
+	if rem >= 8 {
+		return fmt.Errorf("frame: %d trailing payload bits", rem)
+	}
+	for i := 0; i < rem; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return err
+		}
+		if b {
+			return fmt.Errorf("frame: non-zero padding bit")
+		}
+	}
+	return nil
+}
+
+// Pair is one route query endpoint pair.
+type Pair struct {
+	Src, Dst int32
+}
+
+// RouteRequest is the TypeRouteRequest payload: a batch of queries
+// against one scheme, addressed by its index in the engine's compile
+// order (resolved once via TypeSchemesRequest).
+type RouteRequest struct {
+	Scheme int
+	Pairs  []Pair
+}
+
+// Encode appends the request payload to w.
+func (q *RouteRequest) Encode(w *bits.Writer) {
+	w.WriteUvarint(uint64(q.Scheme))
+	w.WriteUvarint(uint64(len(q.Pairs)))
+	for _, p := range q.Pairs {
+		w.WriteUvarint(uint64(p.Src))
+		w.WriteUvarint(uint64(p.Dst))
+	}
+}
+
+// DecodeInto parses a request payload, reusing q.Pairs' capacity so a
+// serving loop decodes without allocating once warm.
+func (q *RouteRequest) DecodeInto(payload []byte, r *bits.Reader) error {
+	r.Reset(payload, 8*len(payload))
+	scheme, err := r.ReadUvarint()
+	if err != nil {
+		return err
+	}
+	if scheme > maxSchemes {
+		return fmt.Errorf("frame: scheme index %d out of range", scheme)
+	}
+	q.Scheme = int(scheme)
+	count, err := r.ReadUvarint()
+	if err != nil {
+		return err
+	}
+	if count > MaxPairs {
+		return fmt.Errorf("frame: %d pairs exceed cap %d", count, MaxPairs)
+	}
+	// A pair costs at least two 8-bit uvarints.
+	if count*16 > uint64(r.Remaining()) {
+		return fmt.Errorf("frame: pair count %d exceeds payload", count)
+	}
+	q.Pairs = q.Pairs[:0]
+	for i := uint64(0); i < count; i++ {
+		src, err := r.ReadUvarint()
+		if err != nil {
+			return err
+		}
+		dst, err := r.ReadUvarint()
+		if err != nil {
+			return err
+		}
+		if src > math.MaxInt32 || dst > math.MaxInt32 {
+			return fmt.Errorf("frame: pair %d out of range", i)
+		}
+		q.Pairs = append(q.Pairs, Pair{Src: int32(src), Dst: int32(dst)})
+	}
+	return finish(r)
+}
+
+// Status classifies one route result on the wire.
+type Status uint8
+
+// Route statuses (2-bit field).
+const (
+	StatusOK          Status = 0
+	StatusBadScheme   Status = 1
+	StatusBadPair     Status = 2
+	StatusRouteFailed Status = 3
+)
+
+// RouteResult is one answered query: the route's shape, no path.
+type RouteResult struct {
+	Status        Status
+	Cached        bool
+	Hops          int32
+	MaxHeaderBits int32
+	Cost          float64
+	Optimal       float64
+}
+
+// RouteResponse is the TypeRouteResponse payload, index-aligned with
+// the request's pairs.
+type RouteResponse struct {
+	Results []RouteResult
+}
+
+// Encode appends the response payload to w.
+func (p *RouteResponse) Encode(w *bits.Writer) {
+	w.WriteUvarint(uint64(len(p.Results)))
+	for i := range p.Results {
+		res := &p.Results[i]
+		w.WriteBits(uint64(res.Status), 2)
+		w.WriteBit(res.Cached)
+		w.WriteUvarint(uint64(res.Hops))
+		w.WriteUvarint(uint64(res.MaxHeaderBits))
+		if res.Status == StatusOK {
+			w.WriteBits(math.Float64bits(res.Cost), 64)
+			w.WriteBits(math.Float64bits(res.Optimal), 64)
+		}
+	}
+}
+
+// DecodeInto parses a response payload, reusing p.Results' capacity.
+func (p *RouteResponse) DecodeInto(payload []byte, r *bits.Reader) error {
+	r.Reset(payload, 8*len(payload))
+	count, err := r.ReadUvarint()
+	if err != nil {
+		return err
+	}
+	if count > MaxPairs {
+		return fmt.Errorf("frame: %d results exceed cap %d", count, MaxPairs)
+	}
+	// A result costs at least status+cached+two 8-bit uvarints = 19 bits.
+	if count*19 > uint64(r.Remaining()) {
+		return fmt.Errorf("frame: result count %d exceeds payload", count)
+	}
+	p.Results = p.Results[:0]
+	for i := uint64(0); i < count; i++ {
+		var res RouteResult
+		st, err := r.ReadBits(2)
+		if err != nil {
+			return err
+		}
+		res.Status = Status(st)
+		res.Cached, err = r.ReadBit()
+		if err != nil {
+			return err
+		}
+		hops, err := r.ReadUvarint()
+		if err != nil {
+			return err
+		}
+		hdr, err := r.ReadUvarint()
+		if err != nil {
+			return err
+		}
+		if hops > math.MaxInt32 || hdr > math.MaxInt32 {
+			return fmt.Errorf("frame: result %d out of range", i)
+		}
+		res.Hops, res.MaxHeaderBits = int32(hops), int32(hdr)
+		if res.Status == StatusOK {
+			c, err := r.ReadBits(64)
+			if err != nil {
+				return err
+			}
+			o, err := r.ReadBits(64)
+			if err != nil {
+				return err
+			}
+			res.Cost, res.Optimal = math.Float64frombits(c), math.Float64frombits(o)
+		}
+		p.Results = append(p.Results, res)
+	}
+	return finish(r)
+}
+
+// SchemesResponse is the TypeSchemesResponse payload: the served
+// network's size and generation plus the compiled scheme names in
+// compile order — the indices RouteRequest.Scheme addresses.
+type SchemesResponse struct {
+	N          int
+	Generation uint64
+	Names      []string
+}
+
+// Encode appends the payload to w.
+func (p *SchemesResponse) Encode(w *bits.Writer) {
+	w.WriteUvarint(uint64(p.N))
+	w.WriteUvarint(p.Generation)
+	w.WriteUvarint(uint64(len(p.Names)))
+	for _, name := range p.Names {
+		writeString(w, name)
+	}
+}
+
+// DecodeInto parses the payload.
+func (p *SchemesResponse) DecodeInto(payload []byte, r *bits.Reader) error {
+	r.Reset(payload, 8*len(payload))
+	n, err := r.ReadUvarint()
+	if err != nil {
+		return err
+	}
+	if n > math.MaxInt32 {
+		return fmt.Errorf("frame: network size %d out of range", n)
+	}
+	p.N = int(n)
+	if p.Generation, err = r.ReadUvarint(); err != nil {
+		return err
+	}
+	count, err := r.ReadUvarint()
+	if err != nil {
+		return err
+	}
+	if count > maxSchemes {
+		return fmt.Errorf("frame: %d schemes exceed cap %d", count, maxSchemes)
+	}
+	p.Names = p.Names[:0]
+	for i := uint64(0); i < count; i++ {
+		name, err := readString(r, maxNameLen)
+		if err != nil {
+			return err
+		}
+		p.Names = append(p.Names, name)
+	}
+	return finish(r)
+}
+
+// EncodeError appends a TypeError payload (a bare message) to w.
+func EncodeError(w *bits.Writer, msg string) {
+	if len(msg) > maxErrorLen {
+		msg = msg[:maxErrorLen]
+	}
+	writeString(w, msg)
+}
+
+// DecodeError parses a TypeError payload.
+func DecodeError(payload []byte, r *bits.Reader) (string, error) {
+	r.Reset(payload, 8*len(payload))
+	msg, err := readString(r, maxErrorLen)
+	if err != nil {
+		return "", err
+	}
+	return msg, finish(r)
+}
+
+func writeString(w *bits.Writer, s string) {
+	w.WriteUvarint(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		w.WriteBits(uint64(s[i]), 8)
+	}
+}
+
+func readString(r *bits.Reader, limit int) (string, error) {
+	n, err := r.ReadUvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(limit) {
+		return "", fmt.Errorf("frame: string length %d exceeds cap %d", n, limit)
+	}
+	if n*8 > uint64(r.Remaining()) {
+		return "", fmt.Errorf("frame: string length %d exceeds payload", n)
+	}
+	buf := make([]byte, n)
+	for i := range buf {
+		b, err := r.ReadBits(8)
+		if err != nil {
+			return "", err
+		}
+		buf[i] = byte(b)
+	}
+	return string(buf), nil
+}

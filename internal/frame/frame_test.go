@@ -1,0 +1,179 @@
+package frame
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"compactrouting/internal/bits"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	var buf [HeaderSize]byte
+	want := Header{Type: TypeRouteRequest, RequestID: 0xdeadbeefcafe, PayloadLen: 12345}
+	PutHeader(buf[:], want)
+	got, err := ParseHeader(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestHeaderRejections(t *testing.T) {
+	mk := func(mut func(b []byte)) []byte {
+		var buf [HeaderSize]byte
+		PutHeader(buf[:], Header{Type: TypeRouteRequest, RequestID: 1, PayloadLen: 4})
+		mut(buf[:])
+		return buf[:]
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		want string
+	}{
+		{"short", make([]byte, HeaderSize-1), "short header"},
+		{"magic", mk(func(b []byte) { b[0] = 'X' }), "bad magic"},
+		{"version skew", mk(func(b []byte) { b[2] = Version + 1 }), "protocol version"},
+		{"type zero", mk(func(b []byte) { b[3] = 0 }), "unknown frame type"},
+		{"type high", mk(func(b []byte) { b[3] = 99 }), "unknown frame type"},
+		{"payload cap", mk(func(b []byte) { b[12] = 0xff; b[13] = 0xff }), "exceeds cap"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseHeader(tc.buf); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func sampleRouteRequest() *RouteRequest {
+	return &RouteRequest{Scheme: 3, Pairs: []Pair{{0, 1}, {7, 7}, {255, 12}, {1 << 20, 2}}}
+}
+
+func sampleRouteResponse() *RouteResponse {
+	return &RouteResponse{Results: []RouteResult{
+		{Status: StatusOK, Cached: true, Hops: 4, MaxHeaderBits: 96, Cost: 1.5, Optimal: 1.25},
+		{Status: StatusBadPair},
+		{Status: StatusRouteFailed, Hops: 0},
+		{Status: StatusOK, Hops: 1 << 20, MaxHeaderBits: 1, Cost: math.Inf(1), Optimal: 0},
+	}}
+}
+
+func sampleSchemes() *SchemesResponse {
+	return &SchemesResponse{N: 4096, Generation: 7, Names: []string{"full-table", "simple-labeled", ""}}
+}
+
+func TestRouteRequestRoundTrip(t *testing.T) {
+	var w bits.Writer
+	q := sampleRouteRequest()
+	q.Encode(&w)
+	var got RouteRequest
+	var r bits.Reader
+	if err := got.DecodeInto(w.Bytes(), &r); err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheme != q.Scheme || len(got.Pairs) != len(q.Pairs) {
+		t.Fatalf("got %+v, want %+v", got, q)
+	}
+	for i := range q.Pairs {
+		if got.Pairs[i] != q.Pairs[i] {
+			t.Fatalf("pair %d: got %+v, want %+v", i, got.Pairs[i], q.Pairs[i])
+		}
+	}
+}
+
+func TestRouteResponseRoundTrip(t *testing.T) {
+	var w bits.Writer
+	p := sampleRouteResponse()
+	p.Encode(&w)
+	var got RouteResponse
+	var r bits.Reader
+	if err := got.DecodeInto(w.Bytes(), &r); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(p.Results) {
+		t.Fatalf("got %d results, want %d", len(got.Results), len(p.Results))
+	}
+	for i := range p.Results {
+		if got.Results[i] != p.Results[i] {
+			t.Fatalf("result %d: got %+v, want %+v", i, got.Results[i], p.Results[i])
+		}
+	}
+}
+
+func TestSchemesResponseRoundTrip(t *testing.T) {
+	var w bits.Writer
+	p := sampleSchemes()
+	p.Encode(&w)
+	var got SchemesResponse
+	var r bits.Reader
+	if err := got.DecodeInto(w.Bytes(), &r); err != nil {
+		t.Fatal(err)
+	}
+	if got.N != p.N || got.Generation != p.Generation || len(got.Names) != len(p.Names) {
+		t.Fatalf("got %+v, want %+v", got, p)
+	}
+	for i := range p.Names {
+		if got.Names[i] != p.Names[i] {
+			t.Fatalf("name %d: got %q, want %q", i, got.Names[i], p.Names[i])
+		}
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	var w bits.Writer
+	EncodeError(&w, "scheme index 9 out of range")
+	var r bits.Reader
+	msg, err := DecodeError(w.Bytes(), &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg != "scheme index 9 out of range" {
+		t.Fatalf("got %q", msg)
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	var w bits.Writer
+	sampleRouteRequest().Encode(&w)
+	payload := append(append([]byte(nil), w.Bytes()...), 0xff)
+	var got RouteRequest
+	var r bits.Reader
+	if err := got.DecodeInto(payload, &r); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	var w bits.Writer
+	sampleRouteResponse().Encode(&w)
+	full := w.Bytes()
+	var got RouteResponse
+	var r bits.Reader
+	for cut := 0; cut < len(full); cut++ {
+		if err := got.DecodeInto(full[:cut], &r); err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(full))
+		}
+	}
+}
+
+func TestAppendFrameRoundTrip(t *testing.T) {
+	var w bits.Writer
+	sampleRouteRequest().Encode(&w)
+	buf, err := AppendFrame(nil, TypeRouteRequest, 42, w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != TypeRouteRequest || h.RequestID != 42 || int(h.PayloadLen) != len(w.Bytes()) {
+		t.Fatalf("header %+v", h)
+	}
+	if !bytes.Equal(buf[HeaderSize:], w.Bytes()) {
+		t.Fatal("payload mismatch")
+	}
+}

@@ -64,6 +64,7 @@ var _ core.LabeledScheme = (*ScaleFree)(nil)
 // top-level packing ball and are flagged, so delivery is total for any
 // eps, but the analyzed path needs eps <= 1/4).
 func NewScaleFree(g *graph.Graph, a *metric.APSP, eps float64) (*ScaleFree, error) {
+	core.NoteSchemeBuild()
 	if eps <= 0 || eps > 0.25 {
 		return nil, fmt.Errorf("labeled: scale-free scheme needs eps in (0, 0.25], got %v", eps)
 	}

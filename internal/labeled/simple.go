@@ -97,6 +97,7 @@ func NewSimple(g *graph.Graph, a *metric.APSP, eps float64) (*Simple, error) {
 // experiments. factor must be at least 1 (below that the zooming
 // ancestor may fall outside the ring and routing gets stuck).
 func NewSimpleRingFactor(g *graph.Graph, a *metric.APSP, eps, factor float64) (*Simple, error) {
+	core.NoteSchemeBuild()
 	if eps <= 0 || eps > 0.5 {
 		return nil, fmt.Errorf("labeled: eps %v out of (0, 0.5]", eps)
 	}

@@ -188,6 +188,8 @@ var DeterministicPaths = map[string]bool{
 	"compactrouting/internal/treeroute": true,
 	"compactrouting/internal/tz":        true,
 	"compactrouting/internal/trace":     true,
+	"compactrouting/internal/frame":     true,
+	"compactrouting/internal/snapshot":  true,
 }
 
 // Run executes the suite and returns the findings sorted by position.

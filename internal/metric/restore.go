@@ -1,0 +1,52 @@
+package metric
+
+import (
+	"fmt"
+	"sort"
+
+	"compactrouting/internal/par"
+)
+
+// RestoreAPSP rebuilds an APSP oracle from its serialized matrices
+// (dist and nextHop, both row-major [u*n+v]) without re-running any
+// Dijkstra. The per-node distance orders are re-derived with exactly
+// the sort NewAPSP uses (distance, ties by node id), so a restored
+// oracle is indistinguishable from a freshly built one.
+//
+// The slices are retained, not copied.
+func RestoreAPSP(n int, dist []float64, nextHop []int32) (*APSP, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("metric: restore with n=%d", n)
+	}
+	if len(dist) != n*n || len(nextHop) != n*n {
+		return nil, fmt.Errorf("metric: restore matrices have %d/%d entries, want %d", len(dist), len(nextHop), n*n)
+	}
+	a := &APSP{
+		n:       n,
+		dist:    dist,
+		nextHop: nextHop,
+		order:   make([]int32, n*n),
+	}
+	par.For(n, func(u int) {
+		perm := a.order[u*n : (u+1)*n]
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		row := a.dist[u*n : (u+1)*n]
+		sort.Slice(perm, func(i, j int) bool {
+			di, dj := row[perm[i]], row[perm[j]]
+			if di != dj {
+				return di < dj
+			}
+			return perm[i] < perm[j]
+		})
+	})
+	return a, nil
+}
+
+// Matrices exposes the serializable state of the oracle: the distance
+// and next-hop matrices, row-major. The returned slices alias the
+// oracle's internal storage; callers must not mutate them.
+func (a *APSP) Matrices() (dist []float64, nextHop []int32) {
+	return a.dist, a.nextHop
+}

@@ -52,6 +52,7 @@ var _ core.NameIndependentScheme = (*ScaleFree)(nil)
 // scheme must also provide the shared ball packing (labeled.ScaleFree
 // does). eps must be in (0, 1/4] (the underlying scheme's constraint).
 func NewScaleFree(g *graph.Graph, a *metric.APSP, nm *Naming, under Underlying, eps float64) (*ScaleFree, error) {
+	core.NoteSchemeBuild()
 	if eps <= 0 || eps > 0.25 {
 		return nil, fmt.Errorf("nameind: eps %v out of (0, 0.25]", eps)
 	}

@@ -1,0 +1,252 @@
+package nameind
+
+import (
+	"fmt"
+	"math"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+	"compactrouting/internal/searchtree"
+)
+
+// Snapshot codecs for the name-independent schemes. The serialized
+// state is the naming plus every search tree and the per-node storage
+// accounting; the underlying labeled scheme is restored separately and
+// passed in, so a restore never re-elects hierarchies or re-runs a
+// counted constructor.
+
+// EncodeNaming serializes the node→name injection.
+func EncodeNaming(w *bits.Writer, nm *Naming) {
+	w.WriteUvarint(uint64(nm.N()))
+	for v := 0; v < nm.N(); v++ {
+		w.WriteUvarint(uint64(nm.NameOf(v)))
+	}
+}
+
+// DecodeNaming reads a naming for exactly n nodes, re-validating the
+// injection through NewNaming.
+func DecodeNaming(r *bits.Reader, n int) (*Naming, error) {
+	cnt, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if cnt != uint64(n) {
+		return nil, fmt.Errorf("nameind: naming covers %d nodes, graph has %d", cnt, n)
+	}
+	names := make([]int, n)
+	for v := range names {
+		name, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if name > math.MaxInt32 {
+			return nil, fmt.Errorf("nameind: name %d for node %d too large", name, v)
+		}
+		names[v] = int(name)
+	}
+	return NewNaming(names)
+}
+
+// encodeLabel / decodeLabel are the search-tree data codec: the stored
+// data is an underlying-scheme label (a non-negative int).
+func encodeLabel(w *bits.Writer, label int) { w.WriteUvarint(uint64(label)) }
+
+func decodeLabel(r *bits.Reader) (int, error) {
+	x, err := r.ReadUvarint()
+	if err != nil {
+		return 0, err
+	}
+	if x > math.MaxInt32 {
+		return 0, fmt.Errorf("nameind: stored label %d too large", x)
+	}
+	return int(x), nil
+}
+
+// EncodeSnapshot serializes the Simple scheme: eps, the naming, every
+// level's search trees, and the storage accounting verbatim.
+func (s *Simple) EncodeSnapshot(w *bits.Writer) {
+	w.WriteBits(math.Float64bits(s.eps), 64)
+	EncodeNaming(w, s.nm)
+	for i := range s.trees {
+		for _, t := range s.trees[i] {
+			searchtree.EncodeTree(w, t, encodeLabel)
+		}
+	}
+	for v := 0; v < s.g.N(); v++ {
+		w.WriteUvarint(uint64(s.tblBits[v]))
+	}
+}
+
+// RestoreSimple rebuilds a Simple scheme from an EncodeSnapshot stream
+// on top of an already-restored underlying labeled scheme. The tree
+// grid shape comes from the shared hierarchy; each decoded tree must be
+// centered on its net point.
+func RestoreSimple(r *bits.Reader, g *graph.Graph, a *metric.APSP, under Underlying) (*Simple, error) {
+	eb, err := r.ReadBits(64)
+	if err != nil {
+		return nil, err
+	}
+	eps := math.Float64frombits(eb)
+	if eps <= 0 || eps > 1.0/3 {
+		return nil, fmt.Errorf("nameind: restored eps %v out of (0, 1/3]", eps)
+	}
+	nm, err := DecodeNaming(r, g.N())
+	if err != nil {
+		return nil, err
+	}
+	b, err := newBase(g, a, nm, under, eps)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simple{base: b}
+	h := b.h
+	s.trees = make([][]*searchtree.Tree[int], h.TopLevel()+1)
+	for i := 0; i <= h.TopLevel(); i++ {
+		s.trees[i] = make([]*searchtree.Tree[int], len(h.Levels[i]))
+		for k, y := range h.Levels[i] {
+			t, err := searchtree.DecodeTree(r, g.N(), decodeLabel)
+			if err != nil {
+				return nil, fmt.Errorf("nameind: search tree (%d, %d): %w", i, k, err)
+			}
+			if t.Center != y {
+				return nil, fmt.Errorf("nameind: search tree (%d, %d) centered at %d, net point is %d", i, k, t.Center, y)
+			}
+			s.trees[i][k] = t
+		}
+	}
+	if err := restoreTblBits(r, b.tblBits); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// EncodeSnapshot serializes the ScaleFree scheme: eps, the naming, the
+// packing-ball search trees, the per-net-point own-tree-or-delegation
+// decisions, and the storage accounting verbatim. The shared packing is
+// serialized with the underlying labeled scheme, not here.
+func (s *ScaleFree) EncodeSnapshot(w *bits.Writer) {
+	w.WriteBits(math.Float64bits(s.eps), 64)
+	EncodeNaming(w, s.nm)
+	for j := range s.ballTrees {
+		for _, t := range s.ballTrees[j] {
+			searchtree.EncodeTree(w, t, encodeLabel)
+		}
+	}
+	for i := range s.ownTrees {
+		for k := range s.ownTrees[i] {
+			if t := s.ownTrees[i][k]; t != nil {
+				w.WriteBit(true)
+				searchtree.EncodeTree(w, t, encodeLabel)
+			} else {
+				w.WriteBit(false)
+				hl := s.hLinks[i][k]
+				w.WriteUvarint(uint64(hl.j))
+				w.WriteUvarint(uint64(hl.idx))
+			}
+		}
+	}
+	for v := 0; v < s.g.N(); v++ {
+		w.WriteUvarint(uint64(s.tblBits[v]))
+	}
+}
+
+// RestoreScaleFree rebuilds a ScaleFree scheme from an EncodeSnapshot
+// stream on top of an already-restored underlying scheme (which must
+// share its ball packing, exactly as NewScaleFree requires).
+func RestoreScaleFree(r *bits.Reader, g *graph.Graph, a *metric.APSP, under Underlying) (*ScaleFree, error) {
+	eb, err := r.ReadBits(64)
+	if err != nil {
+		return nil, err
+	}
+	eps := math.Float64frombits(eb)
+	if eps <= 0 || eps > 0.25 {
+		return nil, fmt.Errorf("nameind: restored eps %v out of (0, 0.25]", eps)
+	}
+	pp, ok := under.(PackingProvider)
+	if !ok {
+		return nil, fmt.Errorf("nameind: underlying scheme %T does not share a ball packing", under)
+	}
+	nm, err := DecodeNaming(r, g.N())
+	if err != nil {
+		return nil, err
+	}
+	b, err := newBase(g, a, nm, under, eps)
+	if err != nil {
+		return nil, err
+	}
+	s := &ScaleFree{base: b, pk: pp.Packing()}
+	s.ballTrees = make([][]*searchtree.Tree[int], s.pk.MaxJ()+1)
+	for j := 0; j <= s.pk.MaxJ(); j++ {
+		s.ballTrees[j] = make([]*searchtree.Tree[int], len(s.pk.Balls[j]))
+		for k := range s.ballTrees[j] {
+			t, err := searchtree.DecodeTree(r, g.N(), decodeLabel)
+			if err != nil {
+				return nil, fmt.Errorf("nameind: ball tree (j=%d, k=%d): %w", j, k, err)
+			}
+			if t.Center != s.pk.Balls[j][k].Center {
+				return nil, fmt.Errorf("nameind: ball tree (j=%d, k=%d) centered at %d, ball center is %d", j, k, t.Center, s.pk.Balls[j][k].Center)
+			}
+			s.ballTrees[j][k] = t
+		}
+	}
+	h := b.h
+	s.ownTrees = make([][]*searchtree.Tree[int], h.TopLevel()+1)
+	s.hLinks = make([][]hlink, h.TopLevel()+1)
+	for i := 0; i <= h.TopLevel(); i++ {
+		s.ownTrees[i] = make([]*searchtree.Tree[int], len(h.Levels[i]))
+		s.hLinks[i] = make([]hlink, len(h.Levels[i]))
+		for k, y := range h.Levels[i] {
+			own, err := r.ReadBit()
+			if err != nil {
+				return nil, err
+			}
+			if own {
+				t, err := searchtree.DecodeTree(r, g.N(), decodeLabel)
+				if err != nil {
+					return nil, fmt.Errorf("nameind: zoom tree (%d, %d): %w", i, k, err)
+				}
+				if t.Center != y {
+					return nil, fmt.Errorf("nameind: zoom tree (%d, %d) centered at %d, net point is %d", i, k, t.Center, y)
+				}
+				s.ownTrees[i][k] = t
+				s.ownCount++
+				continue
+			}
+			jv, err := r.ReadUvarint()
+			if err != nil {
+				return nil, err
+			}
+			idx, err := r.ReadUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if jv > uint64(s.pk.MaxJ()) || idx >= uint64(len(s.ballTrees[jv])) {
+				return nil, fmt.Errorf("nameind: delegation (%d, %d) -> (j=%d, idx=%d) out of range", i, k, jv, idx)
+			}
+			s.hLinks[i][k] = hlink{j: int(jv), idx: int(idx)}
+			s.delegatedCount++
+		}
+	}
+	if err := restoreTblBits(r, b.tblBits); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// restoreTblBits overwrites the freshly seeded accounting with the
+// snapshot's verbatim per-node totals (so TableBits survives the round
+// trip bit-for-bit without re-walking every tree).
+func restoreTblBits(r *bits.Reader, tblBits []int) error {
+	for v := range tblBits {
+		x, err := r.ReadUvarint()
+		if err != nil {
+			return err
+		}
+		if x > math.MaxInt32 {
+			return fmt.Errorf("nameind: node %d table bits %d too large", v, x)
+		}
+		tblBits[v] = int(x)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package rnet
+
+import (
+	"fmt"
+	"math"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/metric"
+)
+
+// EncodeHierarchy serializes the hierarchy's elected state — the level-0
+// radius and the membership lists — into w. The derived lookup
+// structures (positions, max levels, zoom parents) are not written:
+// DecodeHierarchy re-derives them, exactly as NewHierarchyFromLevels
+// does for the distributed election.
+func EncodeHierarchy(w *bits.Writer, h *Hierarchy) {
+	w.WriteBits(math.Float64bits(h.base), 64)
+	w.WriteUvarint(uint64(len(h.Levels)))
+	for _, lv := range h.Levels {
+		w.WriteUvarint(uint64(len(lv)))
+		for _, v := range lv {
+			w.WriteUvarint(uint64(v))
+		}
+	}
+}
+
+// DecodeHierarchy reads a hierarchy written by EncodeHierarchy and
+// re-derives the lookup structures over the given oracle. Malformed
+// input (out-of-range members, empty levels, a non-singleton top) is
+// rejected with an error, never a panic.
+func DecodeHierarchy(r *bits.Reader, a *metric.APSP) (*Hierarchy, error) {
+	bb, err := r.ReadBits(64)
+	if err != nil {
+		return nil, err
+	}
+	base := math.Float64frombits(bb)
+	if !(base > 0) || math.IsInf(base, 0) {
+		return nil, fmt.Errorf("rnet: decoded base %v out of range", base)
+	}
+	nl, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nl < 1 || nl > uint64(64+a.N()) {
+		return nil, fmt.Errorf("rnet: decoded %d levels out of range", nl)
+	}
+	n := a.N()
+	levels := make([][]int, nl)
+	for i := range levels {
+		cnt, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if cnt < 1 || cnt > uint64(n) {
+			return nil, fmt.Errorf("rnet: level %d has %d members, want 1..%d", i, cnt, n)
+		}
+		lv := make([]int, cnt)
+		for k := range lv {
+			v, err := r.ReadUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if v >= uint64(n) {
+				return nil, fmt.Errorf("rnet: level %d member %d out of range", i, v)
+			}
+			lv[k] = int(v)
+		}
+		levels[i] = lv
+	}
+	if len(levels[nl-1]) != 1 {
+		return nil, fmt.Errorf("rnet: top level has %d members, want a singleton", len(levels[nl-1]))
+	}
+	if len(levels[0]) != n {
+		return nil, fmt.Errorf("rnet: level 0 has %d members, want all %d nodes", len(levels[0]), n)
+	}
+	return NewHierarchyFromLevels(a, base, levels), nil
+}

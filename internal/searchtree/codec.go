@@ -1,0 +1,345 @@
+package searchtree
+
+import (
+	"fmt"
+	"math"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/metric"
+	"compactrouting/internal/treeroute"
+)
+
+// Search-tree bit codecs for the snapshot plane. Encoding walks
+// Members (sorted ascending) and each node's Children slice in stored
+// order — never a map — so the stream is a deterministic function of
+// the tree and save→load→save is byte-identical.
+
+// EncodeTree serializes t into w; encData writes one stored datum.
+func EncodeTree[D any](w *bits.Writer, t *Tree[D], encData func(*bits.Writer, D)) {
+	w.WriteUvarint(uint64(t.Center))
+	w.WriteBits(math.Float64bits(t.Radius), 64)
+	w.WriteBits(math.Float64bits(t.Eps), 64)
+	w.WriteBits(math.Float64bits(t.TailEdgeW), 64)
+	w.WriteUvarint(uint64(len(t.Members)))
+	for _, v := range t.Members {
+		w.WriteUvarint(uint64(v))
+	}
+	w.WriteUvarint(uint64(len(t.Levels)))
+	for _, lv := range t.Levels {
+		w.WriteUvarint(uint64(len(lv)))
+		for _, v := range lv {
+			w.WriteUvarint(uint64(v))
+		}
+	}
+	w.WriteUvarint(uint64(len(t.TailSites)))
+	for _, s := range t.TailSites {
+		w.WriteUvarint(uint64(s))
+		tail := t.TailOf[s]
+		w.WriteUvarint(uint64(len(tail)))
+		for _, v := range tail {
+			w.WriteUvarint(uint64(v))
+		}
+	}
+	for _, v := range t.Members {
+		nd := t.Nodes[v]
+		w.WriteUvarint(uint64(nd.Parent + 1))
+		w.WriteBits(math.Float64bits(nd.EdgeW), 64)
+		w.WriteUvarint(uint64(nd.Level + 1))
+		w.WriteUvarint(uint64(len(nd.Children)))
+		for _, c := range nd.Children {
+			w.WriteUvarint(uint64(c.ID))
+			w.WriteBits(math.Float64bits(c.EdgeW), 64)
+			w.WriteUvarint(uint64(c.Lo))
+			w.WriteUvarint(uint64(c.Hi))
+			w.WriteBit(c.Empty)
+		}
+		w.WriteUvarint(uint64(len(nd.Pairs)))
+		for _, p := range nd.Pairs {
+			w.WriteUvarint(uint64(p.Key))
+			encData(w, p.Data)
+		}
+		w.WriteUvarint(uint64(nd.Lo))
+		w.WriteUvarint(uint64(nd.Hi))
+		w.WriteBit(nd.SubEmpty)
+	}
+}
+
+// DecodeTree reads a tree written by EncodeTree over an n-node graph;
+// decData reads one stored datum. Structural sanity (member ids in
+// range, every child reference resolving, all members reachable from
+// the center) is verified so a corrupt stream yields an error, never a
+// panic or a non-terminating Search.
+func DecodeTree[D any](r *bits.Reader, n int, decData func(*bits.Reader) (D, error)) (*Tree[D], error) {
+	center, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if center >= uint64(n) {
+		return nil, fmt.Errorf("searchtree: decoded center %d out of range", center)
+	}
+	var floats [3]float64
+	for i := range floats {
+		fb, err := r.ReadBits(64)
+		if err != nil {
+			return nil, err
+		}
+		floats[i] = math.Float64frombits(fb)
+		if math.IsNaN(floats[i]) || floats[i] < 0 {
+			return nil, fmt.Errorf("searchtree: decoded parameter %d invalid", i)
+		}
+	}
+	t := &Tree[D]{
+		Center:    int(center),
+		Radius:    floats[0],
+		Eps:       floats[1],
+		TailEdgeW: floats[2],
+		TailOf:    map[int][]int{},
+	}
+	members, err := readIDList(r, n, n)
+	if err != nil {
+		return nil, err
+	}
+	if len(members) < 1 {
+		return nil, fmt.Errorf("searchtree: decoded tree has no members")
+	}
+	t.Members = members
+	t.Nodes = make(map[int]*Node[D], len(members))
+	nl, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nl > uint64(len(members))+1 {
+		return nil, fmt.Errorf("searchtree: decoded %d levels out of range", nl)
+	}
+	t.Levels = make([][]int, nl)
+	for i := range t.Levels {
+		lv, err := readIDList(r, n, n)
+		if err != nil {
+			return nil, err
+		}
+		t.Levels[i] = lv
+	}
+	ns, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ns > uint64(n) {
+		return nil, fmt.Errorf("searchtree: decoded %d tail sites out of range", ns)
+	}
+	for i := 0; i < int(ns); i++ {
+		s, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if s >= uint64(n) {
+			return nil, fmt.Errorf("searchtree: tail site %d out of range", s)
+		}
+		tail, err := readIDList(r, n, n)
+		if err != nil {
+			return nil, err
+		}
+		t.TailSites = append(t.TailSites, int(s))
+		t.TailOf[int(s)] = tail
+	}
+	childTotal := 0
+	for _, v := range members {
+		if _, dup := t.Nodes[v]; dup {
+			return nil, fmt.Errorf("searchtree: duplicate member %d", v)
+		}
+		nd := &Node[D]{}
+		p, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if p > uint64(n) {
+			return nil, fmt.Errorf("searchtree: node %d parent out of range", v)
+		}
+		nd.Parent = int(p) - 1
+		ew, err := r.ReadBits(64)
+		if err != nil {
+			return nil, err
+		}
+		nd.EdgeW = math.Float64frombits(ew)
+		lv, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if lv > uint64(len(members))+1 {
+			return nil, fmt.Errorf("searchtree: node %d level out of range", v)
+		}
+		nd.Level = int(lv) - 1
+		cc, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if cc > uint64(len(members)) {
+			return nil, fmt.Errorf("searchtree: node %d has %d children", v, cc)
+		}
+		nd.Children = make([]ChildRef, cc)
+		for i := range nd.Children {
+			c := &nd.Children[i]
+			id, err := r.ReadUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if id >= uint64(n) {
+				return nil, fmt.Errorf("searchtree: node %d child out of range", v)
+			}
+			c.ID = int(id)
+			cw, err := r.ReadBits(64)
+			if err != nil {
+				return nil, err
+			}
+			c.EdgeW = math.Float64frombits(cw)
+			lo, err := r.ReadUvarint()
+			if err != nil {
+				return nil, err
+			}
+			hi, err := r.ReadUvarint()
+			if err != nil {
+				return nil, err
+			}
+			c.Lo, c.Hi = int(lo), int(hi)
+			c.Empty, err = r.ReadBit()
+			if err != nil {
+				return nil, err
+			}
+		}
+		pc, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		// A pair costs at least 8 bits (a one-group uvarint key); bound
+		// before allocating.
+		if pc*8 > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("searchtree: node %d pair count %d exceeds stream", v, pc)
+		}
+		nd.Pairs = make([]Pair[D], pc)
+		for i := range nd.Pairs {
+			k, err := r.ReadUvarint()
+			if err != nil {
+				return nil, err
+			}
+			d, err := decData(r)
+			if err != nil {
+				return nil, err
+			}
+			nd.Pairs[i] = Pair[D]{Key: int(k), Data: d}
+		}
+		lo, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		hi, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		nd.Lo, nd.Hi = int(lo), int(hi)
+		nd.SubEmpty, err = r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		t.Nodes[v] = nd
+		childTotal += len(nd.Children)
+	}
+	// Structural checks: child references resolve, and every member is
+	// reachable from the center through the Children slices (so Search
+	// terminates on any decoded tree).
+	if childTotal != len(members)-1 {
+		return nil, fmt.Errorf("searchtree: %d child edges for %d members", childTotal, len(members))
+	}
+	if _, ok := t.Nodes[t.Center]; !ok {
+		return nil, fmt.Errorf("searchtree: center %d not a member", t.Center)
+	}
+	seen := make(map[int]bool, len(members))
+	stack := []int{t.Center}
+	seen[t.Center] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range t.Nodes[v].Children {
+			if _, ok := t.Nodes[c.ID]; !ok {
+				return nil, fmt.Errorf("searchtree: child %d of %d not a member", c.ID, v)
+			}
+			if seen[c.ID] {
+				return nil, fmt.Errorf("searchtree: node %d reached twice", c.ID)
+			}
+			seen[c.ID] = true
+			stack = append(stack, c.ID)
+		}
+	}
+	if len(seen) != len(members) {
+		return nil, fmt.Errorf("searchtree: only %d of %d members reachable from center", len(seen), len(members))
+	}
+	return t, nil
+}
+
+// readIDList reads a uvarint count bounded by max, then that many
+// node ids each bounded by n.
+func readIDList(r *bits.Reader, n, max int) ([]int, error) {
+	cnt, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if cnt > uint64(max) {
+		return nil, fmt.Errorf("searchtree: list of %d ids exceeds bound %d", cnt, max)
+	}
+	out := make([]int, cnt)
+	for i := range out {
+		v, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if v >= uint64(n) {
+			return nil, fmt.Errorf("searchtree: id %d out of range", v)
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// EncodeRealizer serializes r into w. The companion tree supplies the
+// deterministic iteration order (tail sites and tails); the realizer's
+// own maps are only probed by key. The oracle is not serialized — the
+// decoder rebinds to one.
+func EncodeRealizer[D any](w *bits.Writer, r *PathRealizer, t *Tree[D], n int) {
+	for _, s := range t.TailSites {
+		treeroute.EncodeScheme(w, r.tailScheme[s], n)
+	}
+	for v := 0; v < n; v++ {
+		w.WriteUvarint(uint64(r.storage[v]))
+	}
+}
+
+// DecodeRealizer reads a realizer written by EncodeRealizer, rebinding
+// it to the oracle and re-deriving the tail-site index from the
+// companion tree.
+func DecodeRealizer[D any](r *bits.Reader, a *metric.APSP, t *Tree[D]) (*PathRealizer, error) {
+	n := a.N()
+	rz := &PathRealizer{
+		a:          a,
+		tailScheme: map[int]*treeroute.Scheme{},
+		tailSiteOf: map[int]int{},
+		storage:    map[int]int{},
+	}
+	for _, s := range t.TailSites {
+		sch, err := treeroute.DecodeScheme(r, n)
+		if err != nil {
+			return nil, fmt.Errorf("searchtree: tail scheme at site %d: %w", s, err)
+		}
+		rz.tailScheme[s] = sch
+		for _, v := range t.TailOf[s] {
+			rz.tailSiteOf[v] = s
+		}
+	}
+	for v := 0; v < n; v++ {
+		b, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if b > 0 {
+			rz.storage[v] = int(b)
+		}
+	}
+	return rz, nil
+}

@@ -169,7 +169,13 @@ type GraphInfo struct {
 // scheme is one compiled scheme plus its type-erased query runners.
 type scheme struct {
 	info SchemeInfo
+	// impl is the concrete scheme object (e.g. *labeled.Simple) the
+	// runners close over; the snapshot plane serializes it.
+	impl any
 	run  func(src, dst int) sim.Result
+	// runLite is the zero-allocation route: shape only, no path slice
+	// (the binary serving plane's hot path).
+	runLite func(src, dst int) sim.LiteResult
 	// runTraced drives the identical step functions with a trace
 	// attached (?trace=1 queries and 1-in-N sampling).
 	runTraced func(src, dst int, tr *trace.Trace) sim.Result
@@ -187,13 +193,19 @@ type state struct {
 	gen     uint64
 	schemes map[string]*scheme
 	order   []string
+	// list aliases schemes in compile order: the binary protocol
+	// addresses schemes by index, and index lookups stay off the map.
+	list []*scheme
 }
 
 // Engine owns the compiled schemes, the route cache and the metrics.
 // All methods are safe for concurrent use.
 type Engine struct {
-	cfg         Config
-	cache       *routeCache
+	cfg   Config
+	cache *routeCache
+	// lite is the binary plane's flat route cache: value slots, no
+	// allocation on hit or miss (nil when caching is disabled).
+	lite        *liteCache
 	met         *metrics
 	workers     int
 	chaos       *chaosRuntime // nil when fault injection is off
@@ -224,21 +236,28 @@ func New(cfg Config) (*Engine, error) {
 	if hopCap == 0 {
 		hopCap = DefaultTraceHopCap
 	}
-	e := &Engine{
-		cfg:         cfg,
-		cache:       newRouteCache(cfg.CacheEntries),
-		met:         newMetrics(cfg.Schemes),
-		workers:     workers,
-		chaos:       newChaosRuntime(cfg.Chaos, cfg.Seed),
-		traceSample: cfg.TraceSample,
-		traceHopCap: hopCap,
-	}
+	e := newEngine(cfg, workers, hopCap)
 	st, err := e.build(cfg.Seed, 0)
 	if err != nil {
 		return nil, err
 	}
 	e.st.Store(st)
 	return e, nil
+}
+
+// newEngine assembles the engine shell shared by New and
+// NewFromSnapshot (everything but the serving state).
+func newEngine(cfg Config, workers, hopCap int) *Engine {
+	return &Engine{
+		cfg:         cfg,
+		cache:       newRouteCache(cfg.CacheEntries),
+		lite:        newLiteCache(cfg.CacheEntries),
+		met:         newMetrics(cfg.Schemes),
+		workers:     workers,
+		chaos:       newChaosRuntime(cfg.Chaos, cfg.Seed),
+		traceSample: cfg.TraceSample,
+		traceHopCap: hopCap,
+	}
 }
 
 // build constructs a full state: network plus every configured scheme.
@@ -266,6 +285,7 @@ func (e *Engine) build(seed int64, gen uint64) (*state, error) {
 	for i, name := range e.cfg.Schemes {
 		st.schemes[name] = compiled[i]
 		st.order = append(st.order, name)
+		st.list = append(st.list, compiled[i])
 	}
 	return st, nil
 }
@@ -273,6 +293,7 @@ func (e *Engine) build(seed int64, gen uint64) (*state, error) {
 // runners is the type-erased query surface bind produces for a scheme.
 type runners struct {
 	run         func(src, dst int) sim.Result
+	runLite     func(src, dst int) sim.LiteResult
 	runTraced   func(src, dst int, tr *trace.Trace) sim.Result
 	chaos       func(src, dst int, id uint64) faultsim.Result
 	chaosTraced func(src, dst int, id uint64, tr *trace.Trace) faultsim.Result
@@ -289,6 +310,9 @@ func bind[H sim.Header](g *graph.Graph, r sim.Router[H], addr func(int) int, max
 	rn := runners{
 		run: func(src, dst int) sim.Result {
 			return sim.RouteOnce(g, r, src, addr(dst), maxHops)
+		},
+		runLite: func(src, dst int) sim.LiteResult {
+			return sim.RouteLite(g, r, src, addr(dst), maxHops)
 		},
 		runTraced: func(src, dst int, tr *trace.Trace) sim.Result {
 			return sim.RouteOnceTraced(g, r, src, addr(dst), maxHops, tr)
@@ -313,71 +337,85 @@ func clamp(eps, hi float64) float64 {
 	return eps
 }
 
-// compileScheme builds one scheme and its adapter-backed runners. The
-// hop budgets mirror cmd/routesim's per-scheme limits.
+// compileScheme builds one scheme and its adapter-backed runners.
 func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, seed int64, ch *chaosRuntime) (*scheme, error) {
-	n := g.N()
 	start := time.Now()
-	var (
-		rn        runners
-		kind      string
-		labelBits int
-		tableBits func(int) int
-	)
+	impl, err := buildScheme(name, g, a, eps, seed)
+	if err != nil {
+		return nil, err
+	}
+	return finishScheme(name, impl, g, ch, float64(time.Since(start).Microseconds())/1000)
+}
+
+// buildScheme constructs one scheme implementation from scratch — the
+// only place in the serving layer that invokes the (counted) scheme
+// constructors. The snapshot path replaces this call with
+// snapshot.DecodeScheme and shares everything after it.
+func buildScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, seed int64) (any, error) {
+	n := g.N()
 	switch name {
 	case "simple-labeled":
-		s, err := labeled.NewSimple(g, a, clamp(eps, 0.5))
-		if err != nil {
-			return nil, err
-		}
-		rn = bind(g, sim.SimpleLabeledRouter{S: s}, s.LabelOf, 0, ch)
-		kind, labelBits, tableBits = "labeled", bits.UintBits(n), s.TableBits
+		return labeled.NewSimple(g, a, clamp(eps, 0.5))
 	case "scale-free-labeled":
-		s, err := labeled.NewScaleFree(g, a, clamp(eps, 0.25))
-		if err != nil {
-			return nil, err
-		}
-		rn = bind(g, sim.ScaleFreeLabeledRouter{S: s}, s.LabelOf, 64*n, ch)
-		kind, labelBits, tableBits = "labeled", bits.UintBits(n), s.TableBits
+		return labeled.NewScaleFree(g, a, clamp(eps, 0.25))
 	case "name-independent":
 		ne := clamp(eps, 1.0/3)
 		under, err := labeled.NewSimple(g, a, ne)
 		if err != nil {
 			return nil, err
 		}
-		nm := nameind.RandomNaming(n, seed+2)
-		s, err := nameind.NewSimple(g, a, nm, under, ne)
-		if err != nil {
-			return nil, err
-		}
-		rn = bind(g, sim.NameIndependentRouter{S: s}, nm.NameOf, 256*n, ch)
-		kind, labelBits, tableBits = "name-independent", bits.UintBits(nm.MaxName()+1), s.TableBits
+		return nameind.NewSimple(g, a, nameind.RandomNaming(n, seed+2), under, ne)
 	case "scale-free-name-independent":
 		ne := clamp(eps, 0.25)
 		under, err := labeled.NewScaleFree(g, a, ne)
 		if err != nil {
 			return nil, err
 		}
-		nm := nameind.RandomNaming(n, seed+2)
-		s, err := nameind.NewScaleFree(g, a, nm, under, ne)
-		if err != nil {
-			return nil, err
-		}
-		rn = bind(g, sim.ScaleFreeNameIndependentRouter{S: s}, nm.NameOf, 512*n, ch)
-		kind, labelBits, tableBits = "name-independent", bits.UintBits(nm.MaxName()+1), s.TableBits
+		return nameind.NewScaleFree(g, a, nameind.RandomNaming(n, seed+2), under, ne)
 	case "full-table":
-		s := baseline.NewFullTable(g, a)
-		rn = bind(g, sim.FullTableRouter{S: s}, func(v int) int { return v }, 0, ch)
-		kind, labelBits, tableBits = "baseline", bits.UintBits(n), s.TableBits
+		return baseline.NewFullTable(g, a), nil
 	case "single-tree":
-		s, err := baseline.NewSingleTree(g, 0)
-		if err != nil {
-			return nil, err
-		}
-		rn = bind(g, sim.SingleTreeRouter{S: s}, func(v int) int { return v }, 0, ch)
-		kind, labelBits, tableBits = "baseline", bits.UintBits(n), s.TableBits
+		return baseline.NewSingleTree(g, 0)
 	default:
 		return nil, fmt.Errorf("unknown scheme %q (have %v)", name, SchemeNames)
+	}
+}
+
+// finishScheme wraps a concrete scheme implementation (freshly built or
+// snapshot-restored) into its runners and accounting. The hop budgets
+// mirror cmd/routesim's per-scheme limits.
+func finishScheme(name string, impl any, g *graph.Graph, ch *chaosRuntime, buildMillis float64) (*scheme, error) {
+	n := g.N()
+	var (
+		rn        runners
+		kind      string
+		labelBits int
+		tableBits func(int) int
+	)
+	identity := func(v int) int { return v }
+	switch s := impl.(type) {
+	case *labeled.Simple:
+		rn = bind(g, sim.SimpleLabeledRouter{S: s}, s.LabelOf, 0, ch)
+		kind, labelBits, tableBits = "labeled", bits.UintBits(n), s.TableBits
+	case *labeled.ScaleFree:
+		rn = bind(g, sim.ScaleFreeLabeledRouter{S: s}, s.LabelOf, 64*n, ch)
+		kind, labelBits, tableBits = "labeled", bits.UintBits(n), s.TableBits
+	case *nameind.Simple:
+		nm := s.Naming()
+		rn = bind(g, sim.NameIndependentRouter{S: s}, nm.NameOf, 256*n, ch)
+		kind, labelBits, tableBits = "name-independent", bits.UintBits(nm.MaxName()+1), s.TableBits
+	case *nameind.ScaleFree:
+		nm := s.Naming()
+		rn = bind(g, sim.ScaleFreeNameIndependentRouter{S: s}, nm.NameOf, 512*n, ch)
+		kind, labelBits, tableBits = "name-independent", bits.UintBits(nm.MaxName()+1), s.TableBits
+	case *baseline.FullTable:
+		rn = bind(g, sim.FullTableRouter{S: s}, identity, 0, ch)
+		kind, labelBits, tableBits = "baseline", bits.UintBits(n), s.TableBits
+	case *baseline.SingleTree:
+		rn = bind(g, sim.SingleTreeRouter{S: s}, identity, 0, ch)
+		kind, labelBits, tableBits = "baseline", bits.UintBits(n), s.TableBits
+	default:
+		return nil, fmt.Errorf("scheme %q has unbindable implementation %T", name, impl)
 	}
 	tb := core.Tables(tableBits, n)
 	return &scheme{
@@ -388,9 +426,11 @@ func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, see
 			TableMaxBits:  tb.MaxBits,
 			TableMeanBits: tb.MeanBits,
 			TableTotal:    tb.TotalBits,
-			BuildMillis:   float64(time.Since(start).Microseconds()) / 1000,
+			BuildMillis:   buildMillis,
 		},
+		impl:        impl,
 		run:         rn.run,
+		runLite:     rn.runLite,
 		runTraced:   rn.runTraced,
 		chaos:       rn.chaos,
 		chaosTraced: rn.chaosTraced,
@@ -649,7 +689,7 @@ func (e *Engine) Schemes() []SchemeInfo {
 // Metrics snapshots the live counters.
 func (e *Engine) Metrics() MetricsSnapshot {
 	st := e.st.Load()
-	snap := e.met.snapshot(e.cache)
+	snap := e.met.snapshot(e.cache, e.lite)
 	if e.chaos != nil {
 		snap.Chaos.Enabled = true
 		snap.Chaos.Loss = e.chaos.in.Plan().Loss

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"time"
+
+	"compactrouting/internal/frame"
+)
+
+// RouteLite answers one binary-plane query: scheme addressed by compile
+// order index, result as a wire shape (no path). The happy path — slot
+// cache hit or sim.RouteLite miss — performs zero heap allocations;
+// TestFramedRoutePathAllocs pins the full decode→route→encode cycle at
+// 0 allocs/op for both outcomes. Latency and route-shape observations
+// land in the same metrics block the HTTP handlers feed, so /metrics
+// aggregates both protocols.
+//
+// When the engine runs with fault injection or trace sampling, the
+// query falls back to the full route path (allocating) so chaos draws
+// and sampled traces stay globally consistent across protocols.
+func (e *Engine) RouteLite(schemeIdx, src, dst int) frame.RouteResult {
+	st := e.st.Load()
+	if schemeIdx < 0 || schemeIdx >= len(st.list) {
+		e.met.routeErrors.Add(1)
+		return frame.RouteResult{Status: frame.StatusBadScheme}
+	}
+	n := st.nw.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		e.met.routeErrors.Add(1)
+		return frame.RouteResult{Status: frame.StatusBadPair}
+	}
+	name := st.order[schemeIdx]
+	if e.chaos != nil || e.traceSample > 0 {
+		full, err := e.route(name, src, dst, false)
+		if err != nil {
+			e.met.routeErrors.Add(1)
+			return frame.RouteResult{Status: frame.StatusRouteFailed}
+		}
+		return frame.RouteResult{
+			Status:        frame.StatusOK,
+			Cached:        full.Cached,
+			Hops:          int32(full.Hops),
+			MaxHeaderBits: int32(full.MaxHeaderBits),
+			Cost:          full.Cost,
+			Optimal:       full.Optimal,
+		}
+	}
+	start := time.Now()
+	if e.lite != nil {
+		if res, ok := e.lite.get(schemeIdx, src, dst, st.gen); ok {
+			res.Cached = true
+			e.met.routeLatency.Observe(time.Since(start))
+			e.met.routeLatencyHit.Observe(time.Since(start))
+			return res
+		}
+	}
+	lr := st.list[schemeIdx].runLite(src, dst)
+	if lr.Err != nil {
+		e.met.routeErrors.Add(1)
+		return frame.RouteResult{Status: frame.StatusRouteFailed}
+	}
+	opt := st.nw.Dist(src, dst)
+	res := frame.RouteResult{
+		Status:        frame.StatusOK,
+		Hops:          int32(lr.Hops),
+		MaxHeaderBits: int32(lr.MaxHeaderBits),
+		Cost:          lr.Cost,
+		Optimal:       opt,
+	}
+	e.met.observeRoute(name, stretch(lr.Cost, opt), lr.Hops, lr.MaxHeaderBits)
+	if e.lite != nil {
+		e.lite.put(schemeIdx, src, dst, st.gen, res)
+	}
+	e.met.routeLatency.Observe(time.Since(start))
+	e.met.routeLatencyMiss.Observe(time.Since(start))
+	return res
+}
+
+// SchemesWire describes the engine for a TypeSchemesResponse frame.
+func (e *Engine) SchemesWire() frame.SchemesResponse {
+	st := e.st.Load()
+	return frame.SchemesResponse{
+		N:          st.nw.N(),
+		Generation: st.gen,
+		Names:      append([]string(nil), st.order...),
+	}
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"compactrouting/internal/frame"
+)
+
+// liteCache is the binary serving plane's route cache: a flat,
+// direct-mapped slot array holding route shapes by value. Unlike the
+// sharded LRU (cache.go), whose Put allocates a list element per
+// insert, every liteCache operation — hit, miss, overwrite — touches
+// only preallocated memory, which is what lets the framed batch route
+// path pin 0 allocs/op. The hash selects a slot; the slot stores the
+// full key and is compared explicitly, so colliding queries simply
+// overwrite each other (direct-mapped eviction).
+type liteCache struct {
+	slots []liteSlot
+	mask  uint64
+	hits  atomic.Uint64 // guarded by atomic
+	miss  atomic.Uint64 // guarded by atomic
+}
+
+type liteSlot struct {
+	mu     sync.Mutex
+	full   bool              // guarded by mu
+	scheme int32             // guarded by mu
+	src    int32             // guarded by mu
+	dst    int32             // guarded by mu
+	gen    uint64            // guarded by mu
+	res    frame.RouteResult // guarded by mu
+}
+
+// newLiteCache sizes the slot array to the largest power of two not
+// exceeding entries (minimum 1); entries <= 0 disables the cache.
+func newLiteCache(entries int) *liteCache {
+	if entries <= 0 {
+		return nil
+	}
+	n := 1
+	for n*2 <= entries {
+		n *= 2
+	}
+	return &liteCache{slots: make([]liteSlot, n), mask: uint64(n - 1)}
+}
+
+// hash mixes the key fields (FNV-1a, like the LRU's shard hash).
+func liteHash(scheme, src, dst int, gen uint64) uint64 {
+	h := uint64(14695981039346656037)
+	h = (h ^ uint64(scheme)) * 1099511628211
+	h = (h ^ uint64(src)) * 1099511628211
+	h = (h ^ uint64(dst)) * 1099511628211
+	h = (h ^ gen) * 1099511628211
+	return h
+}
+
+// get returns the cached shape for the key at the given generation.
+func (c *liteCache) get(scheme, src, dst int, gen uint64) (frame.RouteResult, bool) {
+	s := &c.slots[liteHash(scheme, src, dst, gen)&c.mask]
+	s.mu.Lock()
+	ok := s.full && s.scheme == int32(scheme) && s.src == int32(src) && s.dst == int32(dst) && s.gen == gen
+	res := s.res
+	s.mu.Unlock()
+	if !ok {
+		c.miss.Add(1)
+		return frame.RouteResult{}, false
+	}
+	c.hits.Add(1)
+	return res, true
+}
+
+// put stores a shape, overwriting whatever occupied the slot.
+func (c *liteCache) put(scheme, src, dst int, gen uint64, res frame.RouteResult) {
+	s := &c.slots[liteHash(scheme, src, dst, gen)&c.mask]
+	s.mu.Lock()
+	s.full = true
+	s.scheme, s.src, s.dst = int32(scheme), int32(src), int32(dst)
+	s.gen = gen
+	s.res = res
+	s.mu.Unlock()
+}
+
+// stats reports cumulative hit/miss counters (zeros when disabled).
+func (c *liteCache) stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.miss.Load()
+}

@@ -155,6 +155,15 @@ type metrics struct {
 	routeLatencyHit  histogram // guarded by atomic; latency of cache-hit route requests
 	routeLatencyMiss histogram // guarded by atomic; latency of computed route requests
 
+	// Binary serving plane (framed TCP) counters; route-level counts
+	// share routes/routeErrors above so per-scheme totals stay unified.
+	tcpConns     atomic.Int64  // guarded by atomic; open TCP connections
+	tcpFrames    atomic.Uint64 // guarded by atomic; frames answered
+	tcpRoutes    atomic.Uint64 // guarded by atomic; route queries served over TCP
+	tcpErrors    atomic.Uint64 // guarded by atomic; per-pair route failures over TCP
+	tcpBadFrames atomic.Uint64 // guarded by atomic; malformed frames rejected
+	tcpLatency   histogram     // guarded by atomic; whole-frame service latency
+
 	// Route-shape histograms, fed by every computed (non-cached) route.
 	// The stretch histograms use the shared trace.StretchBucketEdges so
 	// /metrics and routebench -json distributions are comparable.
@@ -186,6 +195,7 @@ type MetricsSnapshot struct {
 	RouteLatencyMiss HistogramSnapshot    `json:"route_latency_miss"`
 	BatchLatency     HistogramSnapshot    `json:"batch_latency"`
 	Trace            TraceMetricsSnapshot `json:"trace"`
+	TCP              TCPSnapshot          `json:"tcp"`
 	Chaos            ChaosSnapshot        `json:"chaos"`
 	Generation       uint64               `json:"generation"`
 	Schemes          []string             `json:"schemes"`
@@ -226,6 +236,17 @@ type ChaosSnapshot struct {
 	Drops            uint64  `json:"drops"`
 	Retries          uint64  `json:"retries"`
 	FailedDeliveries uint64  `json:"failed_deliveries"`
+}
+
+// TCPSnapshot reports the binary serving plane's counters: connection
+// gauge, frame and route throughput, rejects, and per-frame latency.
+type TCPSnapshot struct {
+	Connections  int64             `json:"connections"`
+	Frames       uint64            `json:"frames"`
+	Routes       uint64            `json:"routes"`
+	RouteErrors  uint64            `json:"route_errors"`
+	BadFrames    uint64            `json:"bad_frames"`
+	FrameLatency HistogramSnapshot `json:"frame_latency"`
 }
 
 // CacheSnapshot reports the route cache counters.
@@ -275,9 +296,10 @@ func (m *metrics) observeTrace(t *trace.Trace) {
 	}
 }
 
-func (m *metrics) snapshot(c *routeCache) MetricsSnapshot {
+func (m *metrics) snapshot(c *routeCache, lite *liteCache) MetricsSnapshot {
 	hits, misses, evicted, size := c.Stats()
-	cs := CacheSnapshot{Hits: hits, Misses: misses, Evicted: evicted, Size: size}
+	lh, lm := lite.stats()
+	cs := CacheSnapshot{Hits: hits + lh, Misses: misses + lm, Evicted: evicted, Size: size}
 	if total := hits + misses; total > 0 {
 		cs.HitRate = float64(hits) / float64(total)
 	}
@@ -319,6 +341,14 @@ func (m *metrics) snapshot(c *routeCache) MetricsSnapshot {
 		RouteLatencyMiss: m.routeLatencyMiss.Snapshot(),
 		BatchLatency:     m.batchLatency.Snapshot(),
 		Trace:            tm,
+		TCP: TCPSnapshot{
+			Connections:  m.tcpConns.Load(),
+			Frames:       m.tcpFrames.Load(),
+			Routes:       m.tcpRoutes.Load(),
+			RouteErrors:  m.tcpErrors.Load(),
+			BadFrames:    m.tcpBadFrames.Load(),
+			FrameLatency: m.tcpLatency.Snapshot(),
+		},
 		Chaos: ChaosSnapshot{
 			Drops:            m.chaosDrops.Load(),
 			Retries:          m.chaosRetries.Load(),

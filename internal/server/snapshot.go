@@ -1,0 +1,88 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/snapshot"
+)
+
+// Snapshot serializes the engine's current serving state — graph,
+// oracle, and every compiled scheme's tables — into a snapshot.File.
+// The write is taken against one atomic state load, so a concurrent
+// reload cannot tear it.
+func (e *Engine) Snapshot() (*snapshot.File, error) {
+	st := e.st.Load()
+	f := &snapshot.File{
+		Seed:       st.seed,
+		Eps:        e.cfg.Eps,
+		Generation: st.gen,
+		N:          st.nw.N(),
+		Edges:      st.nw.Edges(),
+	}
+	f.Dist, f.NextHop = st.nw.APSP().Matrices()
+	for i, name := range st.order {
+		w := &bits.Writer{}
+		if err := snapshot.EncodeScheme(w, name, st.list[i].impl); err != nil {
+			return nil, err
+		}
+		f.Schemes = append(f.Schemes, snapshot.SchemeBlob{
+			Name: name,
+			Data: append([]byte(nil), w.Bytes()...),
+			Bits: w.Len(),
+		})
+	}
+	return f, nil
+}
+
+// NewFromSnapshot builds an engine from a decoded snapshot: the graph
+// and oracle are rebound, every scheme is restored through its codec,
+// and the first query is served without invoking a single scheme
+// constructor (pinned by TestSnapshotColdStartNoConstructors against
+// core.SchemeBuilds). cfg.Build is optional here — it is only needed
+// if the engine should support /reload, which rebuilds from scratch.
+func NewFromSnapshot(cfg Config, f *snapshot.File) (*Engine, error) {
+	if len(f.Schemes) == 0 {
+		return nil, fmt.Errorf("server: snapshot holds no schemes")
+	}
+	cfg.Seed = f.Seed
+	cfg.Eps = f.Eps
+	cfg.Schemes = make([]string, len(f.Schemes))
+	for i, sb := range f.Schemes {
+		cfg.Schemes[i] = sb.Name
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	hopCap := cfg.TraceHopCap
+	if hopCap == 0 {
+		hopCap = DefaultTraceHopCap
+	}
+	e := newEngine(cfg, workers, hopCap)
+	nw, err := f.Network()
+	if err != nil {
+		return nil, err
+	}
+	st := &state{nw: nw, seed: f.Seed, gen: f.Generation, schemes: make(map[string]*scheme)}
+	for _, sb := range f.Schemes {
+		r := bits.NewReader(sb.Data, sb.Bits)
+		impl, err := snapshot.DecodeScheme(r, sb.Name, nw.Graph(), nw.APSP())
+		if err != nil {
+			return nil, fmt.Errorf("server: restore %s: %w", sb.Name, err)
+		}
+		if rem := r.Remaining(); rem != 0 {
+			return nil, fmt.Errorf("server: restore %s: %d trailing blob bits", sb.Name, rem)
+		}
+		sch, err := finishScheme(sb.Name, impl, nw.Graph(), e.chaos, 0)
+		if err != nil {
+			return nil, fmt.Errorf("server: restore %s: %w", sb.Name, err)
+		}
+		st.schemes[sb.Name] = sch
+		st.order = append(st.order, sb.Name)
+		st.list = append(st.list, sch)
+	}
+	e.st.Store(st)
+	return e, nil
+}

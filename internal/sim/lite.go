@@ -1,0 +1,75 @@
+package sim
+
+import "compactrouting/internal/graph"
+
+// LiteResult is the outcome of one RouteLite delivery: the shape of the
+// walk without the walk itself.
+type LiteResult struct {
+	Dst           int
+	Hops          int
+	MaxHeaderBits int
+	Cost          float64
+	Err           error
+}
+
+// RouteLite drives one delivery through the router's step function like
+// RouteOnce, but records only the walk's shape — hop count, cost, max
+// header size — never the path slice or a trace. It is the zero-
+// allocation route used by the binary serving plane (internal/frame
+// responses carry no paths); the framed batch path pins 0 allocs/op on
+// it with testing.AllocsPerRun. Hop validation uses the binary-search
+// NeighborWeight so the check allocates nothing either.
+//
+// Semantics match RouteOnce exactly: dst is a label or a name (per the
+// Router), maxHops <= 0 selects the 8n default, and a walk of more than
+// maxHops hops fails with HopLimitError.
+func RouteLite[H Header](g *graph.Graph, r Router[H], src, dst, maxHops int) LiteResult {
+	if maxHops <= 0 {
+		maxHops = 8 * g.N()
+	}
+	var res LiteResult
+	h, err := r.Prepare(dst)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.MaxHeaderBits = h.Bits()
+	at := src
+	for {
+		next, nh, arrived, err := r.Step(at, h)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		if arrived {
+			res.Dst = at
+			return res
+		}
+		if res.Hops+1 > maxHops {
+			res.Err = HopLimitError(maxHops)
+			return res
+		}
+		w, ok := g.NeighborWeight(at, next)
+		if !ok {
+			res.Err = ErrNonNeighbor
+			return res
+		}
+		if b := nh.Bits(); b > res.MaxHeaderBits {
+			res.MaxHeaderBits = b
+		}
+		h = nh
+		res.Hops++
+		res.Cost += w
+		at = next
+	}
+}
+
+// errNonNeighbor is allocated once: RouteLite's hot path must not
+// construct error values per call.
+type errNonNeighbor struct{}
+
+func (errNonNeighbor) Error() string { return "sim: step forwarded to non-neighbor" }
+
+// ErrNonNeighbor reports a step function forwarding to a node that is
+// not adjacent to the current one.
+var ErrNonNeighbor error = errNonNeighbor{}

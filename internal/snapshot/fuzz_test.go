@@ -1,0 +1,90 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compactrouting"
+	"compactrouting/internal/bits"
+	"compactrouting/internal/snapshot"
+)
+
+// corpusSnapshots: one full six-scheme engine snapshot plus minimal
+// hand-built files (no schemes, single node) to seed the boundary paths.
+func corpusSnapshots(t testing.TB) [][]byte {
+	full := encodedSnapshot(t)
+	single := &snapshot.File{
+		Seed: 1, Eps: 0.25, N: 1,
+		Dist: []float64{0}, NextHop: []int32{-1},
+	}
+	sd, err := single.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := &snapshot.File{
+		Seed: 2, Eps: 0.5, Generation: 3, N: 2,
+		Edges:   []compactrouting.EdgeSpec{{U: 0, V: 1, Weight: 1.5}},
+		Dist:    []float64{0, 1.5, 1.5, 0},
+		NextHop: []int32{-1, 1, 0, -1},
+	}
+	pd, err := pair.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return [][]byte{full, sd, pd}
+}
+
+// TestRegenFuzzCorpus rewrites the checked-in seed corpus. Regenerate:
+//
+//	REGEN_FUZZ_CORPUS=1 go test ./internal/... -run TestRegenFuzzCorpus
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_CORPUS") == "" {
+		t.Skip("set REGEN_FUZZ_CORPUS=1 to rewrite testdata/fuzz seed corpora")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeSnapshot")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, data := range corpusSnapshots(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%03d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzDecodeSnapshot: arbitrary bytes either fail Decode with an error
+// (never a panic) or yield a file that re-encodes byte-identically and
+// survives the full restore path — network rebuild plus every scheme
+// blob through DecodeScheme — without panicking.
+func FuzzDecodeSnapshot(f *testing.F) {
+	for _, data := range corpusSnapshots(f) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := snapshot.Decode(data)
+		if err != nil {
+			return
+		}
+		out, err := file.Encode()
+		if err != nil {
+			t.Fatalf("decoded file fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode→encode not a fixpoint: %d bytes in, %d out", len(data), len(out))
+		}
+		nw, err := file.Network()
+		if err != nil {
+			return
+		}
+		for _, sb := range file.Schemes {
+			r := bits.NewReader(sb.Data, sb.Bits)
+			if _, err := snapshot.DecodeScheme(r, sb.Name, nw.Graph(), nw.APSP()); err != nil {
+				continue
+			}
+		}
+	})
+}

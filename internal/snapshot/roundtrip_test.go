@@ -1,0 +1,187 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compactrouting"
+	"compactrouting/internal/server"
+	"compactrouting/internal/snapshot"
+)
+
+// buildEngine compiles the given schemes on a small deterministic grid.
+func buildEngine(t testing.TB, schemes []string) *server.Engine {
+	t.Helper()
+	eng, err := server.New(server.Config{
+		Build: func(int64) (*compactrouting.Network, error) {
+			return compactrouting.GridNetwork(5, 5)
+		},
+		Seed:    3,
+		Eps:     0.25,
+		Schemes: schemes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// encodedSnapshot builds an engine over all six schemes and returns its
+// serialized snapshot.
+func encodedSnapshot(t testing.TB) []byte {
+	t.Helper()
+	eng := buildEngine(t, server.SchemeNames)
+	f, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestRoundTripAllSchemes is the save→load byte-equality check for all
+// six scheme adapters: a restored engine must re-serialize to the exact
+// bytes it was loaded from — same tables, bit for bit.
+func TestRoundTripAllSchemes(t *testing.T) {
+	data := encodedSnapshot(t)
+	f, err := snapshot.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Schemes) != len(server.SchemeNames) {
+		t.Fatalf("decoded %d schemes, want %d", len(f.Schemes), len(server.SchemeNames))
+	}
+	eng2, err := server.NewFromSnapshot(server.Config{}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := eng2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := f2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("restored engine re-encodes to %d bytes != original %d bytes", len(data2), len(data))
+	}
+}
+
+// TestRestoredEngineAnswersEqually pins query equivalence: the restored
+// engine must serve byte-for-byte the same route answers as the engine
+// that built the tables.
+func TestRestoredEngineAnswersEqually(t *testing.T) {
+	eng := buildEngine(t, server.SchemeNames)
+	f, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := server.NewFromSnapshot(server.Config{}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int{{0, 24}, {3, 17}, {12, 12}, {24, 1}, {7, 20}}
+	for _, name := range server.SchemeNames {
+		for _, p := range pairs {
+			want, err1 := eng.Route(name, p[0], p[1])
+			got, err2 := eng2.Route(name, p[0], p[1])
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%s %v: errors diverge: %v vs %v", name, p, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if want.Cost != got.Cost || want.Hops != got.Hops || want.MaxHeaderBits != got.MaxHeaderBits {
+				t.Fatalf("%s %v: original %+v, restored %+v", name, p, want, got)
+			}
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	eng := buildEngine(t, []string{"full-table", "simple-labeled"})
+	f, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tables.snap")
+	if err := snapshot.Save(path, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	got, err := snapshot.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := f.Encode()
+	have, _ := got.Encode()
+	if !bytes.Equal(want, have) {
+		t.Fatal("loaded snapshot re-encodes differently")
+	}
+}
+
+// refix recomputes the trailing checksum after a mutation, so the test
+// reaches the validation layer behind the CRC.
+func refix(data []byte) []byte {
+	binary.BigEndian.PutUint32(data[len(data)-4:],
+		crc32.ChecksumIEEE(data[:len(data)-4]))
+	return data
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	data := encodedSnapshot(t)
+	for _, cut := range []int{0, 3, 5, 9, len(data) / 2, len(data) - 1} {
+		if _, err := snapshot.Decode(data[:cut]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", cut, len(data))
+		}
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	data := encodedSnapshot(t)
+	data[0] = 'X'
+	if _, err := snapshot.Decode(refix(data)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("got %v, want bad-magic error", err)
+	}
+}
+
+func TestDecodeRejectsVersionSkew(t *testing.T) {
+	data := encodedSnapshot(t)
+	binary.BigEndian.PutUint16(data[4:6], snapshot.Version+1)
+	_, err := snapshot.Decode(refix(data))
+	if err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Fatalf("got %v, want explicit version-skew error", err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data := encodedSnapshot(t)
+	data[len(data)/2] ^= 0x40
+	_, err := snapshot.Decode(data)
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("got %v, want checksum error", err)
+	}
+}
+
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	data := encodedSnapshot(t)
+	data[len(data)/3] ^= 0x01
+	path := filepath.Join(t.TempDir(), "corrupt.snap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapshot.Load(path); err == nil {
+		t.Fatal("corrupt snapshot loaded")
+	}
+}

@@ -1,0 +1,82 @@
+package treeroute
+
+import "fmt"
+
+// PortNodeInfo is one node's compiled port-model routing state in
+// exported form — the PortScheme counterpart of NodeInfo, consumed by
+// AssemblePorts so a scheme can be rebuilt from per-node serialized
+// state (snapshots, distributed protocols) without re-running the DFS
+// compile.
+type PortNodeInfo struct {
+	In, Out    int32
+	Parent     int32 // -1 at the root, NotInTree for non-members
+	Heavy      int32 // -1 at leaves
+	HeavyIn    int32
+	HeavyOut   int32
+	LightDepth int32
+	Children   []int32 // port order: Children[0] == Heavy when present
+	Label      PortLabel
+}
+
+// PortInfo exports v's compiled state in PortNodeInfo form.
+func (s *PortScheme) PortInfo(v int) (PortNodeInfo, bool) {
+	t, ok := s.member[v]
+	if !ok {
+		return PortNodeInfo{Parent: NotInTree}, false
+	}
+	return PortNodeInfo{
+		In: t.in, Out: t.out,
+		Parent: t.parent, Heavy: t.heavy,
+		HeavyIn: t.heavyIn, HeavyOut: t.heavyOut,
+		LightDepth: t.lightDepth,
+		Children:   t.children,
+		Label:      s.labels[v],
+	}, true
+}
+
+// AssemblePorts compiles a PortScheme from per-node state, mirroring
+// Assemble: info is indexed by graph node id, entries with Parent ==
+// NotInTree are non-members, and only root and interval sanity are
+// checked (cross-node consistency is the producer's responsibility).
+func AssemblePorts(root int, info []PortNodeInfo) (*PortScheme, error) {
+	if root < 0 || root >= len(info) || info[root].Parent != -1 {
+		return nil, fmt.Errorf("treeroute: root %d invalid", root)
+	}
+	s := &PortScheme{
+		root:   root,
+		member: make(map[int]*portTable),
+		labels: make(map[int]PortLabel),
+	}
+	for v := range info {
+		ni := info[v]
+		if ni.Parent == NotInTree {
+			continue
+		}
+		if ni.Parent == -1 && v != root {
+			return nil, fmt.Errorf("treeroute: second root %d", v)
+		}
+		if ni.In < 0 || ni.Out < ni.In {
+			return nil, fmt.Errorf("treeroute: node %d has interval [%d,%d]", v, ni.In, ni.Out)
+		}
+		if ni.Label.In != ni.In {
+			return nil, fmt.Errorf("treeroute: node %d label In %d != interval In %d", v, ni.Label.In, ni.In)
+		}
+		if len(ni.Children) > 0 && ni.Children[0] != ni.Heavy {
+			return nil, fmt.Errorf("treeroute: node %d children[0] %d != heavy %d", v, ni.Children[0], ni.Heavy)
+		}
+		s.member[v] = &portTable{
+			in: ni.In, out: ni.Out,
+			parent: ni.Parent, heavy: ni.Heavy,
+			heavyIn: ni.HeavyIn, heavyOut: ni.HeavyOut,
+			lightDepth: ni.LightDepth,
+			children:   ni.Children,
+		}
+		s.labels[v] = ni.Label
+		s.size++
+	}
+	if rt := s.member[root]; int(rt.out-rt.in)+1 != s.size {
+		return nil, fmt.Errorf("treeroute: root interval [%d,%d] does not cover %d members",
+			rt.in, rt.out, s.size)
+	}
+	return s, nil
+}

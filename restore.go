@@ -1,0 +1,28 @@
+package compactrouting
+
+import (
+	"compactrouting/internal/graph"
+	"compactrouting/internal/metric"
+)
+
+// RestoreNetwork rebinds a Network from an already-built graph and
+// metric oracle — the snapshot load path (internal/snapshot), which
+// decodes both from disk instead of re-running the O(n² log n) APSP.
+func RestoreNetwork(g *graph.Graph, apsp *metric.APSP) *Network {
+	return &Network{g: g, apsp: apsp}
+}
+
+// Edges returns the network's undirected edge list in canonical order
+// (ascending (u, v), u < v) — the form NewNetwork accepts and the
+// snapshot format stores.
+func (nw *Network) Edges() []EdgeSpec {
+	out := make([]EdgeSpec, 0, nw.g.M())
+	for u := 0; u < nw.g.N(); u++ {
+		for _, e := range nw.g.Neighbors(u) {
+			if u < e.To {
+				out = append(out, EdgeSpec{U: u, V: e.To, Weight: e.Weight})
+			}
+		}
+	}
+	return out
+}
