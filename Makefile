@@ -3,16 +3,17 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench serve profile chaos-determinism routebench-determinism distsim-determinism routeload-determinism fuzz-smoke
+.PHONY: check fmt vet build test race lint fuzz-corpus-lint bench serve profile chaos-determinism routebench-determinism distsim-determinism routeload-determinism fuzz-smoke
 
 # The gate: vet, build and -race cover every package (./...), including
 # internal/faultsim and cmd/chaossim; lint runs the repo's own static
 # analyzers (determinism and concurrency contracts, see DESIGN.md
-# §Static analysis); the determinism targets assert that the parallel
+# §Static analysis); fuzz-corpus-lint requires every fuzz target to
+# ship a seed corpus; the determinism targets assert that the parallel
 # build pipeline and the fault injector's seed guarantee produce
 # byte-identical JSON across runs; fuzz-smoke gives every wire codec a
 # short fuzz burst on top of its checked-in seed corpus.
-check: fmt vet lint build race chaos-determinism routebench-determinism distsim-determinism routeload-determinism fuzz-smoke
+check: fmt vet lint fuzz-corpus-lint build race chaos-determinism routebench-determinism distsim-determinism routeload-determinism fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -31,10 +32,30 @@ race:
 	$(GO) test -race ./...
 
 # The repo's own static-analysis suite (cmd/determinlint): maprange,
-# wallclock, parbody, guardedfield, floateq. Run one analyzer with
-# `go run ./cmd/determinlint -run <name>`.
+# wallclock, parbody, guardedfield, floateq, hotpath, codecpair,
+# goleak, lockorder. Run one analyzer with
+# `go run ./cmd/determinlint -rules <name>`. -timing prints per-rule
+# wall time and finding counts; -maxwall caps the total analysis time
+# so the gate fails loudly if the suite regresses into minutes.
 lint:
-	$(GO) run ./cmd/determinlint
+	$(GO) run ./cmd/determinlint -timing -maxwall 120s
+
+# Every Fuzz* target must check in a seed corpus under
+# testdata/fuzz/<FuzzName> in its package: an empty corpus means the
+# fuzz-smoke burst explores from nothing and the codec's interesting
+# shapes are not pinned in review.
+fuzz-corpus-lint:
+	@bad=0; \
+	for f in $$(grep -rln --include='*_test.go' '^func Fuzz' internal cmd); do \
+		dir=$$(dirname $$f); \
+		for target in $$(sed -n 's/^func \(Fuzz[A-Za-z0-9_]*\)(.*/\1/p' $$f); do \
+			corpus="$$dir/testdata/fuzz/$$target"; \
+			if [ ! -d "$$corpus" ] || [ -z "$$(ls -A $$corpus 2>/dev/null)" ]; then \
+				echo "$$f: $$target has no seed corpus in $$corpus"; bad=1; \
+			fi; \
+		done; \
+	done; \
+	[ $$bad -eq 0 ] && echo "fuzz corpora: ok" || exit 1
 
 # Machine-readable benchmark sweeps (write BENCH_*.json).
 bench:

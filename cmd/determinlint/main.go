@@ -1,17 +1,31 @@
 // Command determinlint runs the repository's custom static-analysis
 // suite (internal/lint): vet-style analyzers that enforce the
-// determinism and concurrency contracts — no unordered map iteration
-// feeding deterministic output, no wall clock or global rand in seeded
-// paths, index-owned writes inside par bodies, mutex annotations on
-// guarded fields, and no exact float equality in stretch accounting.
+// determinism, performance, and concurrency contracts. Nine rules:
+//
+//   - maprange: no unordered map iteration feeding deterministic output
+//   - wallclock: no wall clock or global rand in seeded paths
+//   - parbody: index-owned writes inside par bodies
+//   - guardedfield: mutex annotations on guarded struct fields
+//   - floateq: no exact float equality in stretch accounting
+//   - hotpath: //determinlint:hotpath functions are transitively
+//     allocation-free
+//   - codecpair: bit-codec encoders have a decode counterpart, a
+//     Bits() size accountant, and a same-package round-trip/fuzz pin
+//   - goleak: every go statement shows a join, a cancel tie, or a
+//     `// joined by <what>` note
+//   - lockorder: no cycles in the mutex acquisition graph, no
+//     surprise locking calls made while a lock is held
 //
 // Usage:
 //
-//	determinlint [-run analyzer[,analyzer]] [-list] [module-dir]
+//	determinlint [-rules analyzer[,analyzer]] [-list] [-timing] [-maxwall duration] [module-dir]
 //
-// It exits 0 on a clean tree, 1 with file:line:col diagnostics when
-// any analyzer finds a violation, and 2 on load errors. `make lint`
-// runs it over the module as part of `make check`.
+// -rules (alias -run) selects a subset; -timing prints per-analyzer
+// wall time and finding counts to stderr; -maxwall fails the run when
+// load+analysis exceeds the budget. It exits 0 on a clean tree, 1 with
+// file:line:col diagnostics when any analyzer finds a violation, and 2
+// on usage/load errors or a -maxwall overrun. `make lint` runs it over
+// the module as part of `make check`.
 package main
 
 import (

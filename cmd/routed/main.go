@@ -206,6 +206,8 @@ func run(addr, tcpAddr, snapPath, kind string, n int, seed int64, eps float64, s
 		// The pprof handlers live on their own listener (and the default
 		// mux, which the API server never uses) so profiling exposure is
 		// separable from serving traffic.
+		// joined by process lifetime: the debug listener serves until exit
+		// by design, like net/http/pprof's own examples.
 		go func() {
 			log.Printf("routed: pprof debug listener on http://%s/debug/pprof/", pprofAddr)
 			if err := http.ListenAndServe(pprofAddr, nil); err != nil {

@@ -186,6 +186,8 @@ func run(cfg config) error {
 			return err
 		}
 		srv := &http.Server{Handler: eng.Handler()}
+		// joined by srv.Close in the cleanup list: Serve returns once the
+		// listener closes, before the process exits.
 		go srv.Serve(hln)
 		cleanup = append(cleanup, func() { srv.Close() })
 		cfg.HTTPAddr = hln.Addr().String()
@@ -195,6 +197,8 @@ func run(cfg config) error {
 			return err
 		}
 		tsrv := server.NewTCPServer(eng)
+		// joined by tln.Close in the cleanup list: the accept loop exits
+		// when its listener closes.
 		go tsrv.Serve(tln)
 		cleanup = append(cleanup, func() { tln.Close() })
 		cfg.TCPAddr = tln.Addr().String()

@@ -30,6 +30,26 @@ func (p *Packing) Encode(w *bits.Writer) {
 	}
 }
 
+// Bits returns the exact encoded size of the packing in bits,
+// mirroring Encode term by term.
+func (p *Packing) Bits() int {
+	n := bits.UvarintLen(uint64(len(p.Balls)))
+	for j := range p.Balls {
+		n += bits.UvarintLen(uint64(len(p.Balls[j])))
+		for k := range p.Balls[j] {
+			b := &p.Balls[j][k]
+			n += bits.UvarintLen(uint64(b.Center)) + 64 + bits.UvarintLen(uint64(len(b.Members)))
+			for _, m := range b.Members {
+				n += bits.UvarintLen(uint64(m))
+			}
+		}
+		for _, wi := range p.witness[j] {
+			n += bits.UvarintLen(uint64(wi))
+		}
+	}
+	return n
+}
+
 // Decode reads a packing written by Encode, rebinding it to the given
 // oracle. Malformed input is rejected with an error, never a panic.
 func Decode(r *bits.Reader, a *metric.APSP) (*Packing, error) {

@@ -1,0 +1,34 @@
+package ballpack
+
+import (
+	"bytes"
+	"testing"
+
+	"compactrouting/internal/bits"
+)
+
+// TestCodecRoundTrip pins the packing codec: Encode → Decode → Encode
+// must reproduce the stream bit for bit, and Bits must predict the
+// encoded length exactly.
+func TestCodecRoundTrip(t *testing.T) {
+	a := geoAPSP(t, 120, 4)
+	p := New(a)
+	var w bits.Writer
+	p.Encode(&w)
+	if w.Len() != p.Bits() {
+		t.Fatalf("encoded %d bits, Bits() says %d", w.Len(), p.Bits())
+	}
+	r := bits.NewReader(w.Bytes(), w.Len())
+	p2, err := Decode(r, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bits left after decode", r.Remaining())
+	}
+	var w2 bits.Writer
+	p2.Encode(&w2)
+	if w2.Len() != w.Len() || !bytes.Equal(w2.Bytes(), w.Bytes()) {
+		t.Fatalf("re-encode differs: %d bits vs %d", w2.Len(), w.Len())
+	}
+}

@@ -81,6 +81,8 @@ type Header struct {
 }
 
 // PutHeader encodes h into buf, which must be at least HeaderSize long.
+//
+//determinlint:hotpath
 func PutHeader(buf []byte, h Header) {
 	buf[0], buf[1], buf[2], buf[3] = magic0, magic1, Version, byte(h.Type)
 	binary.BigEndian.PutUint64(buf[4:12], h.RequestID)
@@ -88,6 +90,8 @@ func PutHeader(buf []byte, h Header) {
 }
 
 // ParseHeader decodes and validates a frame header.
+//
+//determinlint:hotpath
 func ParseHeader(buf []byte) (Header, error) {
 	if len(buf) < HeaderSize {
 		return Header{}, fmt.Errorf("frame: short header: %d bytes", len(buf))
@@ -114,6 +118,8 @@ func ParseHeader(buf []byte) (Header, error) {
 
 // AppendFrame appends a complete frame to dst and returns the extended
 // slice (append-style, so callers reuse one buffer across frames).
+//
+//determinlint:hotpath
 func AppendFrame(dst []byte, t Type, requestID uint64, payload []byte) ([]byte, error) {
 	if len(payload) > MaxPayload {
 		return dst, fmt.Errorf("frame: payload %d exceeds cap %d", len(payload), MaxPayload)
@@ -157,6 +163,8 @@ type RouteRequest struct {
 }
 
 // Encode appends the request payload to w.
+//
+//determinlint:hotpath
 func (q *RouteRequest) Encode(w *bits.Writer) {
 	w.WriteUvarint(uint64(q.Scheme))
 	w.WriteUvarint(uint64(len(q.Pairs)))
@@ -166,8 +174,20 @@ func (q *RouteRequest) Encode(w *bits.Writer) {
 	}
 }
 
+// Bits returns the exact encoded size of the request payload in bits,
+// mirroring Encode term by term.
+func (q *RouteRequest) Bits() int {
+	n := bits.UvarintLen(uint64(q.Scheme)) + bits.UvarintLen(uint64(len(q.Pairs)))
+	for _, p := range q.Pairs {
+		n += bits.UvarintLen(uint64(p.Src)) + bits.UvarintLen(uint64(p.Dst))
+	}
+	return n
+}
+
 // DecodeInto parses a request payload, reusing q.Pairs' capacity so a
 // serving loop decodes without allocating once warm.
+//
+//determinlint:hotpath
 func (q *RouteRequest) DecodeInto(payload []byte, r *bits.Reader) error {
 	r.Reset(payload, 8*len(payload))
 	scheme, err := r.ReadUvarint()
@@ -235,6 +255,8 @@ type RouteResponse struct {
 }
 
 // Encode appends the response payload to w.
+//
+//determinlint:hotpath
 func (p *RouteResponse) Encode(w *bits.Writer) {
 	w.WriteUvarint(uint64(len(p.Results)))
 	for i := range p.Results {
@@ -250,7 +272,24 @@ func (p *RouteResponse) Encode(w *bits.Writer) {
 	}
 }
 
+// Bits returns the exact encoded size of the response payload in
+// bits, mirroring Encode term by term.
+func (p *RouteResponse) Bits() int {
+	n := bits.UvarintLen(uint64(len(p.Results)))
+	for i := range p.Results {
+		res := &p.Results[i]
+		n += 2 + 1 // status + cached
+		n += bits.UvarintLen(uint64(res.Hops)) + bits.UvarintLen(uint64(res.MaxHeaderBits))
+		if res.Status == StatusOK {
+			n += 64 + 64 // cost + optimal
+		}
+	}
+	return n
+}
+
 // DecodeInto parses a response payload, reusing p.Results' capacity.
+//
+//determinlint:hotpath
 func (p *RouteResponse) DecodeInto(payload []byte, r *bits.Reader) error {
 	r.Reset(payload, 8*len(payload))
 	count, err := r.ReadUvarint()
@@ -321,6 +360,16 @@ func (p *SchemesResponse) Encode(w *bits.Writer) {
 	for _, name := range p.Names {
 		writeString(w, name)
 	}
+}
+
+// Bits returns the exact encoded size of the payload in bits,
+// mirroring Encode term by term.
+func (p *SchemesResponse) Bits() int {
+	n := bits.UvarintLen(uint64(p.N)) + bits.UvarintLen(p.Generation) + bits.UvarintLen(uint64(len(p.Names)))
+	for _, name := range p.Names {
+		n += bits.UvarintLen(uint64(len(name))) + 8*len(name)
+	}
+	return n
 }
 
 // DecodeInto parses the payload.

@@ -69,6 +69,9 @@ func TestRouteRequestRoundTrip(t *testing.T) {
 	var w bits.Writer
 	q := sampleRouteRequest()
 	q.Encode(&w)
+	if w.Len() != q.Bits() {
+		t.Fatalf("encoded %d bits, Bits() says %d", w.Len(), q.Bits())
+	}
 	var got RouteRequest
 	var r bits.Reader
 	if err := got.DecodeInto(w.Bytes(), &r); err != nil {
@@ -88,6 +91,9 @@ func TestRouteResponseRoundTrip(t *testing.T) {
 	var w bits.Writer
 	p := sampleRouteResponse()
 	p.Encode(&w)
+	if w.Len() != p.Bits() {
+		t.Fatalf("encoded %d bits, Bits() says %d", w.Len(), p.Bits())
+	}
 	var got RouteResponse
 	var r bits.Reader
 	if err := got.DecodeInto(w.Bytes(), &r); err != nil {
@@ -107,6 +113,9 @@ func TestSchemesResponseRoundTrip(t *testing.T) {
 	var w bits.Writer
 	p := sampleSchemes()
 	p.Encode(&w)
+	if w.Len() != p.Bits() {
+		t.Fatalf("encoded %d bits, Bits() says %d", w.Len(), p.Bits())
+	}
 	var got SchemesResponse
 	var r bits.Reader
 	if err := got.DecodeInto(w.Bytes(), &r); err != nil {

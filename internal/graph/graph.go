@@ -68,8 +68,11 @@ func (g *Graph) EdgeWeight(u, v int) (float64, bool) {
 // sorted by neighbor id, so per-transmission lookups (the dist engine
 // validates and weighs every message against the sender's adjacency)
 // cost O(log deg) instead of EdgeWeight's linear scan.
+//
+//determinlint:hotpath
 func (g *Graph) NeighborWeight(u, v int) (float64, bool) {
 	adj := g.adj[u]
+	//determinlint:allow hotpath the closure does not escape sort.Search and stays on the stack; the server alloc tests pin this path at 0 allocs/op
 	i := sort.Search(len(adj), func(k int) bool { return adj[k].To >= v })
 	if i < len(adj) && adj[i].To == v {
 		return adj[i].Weight, true

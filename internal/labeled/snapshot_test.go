@@ -1,0 +1,54 @@
+package labeled
+
+import (
+	"bytes"
+	"testing"
+
+	"compactrouting/internal/bits"
+)
+
+// TestSnapshotRoundTripSimple pins the Simple snapshot codec:
+// EncodeSnapshot → RestoreSimple → EncodeSnapshot must reproduce the
+// stream bit for bit (the save→load→save byte-identity the snapshot
+// plane depends on).
+func TestSnapshotRoundTripSimple(t *testing.T) {
+	f := geoFixture(t, 80, 41)
+	s, err := NewSimple(f.g, f.a, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bits.Writer
+	s.EncodeSnapshot(&w)
+	r := bits.NewReader(w.Bytes(), w.Len())
+	s2, err := RestoreSimple(r, f.g, f.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w2 bits.Writer
+	s2.EncodeSnapshot(&w2)
+	if w2.Len() != w.Len() || !bytes.Equal(w2.Bytes(), w.Bytes()) {
+		t.Fatalf("re-encode differs: %d bits vs %d", w2.Len(), w.Len())
+	}
+}
+
+// TestSnapshotRoundTripScaleFree is the same pin for the scale-free
+// scheme's snapshot codec.
+func TestSnapshotRoundTripScaleFree(t *testing.T) {
+	f := geoFixture(t, 80, 42)
+	s, err := NewScaleFree(f.g, f.a, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bits.Writer
+	s.EncodeSnapshot(&w)
+	r := bits.NewReader(w.Bytes(), w.Len())
+	s2, err := RestoreScaleFree(r, f.g, f.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w2 bits.Writer
+	s2.EncodeSnapshot(&w2)
+	if w2.Len() != w.Len() || !bytes.Equal(w2.Bytes(), w.Bytes()) {
+		t.Fatalf("re-encode differs: %d bits vs %d", w2.Len(), w.Len())
+	}
+}

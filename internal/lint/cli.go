@@ -5,20 +5,24 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"time"
 )
 
 // Main is the determinlint command driver (cmd/determinlint wraps it in
 // os.Exit). It loads every package in the module rooted at the
 // positional directory argument (default "."), runs the suite, and
 // prints file:line:col diagnostics. Exit codes: 0 clean, 1 findings,
-// 2 usage or load failure.
+// 2 usage or load failure (including a -maxwall overrun).
 func Main(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("determinlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	runFlag := fs.String("run", "", "comma-separated analyzer subset to run (default: the full suite)")
+	rulesFlag := fs.String("rules", "", "comma-separated analyzer subset to run (default: the full suite)")
+	runFlag := fs.String("run", "", "alias for -rules")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	timing := fs.Bool("timing", false, "print per-analyzer wall time and finding counts to stderr")
+	maxWall := fs.Duration("maxwall", 0, "fail (exit 2) when load+analysis exceeds this wall time (0 = no cap)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: determinlint [-run analyzer[,analyzer]] [-list] [module-dir]")
+		fmt.Fprintln(stderr, "usage: determinlint [-rules analyzer[,analyzer]] [-list] [-timing] [-maxwall duration] [module-dir]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -39,9 +43,19 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	suite := &Suite{Deterministic: func(path string) bool { return DeterministicPaths[path] }}
-	if *runFlag != "" {
-		anas, err := ByName(*runFlag)
+	suite := &Suite{
+		Deterministic: func(path string) bool { return DeterministicPaths[path] },
+		Goroutines:    func(path string) bool { return GoroutinePaths[path] },
+	}
+	subset := *rulesFlag
+	if subset == "" {
+		subset = *runFlag
+	} else if *runFlag != "" && *runFlag != subset {
+		fmt.Fprintln(stderr, "determinlint: -rules and -run disagree; pass one")
+		return 2
+	}
+	if subset != "" {
+		anas, err := ByName(subset)
 		if err != nil {
 			fmt.Fprintln(stderr, "determinlint:", err)
 			return 2
@@ -49,6 +63,7 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 		suite.Analyzers = anas
 	}
 
+	start := time.Now()
 	modPath, err := ReadModulePath(root)
 	if err != nil {
 		fmt.Fprintln(stderr, "determinlint:", err)
@@ -59,10 +74,23 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "determinlint:", err)
 		return 2
 	}
+	loadWall := time.Since(start)
 	diags := suite.Run(pkgs)
+	wall := time.Since(start)
+	if *timing {
+		fmt.Fprintf(stderr, "determinlint: load %s (%d packages)\n", loadWall.Round(time.Millisecond), len(pkgs))
+		for _, rt := range suite.Timings() {
+			fmt.Fprintf(stderr, "determinlint: %-14s %8s  %d finding(s)\n", rt.Name, rt.Duration.Round(time.Millisecond), rt.Findings)
+		}
+		fmt.Fprintf(stderr, "determinlint: total %s\n", wall.Round(time.Millisecond))
+	}
 	for _, d := range diags {
 		d.Pos.Filename = relIfPossible(root, d.Pos.Filename)
 		fmt.Fprintln(stdout, d)
+	}
+	if *maxWall > 0 && wall > *maxWall {
+		fmt.Fprintf(stderr, "determinlint: wall time %s exceeds -maxwall %s\n", wall.Round(time.Millisecond), *maxWall)
+		return 2
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "determinlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))

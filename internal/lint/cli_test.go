@@ -71,3 +71,83 @@ func TestMainList(t *testing.T) {
 		}
 	}
 }
+
+// TestMainPerRuleExitCodes runs each analyzer alone against the bad
+// module: every new rule has a dedicated violation there, and the
+// rules without one must stay clean.
+func TestMainPerRuleExitCodes(t *testing.T) {
+	dir := filepath.Join("testdata", "badmod")
+	for _, tc := range []struct {
+		rule string
+		code int
+	}{
+		{"maprange", 1},
+		{"hotpath", 1},
+		{"codecpair", 1},
+		{"goleak", 1},
+		{"lockorder", 1},
+		{"wallclock", 0},
+		{"parbody", 0},
+		{"guardedfield", 0},
+		{"floateq", 0},
+	} {
+		var out, errb strings.Builder
+		code := Main([]string{"-rules", tc.rule, dir}, &out, &errb)
+		if code != tc.code {
+			t.Errorf("-rules %s: exit code = %d, want %d\n%s%s", tc.rule, code, tc.code, out.String(), errb.String())
+			continue
+		}
+		if tc.code == 1 && !strings.Contains(out.String(), "["+tc.rule+"]") {
+			t.Errorf("-rules %s: diagnostics carry no [%s] tag:\n%s", tc.rule, tc.rule, out.String())
+		}
+	}
+}
+
+// TestMainRulesRunAlias checks that -run remains an alias for -rules
+// and that passing both with different subsets is a usage error.
+func TestMainRulesRunAlias(t *testing.T) {
+	dir := filepath.Join("testdata", "badmod")
+	var out, errb strings.Builder
+	if code := Main([]string{"-run", "hotpath", dir}, &out, &errb); code != 1 {
+		t.Fatalf("-run hotpath: exit code = %d, want 1\n%s%s", code, out.String(), errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := Main([]string{"-rules", "hotpath", "-run", "goleak", dir}, &out, &errb); code != 2 {
+		t.Fatalf("disagreeing -rules/-run: exit code = %d, want 2\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+// TestMainTiming checks the -timing report: one line per analyzer run
+// plus load and total lines, all on stderr.
+func TestMainTiming(t *testing.T) {
+	dir := filepath.Join("testdata", "badmod")
+	var out, errb strings.Builder
+	if code := Main([]string{"-timing", dir}, &out, &errb); code != 1 {
+		t.Fatalf("-timing: exit code = %d, want 1\n%s%s", code, out.String(), errb.String())
+	}
+	for _, want := range []string{"load", "total", "maprange", "hotpath", "codecpair", "goleak", "lockorder", "finding(s)"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("-timing stderr missing %q:\n%s", want, errb.String())
+		}
+	}
+	if strings.Contains(out.String(), "load ") {
+		t.Errorf("timing report leaked onto stdout:\n%s", out.String())
+	}
+}
+
+// TestMainMaxWall pins the wall-time cap: an impossible budget must
+// fail with exit 2 after still printing the diagnostics.
+func TestMainMaxWall(t *testing.T) {
+	dir := filepath.Join("testdata", "badmod")
+	var out, errb strings.Builder
+	if code := Main([]string{"-maxwall", "1ns", dir}, &out, &errb); code != 2 {
+		t.Fatalf("-maxwall 1ns: exit code = %d, want 2\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "exceeds -maxwall") {
+		t.Fatalf("missing overrun message:\n%s", errb.String())
+	}
+	if !strings.Contains(out.String(), "[maprange]") {
+		t.Fatalf("diagnostics suppressed by -maxwall:\n%s", out.String())
+	}
+}

@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CodecPair enforces the wire-codec contract in deterministic packages
+// (the PR 5 SFNI desync class, statically): a type with an
+// Encode(*bits.Writer)- or EncodeTo(*bits.Writer)-shaped method must
+// carry (a) a decode counterpart — a function or method whose name
+// starts with Decode/Parse/Read/Restore/Unmarshal and whose signature
+// mentions the type — and (b) a Bits() int method, so the
+// Writer.Len()==Bits() invariant has something to check against.
+//
+// Independently, every *exported* Encode-prefixed function or method in
+// a deterministic package must be reachable from a Test*/Fuzz*/
+// Benchmark* function in the same package, through a syntactic
+// name-based call graph over the package's source and test files. An
+// encoder no test reaches is an encoder whose decode twin can drift
+// silently.
+var CodecPair = &Analyzer{
+	Name: "codecpair",
+	Doc:  "bits.Writer encoders need a decode counterpart, Bits() int, and same-package test reachability",
+	Run:  runCodecPair,
+}
+
+var decodePrefixes = []string{"Decode", "Parse", "Read", "Restore", "Unmarshal"}
+
+func runCodecPair(p *Pass) {
+	if !p.Det {
+		return
+	}
+	// Pairing: writer-shaped encode methods need a decode twin and Bits.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			if fd.Name.Name != "Encode" && fd.Name.Name != "EncodeTo" {
+				continue
+			}
+			if !firstParamIsBitsWriter(p.Info, fd) {
+				continue
+			}
+			recv := namedRecvType(p.Info, fd)
+			if recv == nil {
+				continue
+			}
+			if !hasDecodeCounterpart(p, recv) {
+				p.Reportf(fd.Name.Pos(), "%s.%s has no decode counterpart: add a Decode/Parse/Read/Restore function mentioning %s", recv.Name(), fd.Name.Name, recv.Name())
+			}
+			if !hasBitsMethod(p.Pkg, recv) {
+				p.Reportf(fd.Name.Pos(), "%s.%s has no Bits() int method: the Writer.Len()==Bits() invariant needs a size accountant", recv.Name(), fd.Name.Name)
+			}
+		}
+	}
+	// Reachability: exported Encode* must be exercised in-package.
+	reached := testReachableNames(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if !strings.HasPrefix(name, "Encode") || !ast.IsExported(name) {
+				continue
+			}
+			if !reached[name] {
+				p.Reportf(fd.Name.Pos(), "%s is not reached by any Test/Fuzz/Benchmark in this package: pin the codec with a same-package round-trip or fuzz target", name)
+			}
+		}
+	}
+}
+
+// firstParamIsBitsWriter matches the Encode(*bits.Writer, ...) shape.
+func firstParamIsBitsWriter(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil || len(fd.Type.Params.List) == 0 {
+		return false
+	}
+	t := info.TypeOf(fd.Type.Params.List[0].Type)
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := ptr.Elem().(*types.Named)
+	if !ok || n.Obj().Name() != "Writer" || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == "bits" || strings.HasSuffix(path, "/bits")
+}
+
+// namedRecvType resolves the receiver's named type.
+func namedRecvType(info *types.Info, fd *ast.FuncDecl) *types.TypeName {
+	if len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// hasDecodeCounterpart scans the package's declarations for a
+// decode-shaped function whose signature mentions the encoded type.
+func hasDecodeCounterpart(p *Pass, recv *types.TypeName) bool {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if !hasAnyPrefix(fd.Name.Name, decodePrefixes) {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				if signatureMentions(obj.Type().(*types.Signature), recv) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func hasAnyPrefix(s string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// signatureMentions reports whether the type named by recv appears
+// anywhere in the signature (receiver, params, or results), behind any
+// nesting of pointers, slices, arrays, or maps.
+func signatureMentions(sig *types.Signature, recv *types.TypeName) bool {
+	if sig.Recv() != nil && typeMentions(sig.Recv().Type(), recv, 0) {
+		return true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if typeMentions(sig.Params().At(i).Type(), recv, 0) {
+			return true
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if typeMentions(sig.Results().At(i).Type(), recv, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeMentions(t types.Type, recv *types.TypeName, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	switch u := t.(type) {
+	case *types.Named:
+		return u.Obj() == recv
+	case *types.Pointer:
+		return typeMentions(u.Elem(), recv, depth+1)
+	case *types.Slice:
+		return typeMentions(u.Elem(), recv, depth+1)
+	case *types.Array:
+		return typeMentions(u.Elem(), recv, depth+1)
+	case *types.Map:
+		return typeMentions(u.Key(), recv, depth+1) || typeMentions(u.Elem(), recv, depth+1)
+	}
+	return false
+}
+
+// hasBitsMethod reports whether T or *T has a Bits() int method.
+func hasBitsMethod(pkg *types.Package, recv *types.TypeName) bool {
+	t := recv.Type()
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		obj, _, _ := types.LookupFieldOrMethod(typ, true, pkg, "Bits")
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+			if b, ok := sig.Results().At(0).Type().(*types.Basic); ok && b.Kind() == types.Int {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// testReachableNames computes the set of declaration names reachable
+// from Test*/Fuzz*/Benchmark* roots through a syntactic call graph over
+// the package's source and (parsed, un-type-checked) test files.
+// Same-named declarations merge into one node — a deliberate
+// overapproximation that keeps the walk resolution-free.
+func testReachableNames(p *Pass) map[string]bool {
+	pkg := p.suite.index().packageOf(p.Path)
+	all := p.Files
+	if pkg != nil {
+		all = append(append([]*ast.File{}, p.Files...), pkg.TestFiles...)
+	}
+	declared := map[string]bool{}
+	mentions := map[string][]string{} // decl name -> names referenced in its body
+	var roots []string
+	for _, f := range all {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			declared[name] = true
+			var refs []string
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.Ident:
+					refs = append(refs, e.Name)
+				case *ast.SelectorExpr:
+					refs = append(refs, e.Sel.Name)
+				}
+				return true
+			})
+			mentions[name] = append(mentions[name], refs...)
+			if hasAnyPrefix(name, []string{"Test", "Fuzz", "Benchmark"}) {
+				roots = append(roots, name)
+			}
+		}
+	}
+	reached := map[string]bool{}
+	queue := roots
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		if reached[name] {
+			continue
+		}
+		reached[name] = true
+		for _, ref := range mentions[name] {
+			if declared[ref] && !reached[ref] {
+				queue = append(queue, ref)
+			}
+		}
+	}
+	return reached
+}

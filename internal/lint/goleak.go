@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoLeak requires every go statement in a concurrency-bearing package
+// (GoroutinePaths, or any package carrying //determinlint:goroutines)
+// to show its join or cancel in the source — the PR 2 detached-forward
+// leak class. A goroutine passes when any of these holds:
+//
+//   - WaitGroup pairing: the spawning function calls WaitGroup.Add and
+//     the goroutine body (or, for `go s.method()`, the method's body)
+//     contains the matching Done;
+//   - channel join: the body sends on or closes a channel that the
+//     spawning function receives from (directly, in a select, or by
+//     range);
+//   - cancel tie: the body itself receives from a channel (a done/stop
+//     channel or ctx.Done() select), so shutdown reaches it;
+//   - an explicit `// joined by <what>` comment on the go statement or
+//     the line above, for lifetimes managed elsewhere.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "go statements must show a join or cancel: WaitGroup pairing, channel join, or a `// joined by` note",
+	Run:  runGoLeak,
+}
+
+const joinedByMarker = "joined by "
+
+func runGoLeak(p *Pass) {
+	if !p.Goleak {
+		return
+	}
+	joined := collectJoinedComments(p)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			line := p.Fset.Position(g.Pos()).Line
+			file := p.Fset.Position(g.Pos()).Filename
+			if joined[file][line] || joined[file][line-1] {
+				return true
+			}
+			if goStmtJoined(p, g) {
+				return true
+			}
+			p.Reportf(g.Pos(), "fire-and-forget goroutine: pair it with a WaitGroup, join it through a channel, or note its owner with `// joined by <what>`")
+			return true
+		})
+	}
+}
+
+// collectJoinedComments indexes `// joined by <what>` comments by file
+// and line. A marker anywhere in a comment group also marks the
+// group's last line, so a wrapped explanation still ties to the go
+// statement directly below the group.
+func collectJoinedComments(p *Pass) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	mark := func(file string, line int) {
+		if out[file] == nil {
+			out[file] = map[int]bool{}
+		}
+		out[file][line] = true
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), "//"))
+				if !strings.HasPrefix(text, joinedByMarker) || strings.TrimSpace(strings.TrimPrefix(text, joinedByMarker)) == "" {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				mark(pos.Filename, pos.Line)
+				mark(pos.Filename, p.Fset.Position(cg.End()).Line)
+			}
+		}
+	}
+	return out
+}
+
+// goStmtJoined applies the structural join checks.
+func goStmtJoined(p *Pass, g *ast.GoStmt) bool {
+	encl := enclosingFunc(p.Files, g.Pos())
+	var enclBody *ast.BlockStmt
+	switch e := encl.(type) {
+	case *ast.FuncDecl:
+		enclBody = e.Body
+	case *ast.FuncLit:
+		enclBody = e.Body
+	}
+	// The goroutine's body: the func literal's body, or the resolved
+	// callee's body for `go f(...)` / `go s.method(...)`.
+	var body ast.Node
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if key := p.suite.index().calleeKeyIn(p.Info, g.Call); key != "" {
+		if fi := p.suite.index().funcs[key]; fi != nil {
+			body = fi.decl.Body
+		}
+	}
+	if body == nil {
+		return false
+	}
+	// WaitGroup pairing: Add in the spawner, Done in the body.
+	if enclBody != nil && containsWaitGroupCall(p.Info, enclBody, "Add") {
+		info := p.Info
+		if fi := calleeDeclInfo(p, g); fi != nil {
+			info = fi.pkg.Info
+		}
+		if containsWaitGroupCall(info, body, "Done") {
+			return true
+		}
+	}
+	// Cancel tie: the body receives from some channel (done/stop/ctx).
+	if containsReceive(body, "") {
+		return true
+	}
+	// Channel join: the body sends on or closes a channel the spawner
+	// receives from outside the go statement.
+	if enclBody != nil {
+		for _, ch := range channelsWrittenBy(p.Info, body) {
+			if receivesFrom(enclBody, g, ch) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func calleeDeclInfo(p *Pass, g *ast.GoStmt) *declInfo {
+	if key := p.suite.index().calleeKeyIn(p.Info, g.Call); key != "" {
+		return p.suite.index().funcs[key]
+	}
+	return nil
+}
+
+// containsWaitGroupCall reports a sync.WaitGroup method call by the
+// given name anywhere in the subtree (including nested closures, where
+// deferred Done calls usually live).
+func containsWaitGroupCall(info *types.Info, n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != name {
+			return !found
+		}
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				t := sig.Recv().Type()
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if named, ok := t.(*types.Named); ok {
+					obj := named.Obj()
+					if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// containsReceive reports a channel receive in the subtree; when want
+// is non-empty only receives from that exact expression (by source
+// text) count.
+func containsReceive(n ast.Node, want string) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				if want == "" || types.ExprString(ast.Unparen(e.X)) == want {
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			if want != "" && types.ExprString(ast.Unparen(e.X)) == want {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// channelsWrittenBy lists (as source text) the channels the goroutine
+// body sends on or closes.
+func channelsWrittenBy(info *types.Info, body ast.Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(e ast.Expr) {
+		s := types.ExprString(ast.Unparen(e))
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SendStmt:
+			add(e.Chan)
+		case *ast.CallExpr:
+			if isBuiltinCall(info, e, "close") && len(e.Args) == 1 {
+				add(e.Args[0])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// receivesFrom reports whether the enclosing body receives from ch
+// somewhere outside the go statement itself.
+func receivesFrom(enclBody *ast.BlockStmt, g *ast.GoStmt, ch string) bool {
+	found := false
+	ast.Inspect(enclBody, func(n ast.Node) bool {
+		if n == nil || found {
+			return false
+		}
+		if n == g {
+			return false // skip the goroutine's own subtree
+		}
+		switch e := n.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW && types.ExprString(ast.Unparen(e.X)) == ch {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if types.ExprString(ast.Unparen(e.X)) == ch {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

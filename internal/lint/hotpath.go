@@ -1,0 +1,508 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath enforces the zero-allocation contract on functions annotated
+// //determinlint:hotpath: the annotated body, and transitively every
+// un-annotated in-module function it calls, must be free of
+// allocation-shaped source patterns — make/new, appends that may grow a
+// different slice than they reuse, map writes, closures, goroutine
+// spawns, fmt-style calls, interface boxing, and string conversions.
+//
+// Calls are resolved through go/types. A callee is acceptable when it
+// is (a) itself annotated hotpath (checked by its own pass), (b) an
+// in-module function whose body verifies allocation-free to a bounded
+// depth, or (c) on a small stdlib allowlist (sync/atomic, mutex ops,
+// time.Now/Since, math, encoding/binary, errors.Is, sort.Search).
+// Dynamic calls are trusted only through func-typed struct fields
+// annotated //determinlint:hotpath — the runtime AllocsPerRun pins
+// cover what the static walk cannot see through the indirection.
+//
+// Two amortized idioms pass: self-appends (x = append(x, ...) and
+// x = append(x[:0], ...)), and make under an if-guard whose condition
+// consults cap (grow-once buffers). Error paths are exempt: an if-block
+// ending in a return that carries a non-nil error value may allocate
+// (errors are off the hot path by construction), and panic arguments
+// may format freely.
+var HotPath = &Analyzer{
+	Name: hotpathRuleName,
+	Doc:  "functions annotated //determinlint:hotpath must be transitively allocation-free",
+	Run:  runHotPath,
+}
+
+const hotpathRuleName = "hotpath"
+
+const hotpathMaxDepth = 10
+
+// hpViolation is one allocation-shaped pattern found in a body.
+type hpViolation struct {
+	pos token.Pos
+	msg string
+}
+
+// hpResult is a memoized verdict on an un-annotated function.
+type hpResult struct {
+	ok  bool
+	pos token.Pos
+	msg string
+}
+
+func runHotPath(p *Pass) {
+	x := p.suite.index()
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !commentHasDirective(fd.Doc, hotpathDirective) {
+				continue
+			}
+			pkg := x.packageOf(p.Path)
+			if pkg == nil {
+				continue
+			}
+			for _, v := range x.hotpathViolations(pkg, fd.Body, 0, map[string]bool{}) {
+				p.Reportf(v.pos, "%s", v.msg)
+			}
+		}
+	}
+}
+
+func (x *modIndex) packageOf(path string) *Package {
+	for _, pkg := range x.suite.pkgs {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// probeAllocFree verifies an un-annotated in-module function's body,
+// memoizing the verdict. Recursion is treated optimistically (a cycle
+// member is judged by its other statements), and chains deeper than
+// hotpathMaxDepth fail closed with an annotation hint.
+func (x *modIndex) probeAllocFree(key string, depth int, stack map[string]bool) *hpResult {
+	if r, ok := x.probes[key]; ok {
+		return r
+	}
+	if stack[key] {
+		return &hpResult{ok: true}
+	}
+	fi := x.funcs[key]
+	if fi == nil {
+		return &hpResult{ok: false, msg: "body is outside the module"}
+	}
+	if depth > hotpathMaxDepth {
+		return &hpResult{ok: false, msg: fmt.Sprintf("call chain deeper than %d; annotate an intermediate function //determinlint:hotpath", hotpathMaxDepth)}
+	}
+	stack[key] = true
+	violations := x.hotpathViolations(fi.pkg, fi.decl.Body, depth, stack)
+	delete(stack, key)
+	r := &hpResult{ok: true}
+	for _, v := range violations {
+		if x.suite.allowed(hotpathRuleName, fi.pkg.Fset.Position(v.pos)) {
+			continue
+		}
+		r = &hpResult{ok: false, pos: v.pos, msg: v.msg}
+		break
+	}
+	x.probes[key] = r
+	return r
+}
+
+// hotpathViolations walks one function body and returns every
+// allocation-shaped pattern in it. Used both directly (annotated
+// functions report each violation) and as a probe (un-annotated callees
+// fail on the first unsuppressed one).
+func (x *modIndex) hotpathViolations(pkg *Package, body *ast.BlockStmt, depth int, stack map[string]bool) []hpViolation {
+	info := pkg.Info
+	var (
+		skip    []posRange // error-return blocks and panic arguments
+		capOK   []posRange // if-bodies guarded by a cap() check
+		okCalls = map[*ast.CallExpr]bool{}
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			if isErrorReturnBlock(info, s.Body) {
+				skip = append(skip, posRange{s.Body.Pos(), s.Body.End()})
+			}
+			if condMentionsCap(info, s.Cond) {
+				capOK = append(capOK, posRange{s.Body.Pos(), s.Body.End()})
+			}
+		case *ast.CallExpr:
+			if isBuiltinCall(info, s, "panic") {
+				skip = append(skip, posRange{s.Lparen, s.Rparen})
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				break
+			}
+			for i, rhs := range s.Rhs {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltinCall(info, call, "append") &&
+					len(call.Args) > 0 && sameSliceBase(s.Lhs[i], call.Args[0]) {
+					okCalls[call] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && isBuiltinCall(info, call, "append") &&
+					len(call.Args) > 0 && isPlainSliceExpr(call.Args[0]) {
+					okCalls[call] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var out []hpViolation
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, hpViolation{pos: pos, msg: fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if within(skip, n.Pos()) {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			report(e.Pos(), "closure in hot path: func literals capture and may allocate")
+			return false
+		case *ast.GoStmt:
+			report(e.Pos(), "go statement in hot path: spawning a goroutine allocates")
+			return false
+		case *ast.AssignStmt:
+			x.checkHotAssign(info, e, report)
+		case *ast.IncDecStmt:
+			if idx, ok := ast.Unparen(e.X).(*ast.IndexExpr); ok && isMapIndex(info, idx) {
+				report(e.Pos(), "map write in hot path: map assignment may allocate (rehash)")
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[e]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(e.Pos(), "slice literal in hot path allocates")
+				case *types.Map:
+					report(e.Pos(), "map literal in hot path allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					report(e.Pos(), "&composite literal in hot path may escape to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				if t := info.TypeOf(e.X); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(e.Pos(), "string concatenation in hot path allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if okCalls[e] {
+				return true // self-append: walk args only
+			}
+			if v := x.checkHotCall(pkg, e, depth, stack, capOK); v != nil {
+				out = append(out, *v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkHotAssign flags map writes and implicit interface boxing in
+// single-value assignments.
+func (x *modIndex) checkHotAssign(info *types.Info, a *ast.AssignStmt, report func(token.Pos, string, ...any)) {
+	for _, lhs := range a.Lhs {
+		if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isMapIndex(info, idx) {
+			report(lhs.Pos(), "map write in hot path: map assignment may allocate (rehash)")
+		}
+	}
+	if a.Tok != token.ASSIGN || len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, lhs := range a.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		lt, rt := info.TypeOf(lhs), info.TypeOf(a.Rhs[i])
+		if lt == nil || rt == nil {
+			continue
+		}
+		if isIfaceType(lt) && !isIfaceType(rt) && !isUntypedNil(rt) {
+			report(a.Rhs[i].Pos(), "interface boxing in hot path: assigning %s into %s allocates", rt, lt)
+		}
+	}
+}
+
+// checkHotCall applies the callee policy to one call expression.
+func (x *modIndex) checkHotCall(pkg *Package, call *ast.CallExpr, depth int, stack map[string]bool, capOK []posRange) *hpViolation {
+	info := pkg.Info
+	// Conversions.
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return nil
+		}
+		at := info.TypeOf(call.Args[0])
+		if at == nil {
+			return nil
+		}
+		if isIfaceType(tv.Type) && !isIfaceType(at) && !isUntypedNil(at) {
+			return &hpViolation{call.Pos(), fmt.Sprintf("interface boxing in hot path: converting %s to %s allocates", at, tv.Type)}
+		}
+		if isStringSliceConv(tv.Type, at) {
+			return &hpViolation{call.Pos(), "string<->[]byte conversion in hot path copies and allocates"}
+		}
+		return nil
+	}
+	fun := ast.Unparen(call.Fun)
+	switch e := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(e.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(e.X)
+	}
+	var obj types.Object
+	switch e := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		// Call of a call result or similar; any allocation inside was
+		// already flagged where it appears.
+		return nil
+	}
+	switch fn := obj.(type) {
+	case *types.Builtin:
+		switch fn.Name() {
+		case "make":
+			if within(capOK, call.Pos()) {
+				return nil // grow-once buffer under a cap() guard
+			}
+			return &hpViolation{call.Pos(), "make in hot path allocates (grow-once buffers belong under a cap() guard)"}
+		case "new":
+			return &hpViolation{call.Pos(), "new in hot path allocates"}
+		case "append":
+			return &hpViolation{call.Pos(), "append in hot path may grow: only self-appends (x = append(x, ...)) are allocation-amortized"}
+		case "print", "println":
+			return &hpViolation{call.Pos(), fmt.Sprintf("%s in hot path allocates", fn.Name())}
+		}
+		return nil
+	case *types.Func:
+		return x.checkHotCallee(pkg, call, fn, depth, stack)
+	case *types.Var:
+		if x.hotFields[obj] {
+			return nil // annotated func-typed field: trusted indirection
+		}
+		return &hpViolation{call.Pos(), fmt.Sprintf("dynamic call through %s in hot path: annotate the func field //determinlint:hotpath or call directly", obj.Name())}
+	case nil:
+		return nil
+	}
+	return nil
+}
+
+func (x *modIndex) checkHotCallee(pkg *Package, call *ast.CallExpr, fn *types.Func, depth int, stack map[string]bool) *hpViolation {
+	fn = fn.Origin()
+	key, hasKey := funcKeyOf(fn)
+	if hasKey && x.hotAnn[key] {
+		return nil // annotated: its own pass checks the body
+	}
+	fpkg := fn.Pkg()
+	if fpkg == nil {
+		// Universe-scope methods (error.Error): allocation-free.
+		return nil
+	}
+	if x.stdlibAllowed(fpkg.Path(), fn.Name()) {
+		return nil
+	}
+	if fpkg.Path() == "fmt" {
+		return &hpViolation{call.Pos(), fmt.Sprintf("fmt.%s in hot path allocates (format machinery)", fn.Name())}
+	}
+	if hasKey {
+		if _, inModule := x.funcs[key]; inModule {
+			r := x.probeAllocFree(key, depth+1, stack)
+			if r.ok {
+				return nil
+			}
+			where := ""
+			if r.pos.IsValid() {
+				p := pkg.Fset.Position(r.pos)
+				where = fmt.Sprintf(" (%s:%d)", p.Filename, p.Line)
+			}
+			return &hpViolation{call.Pos(), fmt.Sprintf("call to %s is not allocation-free: %s%s", fmtKey(key), r.msg, where)}
+		}
+	}
+	if isIfaceOrTypeParamRecv(fn) {
+		return &hpViolation{call.Pos(), fmt.Sprintf("call to un-annotated interface method %s in hot path: annotate it //determinlint:hotpath on the interface", fn.Name())}
+	}
+	return &hpViolation{call.Pos(), fmt.Sprintf("call to %s.%s in hot path is not on the allocation-free allowlist", fpkg.Path(), fn.Name())}
+}
+
+// stdlibAllowed is the closed list of out-of-module calls known not to
+// allocate on any path the hot loop takes.
+func (x *modIndex) stdlibAllowed(pkgPath, name string) bool {
+	switch pkgPath {
+	case "sync/atomic", "math", "math/bits", "encoding/binary":
+		return true
+	case "sync":
+		switch name {
+		case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+			return true
+		}
+	case "time":
+		switch name {
+		case "Now", "Since", "Until", "Microseconds", "Milliseconds", "Nanoseconds", "Seconds":
+			return true
+		}
+	case "errors":
+		return name == "Is"
+	case "sort":
+		return name == "Search" || name == "SearchInts"
+	}
+	return false
+}
+
+// posRange is a half-open source region used to prune exempt subtrees.
+type posRange struct{ lo, hi token.Pos }
+
+func within(rs []posRange, pos token.Pos) bool {
+	for _, r := range rs {
+		if pos >= r.lo && pos <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+var errIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorReturnBlock reports whether block ends in a return carrying a
+// non-nil error-typed result — the shape of a cold error path.
+func isErrorReturnBlock(info *types.Info, block *ast.BlockStmt) bool {
+	if block == nil || len(block.List) == 0 {
+		return false
+	}
+	ret, ok := block.List[len(block.List)-1].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, r := range ret.Results {
+		t := info.TypeOf(r)
+		if t == nil || isUntypedNil(t) {
+			continue
+		}
+		if types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface) {
+			return true
+		}
+	}
+	return false
+}
+
+func condMentionsCap(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltinCall(info, call, "cap") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// sameSliceBase reports whether the append destination lhs and the
+// append's first argument name the same slice (directly or through a
+// reslice like x[:0]).
+func sameSliceBase(lhs, arg ast.Expr) bool {
+	base := ast.Unparen(arg)
+	if se, ok := base.(*ast.SliceExpr); ok {
+		base = se.X
+	}
+	return types.ExprString(ast.Unparen(lhs)) == types.ExprString(ast.Unparen(base))
+}
+
+// isPlainSliceExpr accepts an identifier or selector (possibly
+// resliced) as an append base in return position: the caller passed the
+// buffer in, so growth is amortized across reuse.
+func isPlainSliceExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if se, ok := e.(*ast.SliceExpr); ok {
+		e = se.X
+	}
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		return true
+	}
+	return false
+}
+
+func isMapIndex(info *types.Info, idx *ast.IndexExpr) bool {
+	t := info.TypeOf(idx.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isIfaceType(t types.Type) bool {
+	return types.IsInterface(t)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isStringSliceConv(dst, src types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isByteSlice(src)) || (isByteSlice(dst) && isStr(src))
+}
+
+func isIfaceOrTypeParamRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch u := t.(type) {
+	case *types.Interface, *types.TypeParam:
+		_ = u
+		return true
+	case *types.Named:
+		_, isI := u.Underlying().(*types.Interface)
+		return isI
+	}
+	return false
+}

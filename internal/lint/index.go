@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// modIndex is the lazily built module-wide view the call-graph rules
+// (hotpath, lockorder) share: every function declaration keyed for
+// cross-package lookup, the set of //determinlint:hotpath annotations,
+// and memoized verification results. One index serves one Suite.Run.
+type modIndex struct {
+	suite *Suite
+	// funcs maps funcKey -> declaration for every FuncDecl with a body.
+	funcs map[string]*declInfo
+	// hotAnn marks funcKeys carrying //determinlint:hotpath: FuncDecls
+	// and interface methods. Calls to them are trusted, and their own
+	// bodies are checked directly by the hotpath pass.
+	hotAnn map[string]bool
+	// hotFields marks func-typed struct fields annotated hotpath; a
+	// dynamic call through such a field is trusted (the runtime
+	// AllocsPerRun pins cover what static analysis cannot see through
+	// the indirection).
+	hotFields map[types.Object]bool
+	// lockClass names every sync.Mutex/RWMutex struct field
+	// "pkg.Struct.field" for lock-order tracking.
+	lockClass map[types.Object]string
+
+	probes map[string]*hpResult // memoized allocation-free verdicts
+
+	lockOnce  bool
+	lockDiags map[string][]posDiag // package path -> pending lockorder reports
+	lockSets  map[string]map[string]token.Pos
+}
+
+// declInfo is one indexed function declaration.
+type declInfo struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// posDiag is a report computed module-wide, held until the owning
+// package's pass emits it (so allow directives and sorting work the
+// same as for per-package rules).
+type posDiag struct {
+	pos token.Pos
+	msg string
+}
+
+// index builds (once per Run) the module-wide declaration index.
+func (s *Suite) index() *modIndex {
+	if s.idx != nil {
+		return s.idx
+	}
+	x := &modIndex{
+		suite:     s,
+		funcs:     make(map[string]*declInfo),
+		hotAnn:    make(map[string]bool),
+		hotFields: make(map[types.Object]bool),
+		lockClass: make(map[types.Object]string),
+		probes:    make(map[string]*hpResult),
+	}
+	for _, pkg := range s.pkgs {
+		x.indexPackage(pkg)
+	}
+	s.idx = x
+	return x
+}
+
+func (x *modIndex) indexPackage(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				key := pkg.Path + "\x00" + astRecvName(d) + "\x00" + d.Name.Name
+				x.funcs[key] = &declInfo{decl: d, pkg: pkg}
+				if commentHasDirective(d.Doc, hotpathDirective) {
+					x.hotAnn[key] = true
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					x.indexTypeSpec(pkg, ts)
+				}
+			}
+		}
+	}
+}
+
+func (x *modIndex) indexTypeSpec(pkg *Package, ts *ast.TypeSpec) {
+	switch t := ts.Type.(type) {
+	case *ast.InterfaceType:
+		for _, field := range t.Methods.List {
+			if len(field.Names) == 0 {
+				continue // embedded interface
+			}
+			if commentHasDirective(field.Doc, hotpathDirective) || commentHasDirective(field.Comment, hotpathDirective) {
+				for _, name := range field.Names {
+					x.hotAnn[pkg.Path+"\x00"+ts.Name.Name+"\x00"+name.Name] = true
+				}
+			}
+		}
+	case *ast.StructType:
+		for _, field := range t.Fields.List {
+			for _, name := range field.Names {
+				obj := pkg.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if isSyncMutexType(obj.Type()) {
+					x.lockClass[obj] = pkg.Path + "." + ts.Name.Name + "." + name.Name
+				}
+				if _, isFunc := obj.Type().Underlying().(*types.Signature); isFunc &&
+					(commentHasDirective(field.Doc, hotpathDirective) || commentHasDirective(field.Comment, hotpathDirective)) {
+					x.hotFields[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// funcKeyOf derives the cross-package lookup key for a resolved callee.
+// Generic instantiations normalize through Origin; methods reached
+// through a type parameter key on the parameter's named constraint, so
+// a call on `h H` with `H Header` matches an annotation on the Header
+// interface method.
+func funcKeyOf(fn *types.Func) (string, bool) {
+	fn = fn.Origin()
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv = recvTypeName(sig.Recv().Type())
+	}
+	return pkg.Path() + "\x00" + recv + "\x00" + fn.Name(), true
+}
+
+func recvTypeName(t types.Type) string {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u.Obj().Name()
+		case *types.Interface:
+			return ""
+		case *types.TypeParam:
+			if n, ok := u.Constraint().(*types.Named); ok {
+				return n.Obj().Name()
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// astRecvName extracts the receiver type's bare name from a FuncDecl,
+// stripping pointers and type-parameter brackets.
+func astRecvName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr:
+			t = u.X
+		case *ast.IndexListExpr:
+			t = u.X
+		case *ast.Ident:
+			return u.Name
+		case *ast.ParenExpr:
+			t = u.X
+		default:
+			return ""
+		}
+	}
+}
+
+func commentHasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncMutexType reports whether t (possibly behind a pointer) is
+// sync.Mutex or sync.RWMutex.
+func isSyncMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// calleeFunc resolves a call expression to its *types.Func if the
+// callee is statically known, unwrapping generic instantiation syntax.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch e := fun.(type) {
+	case *ast.IndexExpr:
+		fun = e.X
+	case *ast.IndexListExpr:
+		fun = e.X
+	}
+	var obj types.Object
+	switch e := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// calleeKeyIn resolves a call to its in-module funcKey, or "" when the
+// callee is dynamic, out-of-module, or bodiless.
+func (x *modIndex) calleeKeyIn(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	key, ok := funcKeyOf(fn)
+	if !ok {
+		return ""
+	}
+	if _, in := x.funcs[key]; !in {
+		return ""
+	}
+	return key
+}
+
+func fmtKey(key string) string {
+	parts := strings.SplitN(key, "\x00", 3)
+	if len(parts) != 3 {
+		return key
+	}
+	if parts[1] == "" {
+		return parts[0] + "." + parts[2]
+	}
+	return fmt.Sprintf("%s.%s.%s", parts[0], parts[1], parts[2])
+}

@@ -18,6 +18,20 @@
 //     guard modes)
 //   - floateq:      ==/!= between floating-point values outside
 //     approved helpers and exact-zero sentinels
+//   - hotpath:      functions annotated //determinlint:hotpath must be
+//     transitively allocation-free (no make/new/map writes/closures/
+//     growing appends/interface boxing/fmt, and every callee either
+//     annotated, verifiably clean, or allowlisted)
+//   - codecpair:    a type with an Encode(*bits.Writer) method must
+//     carry a decode counterpart and Bits() int; every exported
+//     Encode* in a deterministic package must be reachable from a
+//     Test/Fuzz/Benchmark function in the same package
+//   - goleak:       go statements in concurrency-bearing packages must
+//     show a join or cancel (WaitGroup Add/Done pairing, channel the
+//     spawner receives from, body tied to a done channel, or a
+//     `// joined by <what>` annotation)
+//   - lockorder:    cycles in the mutex-acquisition graph, and
+//     lock-held calls into exported functions that themselves lock
 //
 // Findings are suppressed with a directive on the offending line or
 // the line above:
@@ -45,6 +59,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named source check.
@@ -62,6 +77,10 @@ func All() []*Analyzer {
 		ParBody,
 		GuardedField,
 		FloatEq,
+		HotPath,
+		CodecPair,
+		GoLeak,
+		LockOrder,
 	}
 }
 
@@ -122,8 +141,11 @@ type Pass struct {
 	Info     *types.Info
 	Path     string // import path
 	// Det marks packages bound by the deterministic ruleset (maprange,
-	// wallclock, floateq). parbody and guardedfield apply everywhere.
+	// wallclock, floateq, codecpair). parbody and guardedfield apply
+	// everywhere.
 	Det bool
+	// Goleak marks packages bound by the goroutine-join rule.
+	Goleak bool
 
 	suite *Suite
 }
@@ -147,7 +169,9 @@ const (
 	directivePrefix   = "//determinlint:"
 	allowDirective    = "//determinlint:allow"
 	detPkgDirective   = "//determinlint:deterministic"
-	directiveRuleName = "directive" // pseudo-rule for malformed/stale directives
+	hotpathDirective  = "//determinlint:hotpath"    // on a func decl, interface method, or func-typed field
+	goroutinesDir     = "//determinlint:goroutines" // file-level opt-in to the goleak rule
+	directiveRuleName = "directive"                 // pseudo-rule for malformed/stale directives
 )
 
 // allow is one parsed //determinlint:allow directive.
@@ -166,10 +190,30 @@ type Suite struct {
 	// by the deterministic ruleset, beyond those carrying the
 	// //determinlint:deterministic directive.
 	Deterministic func(path string) bool
+	// Goroutines marks additional packages (by import path) as bound by
+	// the goleak rule, beyond those carrying the
+	// //determinlint:goroutines directive (the repo pins its
+	// concurrency-bearing packages in GoroutinePaths).
+	Goroutines func(path string) bool
 
-	diags  []Diagnostic
-	allows map[string]map[int][]*allow // filename -> line -> directives
+	diags   []Diagnostic
+	allows  map[string]map[int][]*allow // filename -> line -> directives
+	pkgs    []*Package                  // the packages of the current Run, for cross-package passes
+	idx     *modIndex                   // lazy module-wide call-graph index
+	timings []RuleTiming
 }
+
+// RuleTiming is one analyzer's cost and yield over a full Run.
+type RuleTiming struct {
+	Name     string
+	Duration time.Duration
+	Findings int
+}
+
+// Timings reports per-analyzer wall time and finding counts for the
+// most recent Run, in All() order (plus the directive pseudo-rule when
+// it fired).
+func (s *Suite) Timings() []RuleTiming { return s.timings }
 
 // DeterministicPaths is the repo's pinned set of deterministic
 // packages: every package whose output feeds a bit-accounted,
@@ -192,6 +236,19 @@ var DeterministicPaths = map[string]bool{
 	"compactrouting/internal/snapshot":  true,
 }
 
+// GoroutinePaths is the repo's pinned set of packages bound by the
+// goleak rule: everywhere a detached goroutine could outlive the work
+// it serves (the serving plane, the CONGEST simulator, fault
+// experiments, the worker pool, and the long-running binaries).
+var GoroutinePaths = map[string]bool{
+	"compactrouting/internal/server":   true,
+	"compactrouting/internal/dist":     true,
+	"compactrouting/internal/faultsim": true,
+	"compactrouting/internal/par":      true,
+	"compactrouting/cmd/routed":        true,
+	"compactrouting/cmd/routeload":     true,
+}
+
 // Run executes the suite and returns the findings sorted by position.
 // Malformed directives and — when the full suite is running — stale
 // (unused) allow directives are reported under the pseudo-rule
@@ -203,6 +260,9 @@ func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 	}
 	s.diags = nil
 	s.allows = make(map[string]map[int][]*allow)
+	s.pkgs = pkgs
+	s.idx = nil
+	elapsed := make(map[string]time.Duration, len(anas))
 	for _, pkg := range pkgs {
 		s.collectDirectives(pkg)
 	}
@@ -211,7 +271,12 @@ func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 		if !det && s.Deterministic != nil {
 			det = s.Deterministic(pkg.Path)
 		}
+		goleak := hasFileDirective(pkg, goroutinesDir)
+		if !goleak && s.Goroutines != nil {
+			goleak = s.Goroutines(pkg.Path)
+		}
 		for _, a := range anas {
+			start := time.Now()
 			a.Run(&Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -220,12 +285,25 @@ func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 				Info:     pkg.Info,
 				Path:     pkg.Path,
 				Det:      det,
+				Goleak:   goleak,
 				suite:    s,
 			})
+			elapsed[a.Name] += time.Since(start)
 		}
 	}
 	if len(anas) == len(All()) {
 		s.reportUnusedAllows()
+	}
+	s.timings = s.timings[:0]
+	counts := make(map[string]int)
+	for _, d := range s.diags {
+		counts[d.Analyzer]++
+	}
+	for _, a := range anas {
+		s.timings = append(s.timings, RuleTiming{Name: a.Name, Duration: elapsed[a.Name], Findings: counts[a.Name]})
+	}
+	if counts[directiveRuleName] > 0 {
+		s.timings = append(s.timings, RuleTiming{Name: directiveRuleName, Findings: counts[directiveRuleName]})
 	}
 	sort.Slice(s.diags, func(i, j int) bool {
 		a, b := s.diags[i], s.diags[j]
@@ -259,13 +337,13 @@ func (s *Suite) collectDirectives(pkg *Package) {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				if text == detPkgDirective {
+				if text == detPkgDirective || text == hotpathDirective || text == goroutinesDir {
 					continue
 				}
 				if !strings.HasPrefix(text, allowDirective) {
 					s.diags = append(s.diags, Diagnostic{
 						Pos: pos, Analyzer: directiveRuleName,
-						Message: fmt.Sprintf("unknown determinlint directive %q (want %s or %s)", text, allowDirective, detPkgDirective),
+						Message: fmt.Sprintf("unknown determinlint directive %q (want %s, %s, %s, or %s)", text, allowDirective, detPkgDirective, hotpathDirective, goroutinesDir),
 					})
 					continue
 				}
@@ -342,10 +420,16 @@ func (s *Suite) reportUnusedAllows() {
 // hasDetDirective reports whether any file of the package carries the
 // //determinlint:deterministic marker.
 func hasDetDirective(pkg *Package) bool {
+	return hasFileDirective(pkg, detPkgDirective)
+}
+
+// hasFileDirective reports whether any file of the package carries the
+// given file-level marker comment.
+func hasFileDirective(pkg *Package, directive string) bool {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if strings.TrimSpace(c.Text) == detPkgDirective {
+				if strings.TrimSpace(c.Text) == directive {
 					return true
 				}
 			}

@@ -19,8 +19,14 @@ type Package struct {
 	Dir   string
 	Fset  *token.FileSet
 	Files []*ast.File // non-test files, sorted by filename
-	Types *types.Package
-	Info  *types.Info
+	// TestFiles are the package's _test.go files, parsed but NOT
+	// type-checked (they may belong to the external _test package and
+	// pull in test-only dependencies). The codecpair analyzer walks them
+	// syntactically to decide whether an encoder is exercised by a test
+	// or fuzz target in its own package.
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
 }
 
 // Module loads a tree of packages with go/parser + go/types only — no
@@ -185,14 +191,20 @@ func (m *Module) Load(path string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var names []string
+	var names, testNames []string
 	for _, e := range entries {
 		n := e.Name()
-		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(n, ".go") {
+			continue
+		}
+		if strings.HasSuffix(n, "_test.go") {
+			testNames = append(testNames, n)
+		} else {
 			names = append(names, n)
 		}
 	}
 	sort.Strings(names)
+	sort.Strings(testNames)
 	if len(names) == 0 {
 		return nil, fmt.Errorf("no Go files in %s", dir)
 	}
@@ -215,7 +227,15 @@ func (m *Module) Load(path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("type-check %s: %w", path, err)
 	}
-	pkg := &Package{Path: path, Dir: dir, Fset: m.fset, Files: files, Types: tpkg, Info: info}
+	testFiles := make([]*ast.File, 0, len(testNames))
+	for _, n := range testNames {
+		f, err := parser.ParseFile(m.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		testFiles = append(testFiles, f)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: m.fset, Files: files, TestFiles: testFiles, Types: tpkg, Info: info}
 	m.pkgs[path] = pkg
 	return pkg, nil
 }

@@ -1,0 +1,378 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module's mutex-acquisition graph from the same
+// annotations guardedfield reads plus syntactic Lock/Unlock pairing,
+// and flags (1) cycles — mutex A held while B is acquired in one
+// function, B held while A is acquired in another; (2) self-deadlocks
+// — a call made while holding a mutex into a function that acquires
+// the same mutex; and (3) lock-held calls into exported in-module
+// functions that themselves acquire locks, unless the callee's name
+// ends in "Locked" (the repo's convention for
+// caller-holds-the-lock helpers).
+//
+// Lock classes are (struct type, mutex field) pairs — every shard of a
+// sharded map is one class — plus bare mutex variables. Within one
+// function the walk is linear and flow-insensitive, the same
+// overapproximation guardedfield makes: a Lock is held until its
+// syntactic Unlock or to the end of the function when deferred.
+// Function literals are analyzed as independent functions (a
+// goroutine body's locks order against everyone else's, but not
+// against its spawner's call stack). Calls propagate one level of
+// acquisition transitively through the in-module call graph.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "mutex-acquisition cycles, self-deadlocks, and lock-held calls into exported locking functions",
+	Run:  runLockOrder,
+}
+
+const lockSetMaxDepth = 5
+
+func runLockOrder(p *Pass) {
+	x := p.suite.index()
+	x.computeLockOrder()
+	for _, d := range x.lockDiags[p.Path] {
+		p.Reportf(d.pos, "%s", d.msg)
+	}
+}
+
+// lockEvent is one step in a function's linear lock walk.
+type lockEvent struct {
+	kind  int // 0 lock, 1 unlock, 2 deferred unlock, 3 call
+	class string
+	key   string // in-module callee (kind 3)
+	expr  string // exported callee display name (kind 3)
+	pos   token.Pos
+}
+
+// lockedFn is one analyzed function body (decl or literal).
+type lockedFn struct {
+	key    string // "" for literals
+	pkg    *Package
+	events []lockEvent
+}
+
+// lockEdge is one "held a, acquired b" observation.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	pkg      string
+}
+
+func (x *modIndex) computeLockOrder() {
+	if x.lockOnce {
+		return
+	}
+	x.lockOnce = true
+	x.lockDiags = map[string][]posDiag{}
+	x.lockSets = map[string]map[string]token.Pos{}
+
+	var fns []*lockedFn
+	for _, pkg := range x.suite.pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				key := pkg.Path + "\x00" + astRecvName(fd) + "\x00" + fd.Name.Name
+				for _, fn := range x.splitLockFns(pkg, key, fd.Body) {
+					fns = append(fns, fn)
+				}
+			}
+		}
+	}
+	// Direct acquisition sets per named function, for transitive
+	// propagation through calls.
+	direct := map[string]map[string]token.Pos{}
+	for _, fn := range fns {
+		if fn.key == "" {
+			continue
+		}
+		set := direct[fn.key]
+		if set == nil {
+			set = map[string]token.Pos{}
+			direct[fn.key] = set
+		}
+		for _, ev := range fn.events {
+			if ev.kind == 0 {
+				if _, ok := set[ev.class]; !ok {
+					set[ev.class] = ev.pos
+				}
+			}
+		}
+	}
+	var lockSetOf func(key string, depth int, stack map[string]bool) map[string]token.Pos
+	memo := map[string]map[string]token.Pos{}
+	lockSetOf = func(key string, depth int, stack map[string]bool) map[string]token.Pos {
+		if s, ok := memo[key]; ok {
+			return s
+		}
+		if stack[key] || depth > lockSetMaxDepth {
+			return direct[key]
+		}
+		stack[key] = true
+		out := map[string]token.Pos{}
+		for c, pos := range direct[key] {
+			out[c] = pos
+		}
+		if fi := x.funcs[key]; fi != nil {
+			ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if k := x.calleeKeyIn(fi.pkg.Info, call); k != "" && k != key {
+					for c, pos := range lockSetOf(k, depth+1, stack) {
+						if _, have := out[c]; !have {
+							out[c] = pos
+						}
+					}
+				}
+				return true
+			})
+		}
+		delete(stack, key)
+		memo[key] = out
+		return out
+	}
+
+	// Simulate every function: collect edges and call-under-lock diags.
+	var edges []lockEdge
+	edgeSeen := map[string]bool{}
+	for _, fn := range fns {
+		held := map[string]token.Pos{}
+		for _, ev := range fn.events {
+			switch ev.kind {
+			case 0:
+				if len(held) > 0 {
+					if _, re := held[ev.class]; re {
+						x.addLockDiag(fn.pkg, ev.pos, fmt.Sprintf("%s acquired while already held: self-deadlock", lockClassName(ev.class)))
+					} else {
+						for from := range held {
+							x.addEdge(&edges, edgeSeen, fn.pkg, from, ev.class, ev.pos)
+						}
+					}
+				}
+				held[ev.class] = ev.pos
+			case 1:
+				delete(held, ev.class)
+			case 2:
+				// Deferred unlock: held to the end; nothing to do now.
+			case 3:
+				if len(held) == 0 || ev.key == "" {
+					break
+				}
+				calleeName := lockKeyFuncName(ev.key)
+				if strings.HasSuffix(calleeName, "Locked") {
+					break
+				}
+				set := lockSetOf(ev.key, 0, map[string]bool{})
+				if len(set) == 0 {
+					break
+				}
+				reported := false
+				for c := range set {
+					if _, re := held[c]; re {
+						x.addLockDiag(fn.pkg, ev.pos, fmt.Sprintf("call to %s while holding %s: the callee acquires the same mutex (self-deadlock)", fmtKey(ev.key), lockClassName(c)))
+						reported = true
+						break
+					}
+				}
+				if !reported && ast.IsExported(calleeName) {
+					var heldNames, acq []string
+					for c := range held {
+						heldNames = append(heldNames, lockClassName(c))
+					}
+					for c := range set {
+						acq = append(acq, lockClassName(c))
+					}
+					sort.Strings(heldNames)
+					sort.Strings(acq)
+					x.addLockDiag(fn.pkg, ev.pos, fmt.Sprintf("call to exported %s while holding %s: it acquires %s; use a *Locked helper or move the call outside the critical section", fmtKey(ev.key), strings.Join(heldNames, ", "), strings.Join(acq, ", ")))
+				}
+				if !reported {
+					for from := range held {
+						for to := range set {
+							if from != to {
+								x.addEdge(&edges, edgeSeen, fn.pkg, from, to, ev.pos)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Cycle detection: an edge is on a cycle iff its head reaches its
+	// tail through the class graph.
+	adj := map[string][]string{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for _, e := range edges {
+		if reaches(adj, e.to, e.from) {
+			x.lockDiags[e.pkg] = append(x.lockDiags[e.pkg], posDiag{
+				pos: e.pos,
+				msg: fmt.Sprintf("lock-order cycle: %s acquired while holding %s, and the reverse order exists elsewhere in the module", lockClassName(e.to), lockClassName(e.from)),
+			})
+		}
+	}
+}
+
+func (x *modIndex) addLockDiag(pkg *Package, pos token.Pos, msg string) {
+	x.lockDiags[pkg.Path] = append(x.lockDiags[pkg.Path], posDiag{pos: pos, msg: msg})
+}
+
+func (x *modIndex) addEdge(edges *[]lockEdge, seen map[string]bool, pkg *Package, from, to string, pos token.Pos) {
+	k := from + "\x01" + to
+	if seen[k] {
+		return
+	}
+	seen[k] = true
+	*edges = append(*edges, lockEdge{from: from, to: to, pos: pos, pkg: pkg.Path})
+}
+
+// splitLockFns extracts the lock-event streams of a body, treating
+// each function literal as an independent anonymous function.
+func (x *modIndex) splitLockFns(pkg *Package, key string, body *ast.BlockStmt) []*lockedFn {
+	var out []*lockedFn
+	var walk func(key string, b *ast.BlockStmt)
+	walk = func(key string, b *ast.BlockStmt) {
+		fn := &lockedFn{key: key, pkg: pkg}
+		var lits []*ast.BlockStmt
+		ast.Inspect(b, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if lit, ok := n.(*ast.FuncLit); ok && n != b {
+				lits = append(lits, lit.Body)
+				return false
+			}
+			switch s := n.(type) {
+			case *ast.DeferStmt:
+				if class, op, ok := x.mutexOp(pkg.Info, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+					fn.events = append(fn.events, lockEvent{kind: 2, class: class, pos: s.Pos()})
+					return false
+				}
+			case *ast.CallExpr:
+				if class, op, ok := x.mutexOp(pkg.Info, s); ok {
+					switch op {
+					case "Lock", "RLock":
+						fn.events = append(fn.events, lockEvent{kind: 0, class: class, pos: s.Pos()})
+					case "Unlock", "RUnlock":
+						fn.events = append(fn.events, lockEvent{kind: 1, class: class, pos: s.Pos()})
+					}
+					return true
+				}
+				if k := x.calleeKeyIn(pkg.Info, s); k != "" {
+					fn.events = append(fn.events, lockEvent{kind: 3, key: k, pos: s.Pos()})
+				}
+			}
+			return true
+		})
+		out = append(out, fn)
+		for _, lb := range lits {
+			walk("", lb)
+		}
+	}
+	walk(key, body)
+	return out
+}
+
+// mutexOp recognizes <expr>.Lock()/Unlock()/RLock()/RUnlock() on a
+// sync.Mutex or RWMutex (named field, bare variable, or embedded) and
+// names its lock class.
+func (x *modIndex) mutexOp(info *types.Info, call *ast.CallExpr) (class, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := ast.Unparen(sel.X)
+	switch r := recv.(type) {
+	case *ast.SelectorExpr:
+		if obj := info.Uses[r.Sel]; obj != nil {
+			if c, have := x.lockClass[obj]; have {
+				return c, op, true
+			}
+			return objClassName(obj), op, true
+		}
+	case *ast.Ident:
+		if obj := info.Uses[r]; obj != nil {
+			return objClassName(obj), op, true
+		}
+	}
+	// Embedded mutex: class by the receiver expression's named type.
+	if t := info.TypeOf(recv); t != nil {
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if n, isNamed := t.(*types.Named); isNamed && n.Obj().Pkg() != nil {
+			return n.Obj().Pkg().Path() + "." + n.Obj().Name() + ".<embedded>", op, true
+		}
+	}
+	return "", "", false
+}
+
+// objClassName names a bare mutex variable's lock class.
+func objClassName(obj types.Object) string {
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+func lockClassName(class string) string {
+	return class
+}
+
+func lockKeyFuncName(key string) string {
+	parts := strings.SplitN(key, "\x00", 3)
+	if len(parts) == 3 {
+		return parts[2]
+	}
+	return key
+}
+
+// reaches reports whether target is reachable from from in adj.
+func reaches(adj map[string][]string, from, target string) bool {
+	if from == target {
+		return true
+	}
+	seen := map[string]bool{}
+	queue := append([]string{}, adj[from]...)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == target {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		queue = append(queue, adj[n]...)
+	}
+	return false
+}

@@ -1,0 +1,10 @@
+package badmod
+
+import "badmod/bits"
+
+// Blob has an encoder but no decode counterpart, no Bits method, and
+// no test reaching Encode — three codecpair findings.
+type Blob struct{ V uint64 }
+
+// Encode writes the blob.
+func (b *Blob) Encode(w *bits.Writer) { w.WriteBits(b.V, 64) }

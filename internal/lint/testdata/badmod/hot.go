@@ -1,0 +1,8 @@
+package badmod
+
+// HotAlloc is annotated allocation-free but allocates.
+//
+//determinlint:hotpath
+func HotAlloc(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,12 @@
+package badmod
+
+// The goroutines directive opts this file's package into the goleak
+// rule; SpawnLeak shows no join, cancel tie, or `// joined by` note.
+//
+//determinlint:goroutines
+var _ = 0
+
+// SpawnLeak fires a goroutine and forgets it.
+func SpawnLeak() {
+	go func() {}()
+}

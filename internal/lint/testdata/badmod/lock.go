@@ -1,0 +1,24 @@
+package badmod
+
+import "sync"
+
+// locks holds two mutexes acquired in opposite orders below, so the
+// lockorder rule sees a cycle in the acquisition graph.
+type locks struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (l *locks) aThenB() {
+	l.a.Lock()
+	l.b.Lock()
+	l.b.Unlock()
+	l.a.Unlock()
+}
+
+func (l *locks) bThenA() {
+	l.b.Lock()
+	l.a.Lock()
+	l.a.Unlock()
+	l.b.Unlock()
+}

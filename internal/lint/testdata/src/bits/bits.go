@@ -1,0 +1,23 @@
+// Package bits mirrors the repo's internal/bits surface just enough
+// for the codecpair fixture: the analyzer matches the writer type by
+// package basename and type name, exactly as it does against the real
+// module.
+package bits
+
+// Writer is the fixture stand-in for the bit-level writer.
+type Writer struct{ n int }
+
+// WriteBits appends n bits of v.
+func (w *Writer) WriteBits(v uint64, n int) { w.n += n }
+
+// Len reports the bits written.
+func (w *Writer) Len() int { return w.n }
+
+// Reader is the fixture stand-in for the bit-level reader.
+type Reader struct{ at int }
+
+// ReadBits consumes n bits.
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	r.at += n
+	return 0, nil
+}

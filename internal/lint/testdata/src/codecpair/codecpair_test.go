@@ -1,0 +1,27 @@
+package codecpair
+
+import (
+	"testing"
+
+	"bits"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w bits.Writer
+	g := Good{v: 7}
+	g.Encode(&w)
+	if w.Len() != g.Bits() {
+		t.Fatalf("Len %d != Bits %d", w.Len(), g.Bits())
+	}
+	var r bits.Reader
+	if _, err := DecodeGood(&r); err != nil {
+		t.Fatal(err)
+	}
+	helperEncode(t)
+}
+
+func helperEncode(t *testing.T) {
+	t.Helper()
+	var w bits.Writer
+	EncodeUsed(&w, Good{v: 1})
+}

@@ -1,0 +1,62 @@
+// Package goleak exercises the goroutine-join rule: the package opts
+// in via the goroutines directive, and every go statement must show a
+// WaitGroup pairing, a channel join, a cancel tie, or a `// joined by`
+// note.
+//
+//determinlint:goroutines
+package goleak
+
+import "sync"
+
+func waitGroupJoin(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }() // Add here, Done in body: joined
+	}
+	wg.Wait()
+}
+
+func channelJoin() int {
+	done := make(chan int)
+	go func() { done <- 1 }() // spawner receives from done: joined
+	return <-done
+}
+
+func closeJoin() {
+	done := make(chan struct{})
+	go func() { close(done) }() // spawner receives from done: joined
+	<-done
+}
+
+func cancelTied(stop chan struct{}) {
+	go func() { <-stop }() // body blocks on a cancel channel: tied
+}
+
+func annotated() {
+	// joined by the listener close in shutdown
+	go bgWork()
+}
+
+func bgWork() {}
+
+func leak() {
+	go func() {}() // want goleak
+}
+
+func leakCall() {
+	go bgWork() // want goleak
+}
+
+type srv struct{ wg sync.WaitGroup }
+
+func (s *srv) spawn() {
+	s.wg.Add(1)
+	go s.worker() // Add here, Done in the callee: joined
+}
+
+func (s *srv) worker() { defer s.wg.Done() }
+
+func (s *srv) spawnNoAdd() {
+	go s.worker() // want goleak
+}

@@ -1,0 +1,132 @@
+// Package hotpath exercises the transitive allocation-free rule: every
+// marked line must fire exactly the hotpath rule, and the unmarked
+// idioms (self-append, cap-guarded make, error paths, annotated
+// callees) must stay clean.
+package hotpath
+
+import "fmt"
+
+type W struct{ n int }
+
+//determinlint:hotpath
+func Make(n int) []int {
+	s := make([]int, n) // want hotpath
+	return s
+}
+
+//determinlint:hotpath
+func New() *W {
+	return new(W) // want hotpath
+}
+
+//determinlint:hotpath
+func Grow(dst, src []byte) []byte {
+	tmp := append(src, 0) // want hotpath
+	_ = tmp
+	dst = append(dst, src...) // self-append: amortized, clean
+	return dst
+}
+
+//determinlint:hotpath
+func Reuse(buf []byte, n int) []byte {
+	if n > cap(buf) {
+		buf = make([]byte, n) // grow-once under a cap() guard: clean
+	}
+	return buf[:n]
+}
+
+//determinlint:hotpath
+func MapWrite(m map[int]int, k int) {
+	m[k] = 1 // want hotpath
+}
+
+//determinlint:hotpath
+func Closure(xs []int) {
+	f := func() int { return len(xs) } // want hotpath
+	_ = f
+}
+
+//determinlint:hotpath
+func Format(x int) string {
+	return fmt.Sprintf("%d", x) // want hotpath
+}
+
+var sink any
+
+//determinlint:hotpath
+func Box(x int) {
+	sink = x // want hotpath
+}
+
+type boxer interface{ M() }
+
+type impl struct{}
+
+func (impl) M() {}
+
+//determinlint:hotpath
+func Conv(v impl) boxer {
+	return boxer(v) // want hotpath
+}
+
+//determinlint:hotpath
+func Lit() []int {
+	return []int{1, 2} // want hotpath
+}
+
+//determinlint:hotpath
+func Spawn() {
+	go leafAdd(1, 2) // want hotpath
+}
+
+//determinlint:hotpath
+func ErrPath(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("empty") // error path: exempt
+	}
+	return int(b[0]), nil
+}
+
+func leafAdd(a, b int) int { return a + b }
+
+func allocs(n int) []int { return make([]int, n) }
+
+//determinlint:hotpath
+func Calls(n int) int {
+	x := leafAdd(n, 1) // verified leaf: clean
+	_ = allocs(n)      // want hotpath
+	return x
+}
+
+type Codec interface {
+	//determinlint:hotpath
+	Size() int
+	Grow() []byte
+}
+
+//determinlint:hotpath
+func UseIface(c Codec) int {
+	n := c.Size() // annotated interface method: clean
+	_ = c.Grow()  // want hotpath
+	return n
+}
+
+type runner struct {
+	//determinlint:hotpath
+	fast func(int) int
+	slow func(int) int
+}
+
+//determinlint:hotpath
+func UseField(r *runner, x int) int {
+	a := r.fast(x) // annotated func field: trusted indirection
+	b := r.slow(x) // want hotpath
+	return a + b
+}
+
+//determinlint:hotpath
+func WarmUp(n int) []byte {
+	//determinlint:allow hotpath one-time warm-up growth is amortized across the connection
+	buf := make([]byte, n)
+	return buf
+}

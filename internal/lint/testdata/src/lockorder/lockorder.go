@@ -1,0 +1,78 @@
+// Package lockorder exercises the mutex-acquisition-order rule: the
+// ab type's two methods acquire its mutexes in opposite orders (a
+// cycle), bad calls an exported locking method while holding its
+// mutex (a self-deadlock), and relay calls an exported locking method
+// under a different lock (a lock-held call that must go through a
+// *Locked helper). Consistent one-way nesting stays clean.
+package lockorder
+
+import "sync"
+
+type ab struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (x *ab) aThenB() {
+	x.a.Lock()
+	defer x.a.Unlock()
+	x.b.Lock() // want lockorder
+	x.b.Unlock()
+}
+
+func (x *ab) bThenA() {
+	x.b.Lock()
+	defer x.b.Unlock()
+	x.a.Lock() // want lockorder
+	x.a.Unlock()
+}
+
+type outerInner struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+func (x *outerInner) both() {
+	x.outer.Lock()
+	defer x.outer.Unlock()
+	x.inner.Lock() // consistent one-way order: clean
+	x.inner.Unlock()
+}
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Touch is exported and takes the lock itself.
+func (b *box) Touch() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// TouchLocked expects the caller to hold mu.
+func (b *box) TouchLocked() { b.n++ }
+
+func (b *box) bad() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.Touch() // want lockorder
+}
+
+func (b *box) good() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.TouchLocked() // caller-holds convention: clean
+}
+
+type relay struct {
+	mu sync.Mutex
+	bx box
+}
+
+func (r *relay) forward() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bx.Touch() // want lockorder
+}

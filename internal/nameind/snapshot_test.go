@@ -1,0 +1,82 @@
+package nameind
+
+import (
+	"bytes"
+	"testing"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/labeled"
+)
+
+// TestNamingCodecRoundTrip pins the naming codec: every node's name
+// must survive EncodeNaming → DecodeNaming unchanged.
+func TestNamingCodecRoundTrip(t *testing.T) {
+	nm := RandomNaming(60, 7)
+	var w bits.Writer
+	EncodeNaming(&w, nm)
+	r := bits.NewReader(w.Bytes(), w.Len())
+	nm2, err := DecodeNaming(r, nm.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < nm.N(); v++ {
+		if nm2.NameOf(v) != nm.NameOf(v) {
+			t.Fatalf("node %d restored as name %d, want %d", v, nm2.NameOf(v), nm.NameOf(v))
+		}
+	}
+}
+
+// TestSnapshotRoundTripSimple pins the Simple snapshot codec:
+// EncodeSnapshot → RestoreSimple (over the same underlying labeled
+// scheme) → EncodeSnapshot must reproduce the stream bit for bit.
+func TestSnapshotRoundTripSimple(t *testing.T) {
+	f := geoFixture(t, 70, 43)
+	nm := RandomNaming(f.g.N(), 9)
+	under, err := labeled.NewSimple(f.g, f.a, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSimple(f.g, f.a, nm, under, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bits.Writer
+	s.EncodeSnapshot(&w)
+	r := bits.NewReader(w.Bytes(), w.Len())
+	s2, err := RestoreSimple(r, f.g, f.a, under)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w2 bits.Writer
+	s2.EncodeSnapshot(&w2)
+	if w2.Len() != w.Len() || !bytes.Equal(w2.Bytes(), w.Bytes()) {
+		t.Fatalf("re-encode differs: %d bits vs %d", w2.Len(), w.Len())
+	}
+}
+
+// TestSnapshotRoundTripScaleFree is the same pin for the scale-free
+// scheme's snapshot codec.
+func TestSnapshotRoundTripScaleFree(t *testing.T) {
+	f := geoFixture(t, 70, 44)
+	nm := RandomNaming(f.g.N(), 10)
+	under, err := labeled.NewScaleFree(f.g, f.a, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScaleFree(f.g, f.a, nm, under, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bits.Writer
+	s.EncodeSnapshot(&w)
+	r := bits.NewReader(w.Bytes(), w.Len())
+	s2, err := RestoreScaleFree(r, f.g, f.a, under)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w2 bits.Writer
+	s2.EncodeSnapshot(&w2)
+	if w2.Len() != w.Len() || !bytes.Equal(w2.Bytes(), w.Bytes()) {
+		t.Fatalf("re-encode differs: %d bits vs %d", w2.Len(), w.Len())
+	}
+}

@@ -1,0 +1,49 @@
+package rnet
+
+import (
+	"bytes"
+	"testing"
+
+	"compactrouting/internal/bits"
+)
+
+// TestHierarchyCodecRoundTrip pins the hierarchy codec: the elected
+// state must survive Encode → Decode → Encode bit for bit, and the
+// re-derived lookups must agree with the original's.
+func TestHierarchyCodecRoundTrip(t *testing.T) {
+	a := geoAPSP(t, 100, 5)
+	h := NewHierarchy(a, 0)
+	var w bits.Writer
+	EncodeHierarchy(&w, h)
+	r := bits.NewReader(w.Bytes(), w.Len())
+	h2, err := DecodeHierarchy(r, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bits left after decode", r.Remaining())
+	}
+	var w2 bits.Writer
+	EncodeHierarchy(&w2, h2)
+	if w2.Len() != w.Len() || !bytes.Equal(w2.Bytes(), w.Bytes()) {
+		t.Fatalf("re-encode differs: %d bits vs %d", w2.Len(), w.Len())
+	}
+	if h2.TopLevel() != h.TopLevel() {
+		t.Fatalf("restored top level %d, want %d", h2.TopLevel(), h.TopLevel())
+	}
+	for v := 0; v < a.N(); v++ {
+		if h2.MaxLevel(v) != h.MaxLevel(v) {
+			t.Fatalf("node %d: restored max level %d, want %d", v, h2.MaxLevel(v), h.MaxLevel(v))
+		}
+	}
+}
+
+// TestDecodeHierarchyRejectsGarbage checks that a truncated stream
+// errors instead of panicking.
+func TestDecodeHierarchyRejectsGarbage(t *testing.T) {
+	a := geoAPSP(t, 30, 6)
+	r := bits.NewReader([]byte{0xff, 0xff}, 16)
+	if _, err := DecodeHierarchy(r, a); err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+}

@@ -77,21 +77,18 @@ func (c *routeCache) Get(scheme string, src, dst int, gen uint64) (*RouteResult,
 	k := cacheKey{scheme: scheme, src: src, dst: dst, gen: gen}
 	s := c.shards[c.hash(k)&c.mask]
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	el, ok := s.m[k]
-	var v *RouteResult
-	if ok {
-		s.ll.MoveToFront(el)
-		// Read val under the lock: Put overwrites it in place when the
-		// key already exists, so reading after Unlock would race.
-		v = el.Value.(*cacheEntry).val
-	}
-	s.mu.Unlock()
 	if !ok {
 		c.misses.Add(1)
 		return nil, false
 	}
+	s.ll.MoveToFront(el)
 	c.hits.Add(1)
-	return v, true
+	// Read val under the lock: Put overwrites it in place when the key
+	// already exists, so reading after Unlock would race. The counters
+	// are atomics and ride inside the critical section, like liteCache.
+	return el.Value.(*cacheEntry).val, true
 }
 
 // Put stores a result under the given generation, evicting the least

@@ -174,7 +174,12 @@ type scheme struct {
 	impl any
 	run  func(src, dst int) sim.Result
 	// runLite is the zero-allocation route: shape only, no path slice
-	// (the binary serving plane's hot path).
+	// (the binary serving plane's hot path). The hotpath annotation
+	// lets RouteLite call through this indirection; the closures bound
+	// here wrap sim.RouteLite, which carries its own annotation, and
+	// TestFramedRoutePathAllocs pins the whole cycle at 0 allocs/op.
+	//
+	//determinlint:hotpath
 	runLite func(src, dst int) sim.LiteResult
 	// runTraced drives the identical step functions with a trace
 	// attached (?trace=1 queries and 1-in-N sampling).

@@ -17,6 +17,8 @@ import (
 // When the engine runs with fault injection or trace sampling, the
 // query falls back to the full route path (allocating) so chaos draws
 // and sampled traces stay globally consistent across protocols.
+//
+//determinlint:hotpath
 func (e *Engine) RouteLite(schemeIdx, src, dst int) frame.RouteResult {
 	st := e.st.Load()
 	if schemeIdx < 0 || schemeIdx >= len(st.list) {
@@ -30,6 +32,7 @@ func (e *Engine) RouteLite(schemeIdx, src, dst int) frame.RouteResult {
 	}
 	name := st.order[schemeIdx]
 	if e.chaos != nil || e.traceSample > 0 {
+		//determinlint:allow hotpath the chaos/trace fallback is the documented allocating path: it runs only when fault injection or sampling is enabled, never in the pinned zero-alloc configuration
 		full, err := e.route(name, src, dst, false)
 		if err != nil {
 			e.met.routeErrors.Add(1)

@@ -56,29 +56,34 @@ func liteHash(scheme, src, dst int, gen uint64) uint64 {
 }
 
 // get returns the cached shape for the key at the given generation.
+// The counter updates ride inside the critical section: they are
+// atomics, and the deferred unlock keeps the lock/unlock pairing
+// syntactically checkable (lockorder) on this hot function.
+//
+//determinlint:hotpath
 func (c *liteCache) get(scheme, src, dst int, gen uint64) (frame.RouteResult, bool) {
 	s := &c.slots[liteHash(scheme, src, dst, gen)&c.mask]
 	s.mu.Lock()
-	ok := s.full && s.scheme == int32(scheme) && s.src == int32(src) && s.dst == int32(dst) && s.gen == gen
-	res := s.res
-	s.mu.Unlock()
-	if !ok {
+	defer s.mu.Unlock()
+	if !(s.full && s.scheme == int32(scheme) && s.src == int32(src) && s.dst == int32(dst) && s.gen == gen) {
 		c.miss.Add(1)
 		return frame.RouteResult{}, false
 	}
 	c.hits.Add(1)
-	return res, true
+	return s.res, true
 }
 
 // put stores a shape, overwriting whatever occupied the slot.
+//
+//determinlint:hotpath
 func (c *liteCache) put(scheme, src, dst int, gen uint64, res frame.RouteResult) {
 	s := &c.slots[liteHash(scheme, src, dst, gen)&c.mask]
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.full = true
 	s.scheme, s.src, s.dst = int32(scheme), int32(src), int32(dst)
 	s.gen = gen
 	s.res = res
-	s.mu.Unlock()
 }
 
 // stats reports cumulative hit/miss counters (zeros when disabled).

@@ -53,14 +53,10 @@ func NewTCPServer(e *Engine) *TCPServer {
 // Serve accepts connections on ln until Shutdown, returning
 // ErrTCPServerClosed on a clean stop.
 func (s *TCPServer) Serve(ln net.Listener) error {
-	s.mu.Lock()
-	if s.draining.Load() {
-		s.mu.Unlock()
+	if !s.bind(ln) {
 		ln.Close()
 		return ErrTCPServerClosed
 	}
-	s.ln = ln
-	s.mu.Unlock()
 	for {
 		c, err := ln.Accept()
 		if err != nil {
@@ -69,11 +65,52 @@ func (s *TCPServer) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		s.mu.Lock()
-		s.conns[c] = struct{}{}
-		s.mu.Unlock()
+		s.track(c)
 		s.wg.Add(1)
 		go s.handleConn(c)
+	}
+}
+
+// bind stores the listener, refusing when the server is already
+// draining.
+func (s *TCPServer) bind(ln net.Listener) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.ln = ln
+	return true
+}
+
+// track registers a live connection; untrack removes it.
+func (s *TCPServer) track(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns[c] = struct{}{}
+}
+
+func (s *TCPServer) untrack(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+}
+
+// closeListener closes the bound listener, if Serve got that far.
+func (s *TCPServer) closeListener() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+}
+
+// closeConns force-closes every live connection.
+func (s *TCPServer) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		c.Close()
 	}
 }
 
@@ -85,11 +122,7 @@ func (s *TCPServer) Serve(ln net.Listener) error {
 // error.
 func (s *TCPServer) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	s.mu.Lock()
-	if s.ln != nil {
-		s.ln.Close()
-	}
-	s.mu.Unlock()
+	s.closeListener()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -99,11 +132,7 @@ func (s *TCPServer) Shutdown(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		s.mu.Lock()
-		for c := range s.conns {
-			c.Close()
-		}
-		s.mu.Unlock()
+		s.closeConns()
 		<-done
 		return ctx.Err()
 	}
@@ -112,9 +141,7 @@ func (s *TCPServer) Shutdown(ctx context.Context) error {
 func (s *TCPServer) handleConn(c net.Conn) {
 	s.e.met.tcpConns.Add(1)
 	defer func() {
-		s.mu.Lock()
-		delete(s.conns, c)
-		s.mu.Unlock()
+		s.untrack(c)
 		c.Close()
 		s.e.met.tcpConns.Add(-1)
 		s.wg.Done()

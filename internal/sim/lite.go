@@ -23,6 +23,8 @@ type LiteResult struct {
 // Semantics match RouteOnce exactly: dst is a label or a name (per the
 // Router), maxHops <= 0 selects the 8n default, and a walk of more than
 // maxHops hops fails with HopLimitError.
+//
+//determinlint:hotpath
 func RouteLite[H Header](g *graph.Graph, r Router[H], src, dst, maxHops int) LiteResult {
 	if maxHops <= 0 {
 		maxHops = 8 * g.N()
@@ -46,6 +48,7 @@ func RouteLite[H Header](g *graph.Graph, r Router[H], src, dst, maxHops int) Lit
 			return res
 		}
 		if res.Hops+1 > maxHops {
+			//determinlint:allow hotpath the hop-limit failure path boxes its error once per failed walk, never on delivery
 			res.Err = HopLimitError(maxHops)
 			return res
 		}

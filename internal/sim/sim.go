@@ -27,16 +27,28 @@ import (
 
 // Header is an opaque packet header with a measurable size.
 type Header interface {
+	// Bits is called per hop on the serving hot path; implementations
+	// must not allocate.
+	//
+	//determinlint:hotpath
 	Bits() int
 }
 
 // Router is a routing scheme factored into per-node step functions.
+// Prepare and Step sit on RouteLite's zero-allocation serving path, so
+// implementations bound to the serving plane must not allocate per
+// call (the hotpath lint rule holds RouteLite to that, and the
+// server's AllocsPerRun pins hold the implementations to it).
 type Router[H Header] interface {
 	// Prepare returns the initial header for a delivery addressed by
 	// dst (a label or a name, depending on the scheme).
+	//
+	//determinlint:hotpath
 	Prepare(dst int) (H, error)
 	// Step performs one local forwarding decision at node: the next
 	// hop and updated header, or arrived == true.
+	//
+	//determinlint:hotpath
 	Step(node int, h H) (next int, nh H, arrived bool, err error)
 }
 

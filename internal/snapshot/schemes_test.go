@@ -1,0 +1,63 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"testing"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/graph"
+	"compactrouting/internal/labeled"
+	"compactrouting/internal/metric"
+	"compactrouting/internal/snapshot"
+)
+
+// TestEncodeSchemeRoundTrip pins the per-scheme blob codec directly
+// (the engine round-trip tests cover it end to end): EncodeScheme →
+// DecodeScheme → EncodeScheme must reproduce the blob bit for bit.
+func TestEncodeSchemeRoundTrip(t *testing.T) {
+	g, _, err := graph.RandomGeometric(60, 0.25, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := metric.NewAPSP(g)
+	s, err := labeled.NewSimple(g, a, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bits.Writer
+	if err := snapshot.EncodeScheme(&w, "simple-labeled", s); err != nil {
+		t.Fatal(err)
+	}
+	r := bits.NewReader(w.Bytes(), w.Len())
+	impl, err := snapshot.DecodeScheme(r, "simple-labeled", g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, ok := impl.(*labeled.Simple)
+	if !ok {
+		t.Fatalf("decoded %T, want *labeled.Simple", impl)
+	}
+	var w2 bits.Writer
+	if err := snapshot.EncodeScheme(&w2, "simple-labeled", restored); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Len() != w.Len() || !bytes.Equal(w2.Bytes(), w.Bytes()) {
+		t.Fatalf("re-encode differs: %d bits vs %d", w2.Len(), w.Len())
+	}
+}
+
+// TestEncodeSchemeRejectsBadInput pins the adapter's error paths:
+// unknown scheme names and mismatched implementations must fail, not
+// write a half-formed blob.
+func TestEncodeSchemeRejectsBadInput(t *testing.T) {
+	var w bits.Writer
+	if err := snapshot.EncodeScheme(&w, "no-such-scheme", nil); err == nil {
+		t.Fatal("unknown scheme name accepted")
+	}
+	if err := snapshot.EncodeScheme(&w, "simple-labeled", 42); err == nil {
+		t.Fatal("mismatched implementation accepted")
+	}
+	if w.Len() != 0 {
+		t.Fatalf("failed encodes wrote %d bits", w.Len())
+	}
+}

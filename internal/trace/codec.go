@@ -47,6 +47,24 @@ func (t *Trace) Encode(w *bits.Writer) {
 	}
 }
 
+// Bits returns the exact encoded size of the trace in bits, mirroring
+// Encode term by term (before Marshal's byte-boundary padding).
+func (t *Trace) Bits() int {
+	n := bits.UvarintLen(codecVersion) +
+		bits.UvarintLen(uint64(t.Src)) +
+		bits.UvarintLen(uint64(t.Dst+1)) +
+		bits.UvarintLen(uint64(t.PrepBits)) +
+		bits.UvarintLen(uint64(t.Attempts)) +
+		bits.UvarintLen(uint64(t.Drops)) +
+		bits.UvarintLen(uint64(len(t.Hops)))
+	for i := range t.Hops {
+		h := &t.Hops[i]
+		n += bits.UvarintLen(uint64(h.From)) + bits.UvarintLen(uint64(h.To+1)) +
+			phaseBits + bits.UvarintLen(uint64(h.HeaderBits)) + 64
+	}
+	return n
+}
+
 // Marshal returns the byte form of the trace (Encode padded with zero
 // bits to a byte boundary).
 func (t *Trace) Marshal() []byte {

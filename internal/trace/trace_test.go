@@ -121,6 +121,11 @@ func TestCodecRoundTrip(t *testing.T) {
 		{Src: 1, Dst: 2, Hops: []Hop{{From: 1, To: 2}}}, // zero-weight hop
 	} {
 		buf := tr.Marshal()
+		// Marshal pads Encode's stream to a byte boundary, so Bits()
+		// predicts the byte length up to 7 padding bits.
+		if n := tr.Bits(); (n+7)/8 != len(buf) {
+			t.Fatalf("Bits() = %d predicts %d bytes, Marshal wrote %d", n, (n+7)/8, len(buf))
+		}
 		got, err := Unmarshal(buf)
 		if err != nil {
 			t.Fatalf("Unmarshal(%+v): %v", tr, err)

@@ -1,0 +1,68 @@
+package treeroute
+
+import (
+	"bytes"
+	"testing"
+
+	"compactrouting/internal/bits"
+	"compactrouting/internal/graph"
+)
+
+// TestSchemeCodecRoundTrip pins the Scheme codec: Encode → Decode →
+// Encode must reproduce the stream bit for bit, and the restored
+// scheme must pass Assemble's sanity checks (Decode routes through it).
+func TestSchemeCodecRoundTrip(t *testing.T) {
+	g, err := graph.RandomTree(200, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := treeParents(t, g, 0)
+	s, err := New(parent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bits.Writer
+	EncodeScheme(&w, s, g.N())
+	r := bits.NewReader(w.Bytes(), w.Len())
+	s2, err := DecodeScheme(r, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bits left after decode", r.Remaining())
+	}
+	var w2 bits.Writer
+	EncodeScheme(&w2, s2, g.N())
+	if w2.Len() != w.Len() || !bytes.Equal(w2.Bytes(), w.Bytes()) {
+		t.Fatalf("re-encode differs: %d bits vs %d", w2.Len(), w.Len())
+	}
+}
+
+// TestPortSchemeCodecRoundTrip is the same pin for the port-routing
+// codec, which additionally carries light depths and child port lists.
+func TestPortSchemeCodecRoundTrip(t *testing.T) {
+	g, err := graph.RandomTree(200, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := treeParents(t, g, 0)
+	s, err := NewPortScheme(parent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bits.Writer
+	EncodePortScheme(&w, s, g.N())
+	r := bits.NewReader(w.Bytes(), w.Len())
+	s2, err := DecodePortScheme(r, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bits left after decode", r.Remaining())
+	}
+	var w2 bits.Writer
+	EncodePortScheme(&w2, s2, g.N())
+	if w2.Len() != w.Len() || !bytes.Equal(w2.Bytes(), w.Bytes()) {
+		t.Fatalf("re-encode differs: %d bits vs %d", w2.Len(), w.Len())
+	}
+}
