@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint fuzz-corpus-lint bench serve profile chaos-determinism routebench-determinism distsim-determinism routeload-determinism fuzz-smoke
+.PHONY: check fmt vet build test race lint fuzz-corpus-lint bench serve profile chaos-determinism routebench-determinism routebench-lazy-determinism distsim-determinism routeload-determinism fuzz-smoke
 
 # The gate: vet, build and -race cover every package (./...), including
 # internal/faultsim and cmd/chaossim; lint runs the repo's own static
@@ -13,7 +13,7 @@ GO ?= go
 # build pipeline and the fault injector's seed guarantee produce
 # byte-identical JSON across runs; fuzz-smoke gives every wire codec a
 # short fuzz burst on top of its checked-in seed corpus.
-check: fmt vet lint fuzz-corpus-lint build race chaos-determinism routebench-determinism distsim-determinism routeload-determinism fuzz-smoke
+check: fmt vet lint fuzz-corpus-lint build race chaos-determinism routebench-determinism routebench-lazy-determinism distsim-determinism routeload-determinism fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -85,6 +85,18 @@ routebench-determinism:
 	{ cmp -s $$tmp1 $$tmp2 || { echo "routebench -json is not deterministic"; rm -f $$tmp1 $$tmp2; exit 1; }; } && \
 	rm -f $$tmp1 $$tmp2 && echo "routebench determinism: ok"
 
+# Same gate on the lazy backend: its answers come from truncated
+# Dijkstra rows derived on demand behind a shared LRU, so the JSON
+# must be byte-stable across runs regardless of query arrival order,
+# cache evictions, or the prefetch workers' schedule. Run twice and
+# diff, on the power-law family the backend exists for.
+routebench-lazy-determinism:
+	@tmp1=$$(mktemp) && tmp2=$$(mktemp) && \
+	$(GO) run ./cmd/routebench -json $$tmp1 -backend lazy -graph power-law -n 48 -pairs 60 -seed 11 -timing=false -trace >/dev/null && \
+	$(GO) run ./cmd/routebench -json $$tmp2 -backend lazy -graph power-law -n 48 -pairs 60 -seed 11 -timing=false -trace >/dev/null && \
+	{ cmp -s $$tmp1 $$tmp2 || { echo "routebench -json -backend=lazy is not deterministic"; rm -f $$tmp1 $$tmp2; exit 1; }; } && \
+	rm -f $$tmp1 $$tmp2 && echo "routebench lazy determinism: ok"
+
 # The in-network construction must be seed-deterministic: engine
 # delivery is serialized in sender-id order and fault draws are pure
 # hashes, so the same flags produce a byte-identical JSON file — at
@@ -123,7 +135,8 @@ fuzz-smoke:
 		"./internal/trace FuzzTraceCodec" \
 		"./internal/dist FuzzDecodeMsg" \
 		"./internal/frame FuzzDecodeFrame" \
-		"./internal/snapshot FuzzDecodeSnapshot"; do \
+		"./internal/snapshot FuzzDecodeSnapshot" \
+		"./internal/metric FuzzLazyBall"; do \
 		set -- $$spec; \
 		$(GO) test $$1 -run '^$$' -fuzz "^$$2$$$$" -fuzztime 1s >/dev/null || \
 			{ echo "fuzz-smoke failed: $$2"; exit 1; }; \

@@ -8,7 +8,7 @@
 //	graphgen -kind geometric -n 256 -seed 7 > net.txt
 //
 // Kinds: grid, grid-holes, geometric, path, exp-path, exp-star, ring,
-// random-tree, fractal, lower-bound.
+// random-tree, power-law, fractal, lower-bound.
 package main
 
 import (
@@ -31,9 +31,10 @@ func main() {
 		hole = flag.Float64("holes", 0.25, "hole probability for grid-holes")
 		p    = flag.Int("p", 4, "lower-bound tree doublings")
 		q    = flag.Int("q", 2, "lower-bound tree weights per doubling")
+		maxw = flag.Float64("maxw", 1024, "max edge weight for power-law (log-uniform in [1, maxw])")
 	)
 	flag.Parse()
-	g, err := build(*kind, *n, *seed, *base, *hole, *p, *q)
+	g, err := build(*kind, *n, *seed, *base, *hole, *p, *q, *maxw)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
@@ -50,7 +51,7 @@ func main() {
 	}
 }
 
-func build(kind string, n int, seed int64, base, hole float64, p, q int) (*graph.Graph, error) {
+func build(kind string, n int, seed int64, base, hole float64, p, q int, maxw float64) (*graph.Graph, error) {
 	switch kind {
 	case "grid":
 		side := int(math.Ceil(math.Sqrt(float64(n))))
@@ -73,6 +74,8 @@ func build(kind string, n int, seed int64, base, hole float64, p, q int) (*graph
 		return graph.Ring(n)
 	case "random-tree":
 		return graph.RandomTree(n, 4, seed)
+	case "power-law":
+		return graph.PowerLaw(n, 2, maxw, seed)
 	case "fractal":
 		branch := 4
 		levels := 1

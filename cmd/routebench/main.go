@@ -7,8 +7,18 @@
 //	routebench -exp all                     # everything, default sizes
 //	routebench -exp table1 -n 512 -eps 0.2  # one experiment, custom size
 //	routebench -json BENCH_routebench.json  # machine-readable bench sweep
+//	routebench -exp apspfree -json BENCH_apspfree.json -timing=false
 //
-// Experiments: table1, table2, fig1, fig2, fig3, storage, epsilon, all.
+// Experiments: table1, table2, fig1, fig2, fig3, storage, epsilon,
+// apspfree, all.
+//
+// -backend selects the distance backend the experiment env is compiled
+// on: dense (the up-front APSP matrix) or lazy (on-demand truncated
+// Dijkstra rows in a bounded cache). The two are byte-equivalent, so
+// every result is identical; only build cost and memory change. -exp
+// apspfree runs the E16 scaling family (the Krioukov–Fall–Yang
+// stretch-CDF reproduction on power-law graphs), which rides the lazy
+// backend past the dense backend's n² wall — sizes set by -sizes.
 //
 // With -json, the text experiments are skipped; instead every scheme is
 // benchmarked on the -graph workload and one JSON record per scheme
@@ -27,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,12 +46,14 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "experiment: table1|table2|fig1|fig2|fig3|storage|epsilon|ablation|overhead|dimension|oracle|all")
+		which   = flag.String("exp", "all", "experiment: table1|table2|fig1|fig2|fig3|storage|epsilon|ablation|overhead|dimension|oracle|apspfree|all")
 		n       = flag.Int("n", 256, "target network size")
 		eps     = flag.Float64("eps", 0.25, "stretch parameter epsilon")
 		pairs   = flag.Int("pairs", 1000, "routed source-destination pairs per experiment (0 = all pairs)")
 		seed    = flag.Int64("seed", 1, "random seed for generators, namings and sampling")
-		graph   = flag.String("graph", "geometric", "workload graph: geometric|grid-holes|exp-path")
+		graph   = flag.String("graph", "geometric", "workload graph: geometric|grid-holes|exp-path|unit-path|power-law")
+		backend = flag.String("backend", "dense", "distance backend: dense (up-front APSP matrix) or lazy (on-demand truncated Dijkstra rows); byte-identical results either way")
+		sizes   = flag.String("sizes", "", "with -exp apspfree: comma-separated graph sizes overriding the default ladder")
 		jsonP   = flag.String("json", "", "write a machine-readable bench sweep to this path and exit")
 		traced  = flag.Bool("trace", false, "with -json, evaluate through the traced simulator adapters and add the per-phase detour decomposition to every record")
 		timing  = flag.Bool("timing", true, "record wall-clock fields (apsp_ms, build_ms, total_ms, ns_per_query) in -json records; false makes the output seed-deterministic")
@@ -63,24 +76,63 @@ func main() {
 			fmt.Printf("routebench: wrote CPU profile to %s\n", *profile)
 		}()
 	}
-	if *jsonP != "" {
-		if err := runJSON(*jsonP, *n, *eps, *pairs, *seed, *graph, *timing, *traced); err != nil {
+	if *which == "apspfree" {
+		if *jsonP == "" {
+			fmt.Fprintln(os.Stderr, "routebench: -exp apspfree writes JSON; pass -json PATH")
+			os.Exit(1)
+		}
+		if err := runAPSPFree(*jsonP, *sizes, *eps, *pairs, *seed, *timing); err != nil {
 			fmt.Fprintln(os.Stderr, "routebench:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*which, *n, *eps, *pairs, *seed, *graph); err != nil {
+	if *jsonP != "" {
+		if err := runJSON(*jsonP, *n, *eps, *pairs, *seed, *graph, *backend, *timing, *traced); err != nil {
+			fmt.Fprintln(os.Stderr, "routebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*which, *n, *eps, *pairs, *seed, *graph, *backend); err != nil {
 		fmt.Fprintln(os.Stderr, "routebench:", err)
 		os.Exit(1)
 	}
 }
 
+// runAPSPFree writes the E16 APSP-free scaling family (the KFY
+// stretch-CDF reproduction on power-law graphs; see internal/exp).
+func runAPSPFree(path, sizes string, eps float64, pairs int, seed int64, timing bool) error {
+	opt := exp.APSPFreeOpts{Eps: eps, Pairs: pairs, Seed: seed, Timing: timing}
+	if sizes != "" {
+		for _, s := range strings.Split(sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad -sizes entry %q: %w", s, err)
+			}
+			opt.Sizes = append(opt.Sizes, n)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := exp.WriteAPSPFreeJSON(f, opt); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("routebench: wrote %s (apspfree, eps=%v, %d pairs)\n", path, eps, pairs)
+	return nil
+}
+
 // runJSON benchmarks every scheme on the workload and writes the
 // records to path, reporting the build pipeline's per-phase wall time.
-func runJSON(path string, n int, eps float64, pairs int, seed int64, graphKind string, timing, traced bool) error {
+func runJSON(path string, n int, eps float64, pairs int, seed int64, graphKind, backend string, timing, traced bool) error {
 	start := time.Now()
-	env, err := buildEnv(graphKind, n, seed)
+	env, err := exp.EnvOn(graphKind, n, seed, backend)
 	if err != nil {
 		return err
 	}
@@ -107,30 +159,13 @@ func runJSON(path string, n int, eps float64, pairs int, seed int64, graphKind s
 	return nil
 }
 
-func buildEnv(kind string, n int, seed int64) (*exp.Env, error) {
-	switch kind {
-	case "geometric":
-		return exp.GeometricEnv(n, seed)
-	case "grid-holes":
-		side := 1
-		for side*side < n {
-			side++
-		}
-		return exp.GridHolesEnv(side, seed)
-	case "exp-path":
-		return exp.ExpPathEnv(n, 4)
-	default:
-		return nil, fmt.Errorf("unknown graph kind %q", kind)
-	}
-}
-
-func run(which string, n int, eps float64, pairs int, seed int64, graphKind string) error {
+func run(which string, n int, eps float64, pairs int, seed int64, graphKind, backend string) error {
 	w := os.Stdout
 	needEnv := map[string]bool{"table1": true, "table2": true, "fig1": true, "fig2": true, "epsilon": true, "ablation": true, "overhead": true, "oracle": true, "all": true}
 	var env *exp.Env
 	if needEnv[which] {
 		var err error
-		env, err = buildEnv(graphKind, n, seed)
+		env, err = exp.EnvOn(graphKind, n, seed, backend)
 		if err != nil {
 			return err
 		}

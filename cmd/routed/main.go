@@ -45,7 +45,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // debug handlers for the -pprof listener
@@ -65,7 +64,8 @@ func main() {
 		addr    = flag.String("addr", ":8080", "listen address")
 		tcpAddr = flag.String("listen-tcp", "", "also serve the binary frame protocol on this TCP address (empty disables)")
 		snapP   = flag.String("snapshot", "", "table snapshot path: load it if present, else build and save it (empty disables)")
-		kind    = flag.String("graph", "geometric", "generated workload: geometric|grid|grid-holes|ring|exp-path")
+		kind    = flag.String("graph", "geometric", "generated workload: geometric|grid|grid-holes|ring|exp-path|power-law")
+		backend = flag.String("backend", "dense", "distance backend for preprocessing: dense (up-front APSP matrix) or lazy (on-demand truncated Dijkstra rows; no n\u00b2 memory)")
 		n       = flag.Int("n", 256, "target network size for generated graphs")
 		seed    = flag.Int64("seed", 1, "generator / naming seed")
 		eps     = flag.Float64("eps", 0.25, "stretch parameter epsilon (clamped per scheme)")
@@ -87,7 +87,12 @@ func main() {
 	if *chaosLoss > 0 {
 		chaos = &server.ChaosParams{Loss: *chaosLoss, Seed: *chaosSeed, MaxAttempts: *chaosRetries}
 	}
-	if err := run(*addr, *tcpAddr, *snapP, *kind, *n, *seed, *eps, *schemes, *load, *cache, *workers, *pprofA, chaos, *traceSample, *traceCap); err != nil {
+	be, err := compactrouting.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routed:", err)
+		os.Exit(1)
+	}
+	if err := run(*addr, *tcpAddr, *snapP, *kind, *n, *seed, *eps, *schemes, *load, be, *cache, *workers, *pprofA, chaos, *traceSample, *traceCap); err != nil {
 		fmt.Fprintln(os.Stderr, "routed:", err)
 		os.Exit(1)
 	}
@@ -95,7 +100,7 @@ func main() {
 
 // buildFunc returns the network constructor the engine calls at startup
 // and on every /reload.
-func buildFunc(kind string, n int, load string) func(seed int64) (*compactrouting.Network, error) {
+func buildFunc(kind string, n int, load string, backend compactrouting.Backend) func(seed int64) (*compactrouting.Network, error) {
 	if load != "" {
 		// The first call is the startup build; /reload would only
 		// re-read the same file (new namings, same graph), so reject it
@@ -112,7 +117,7 @@ func buildFunc(kind string, n int, load string) func(seed int64) (*compactroutin
 				return nil, err
 			}
 			defer f.Close()
-			nw, err := compactrouting.ReadNetwork(f)
+			nw, err := compactrouting.ReadNetworkOn(f, backend)
 			if err == nil {
 				loaded = true
 			}
@@ -120,23 +125,7 @@ func buildFunc(kind string, n int, load string) func(seed int64) (*compactroutin
 		}
 	}
 	return func(seed int64) (*compactrouting.Network, error) {
-		switch kind {
-		case "geometric":
-			radius := 1.8 * math.Sqrt(math.Log(float64(n))/float64(n))
-			return compactrouting.RandomGeometricNetwork(n, radius, seed)
-		case "grid":
-			side := int(math.Ceil(math.Sqrt(float64(n))))
-			return compactrouting.GridNetwork(side, side)
-		case "grid-holes":
-			side := int(math.Ceil(math.Sqrt(float64(n))))
-			return compactrouting.GridWithHolesNetwork(side, side, 0.25, seed)
-		case "ring":
-			return compactrouting.RingNetwork(n)
-		case "exp-path":
-			return compactrouting.ExponentialPathNetwork(n, 4)
-		default:
-			return nil, fmt.Errorf("unknown graph kind %q", kind)
-		}
+		return compactrouting.GenerateNetwork(kind, n, seed, backend)
 	}
 }
 
@@ -173,10 +162,10 @@ func newEngine(cfg server.Config, snapPath string) (*server.Engine, error) {
 	return eng, nil
 }
 
-func run(addr, tcpAddr, snapPath, kind string, n int, seed int64, eps float64, schemes, load string, cache, workers int, pprofAddr string, chaos *server.ChaosParams, traceSample, traceCap int) error {
+func run(addr, tcpAddr, snapPath, kind string, n int, seed int64, eps float64, schemes, load string, backend compactrouting.Backend, cache, workers int, pprofAddr string, chaos *server.ChaosParams, traceSample, traceCap int) error {
 	start := time.Now()
 	eng, err := newEngine(server.Config{
-		Build:        buildFunc(kind, n, load),
+		Build:        buildFunc(kind, n, load, backend),
 		Seed:         seed,
 		Eps:          eps,
 		Schemes:      strings.Split(schemes, ","),

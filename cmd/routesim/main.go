@@ -10,6 +10,10 @@
 //
 // Schemes: simple-labeled, scale-free-labeled, name-independent,
 // scale-free-name-independent, full-table, single-tree.
+//
+// -backend selects the distance backend the scheme is built on: dense
+// (full APSP matrices) or lazy (on-demand truncated Dijkstra rows).
+// Both yield byte-identical tables and therefore identical walks.
 package main
 
 import (
@@ -36,21 +40,30 @@ func main() {
 		scheme  = flag.String("scheme", "simple-labeled", "simple-labeled|scale-free-labeled|name-independent|scale-free-name-independent|full-table|single-tree")
 		seed    = flag.Int64("seed", 1, "random seed")
 		eps     = flag.Float64("eps", 0.5, "epsilon for the labeled scheme")
+		backend = flag.String("backend", "dense", "distance backend: dense|lazy")
 	)
 	flag.Parse()
-	if err := run(*n, *packets, *scheme, *seed, *eps); err != nil {
+	if err := run(*n, *packets, *scheme, *seed, *eps, *backend); err != nil {
 		fmt.Fprintln(os.Stderr, "routesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, packets int, scheme string, seed int64, eps float64) error {
+func run(n, packets int, scheme string, seed int64, eps float64, backend string) error {
 	radius := 1.8 * math.Sqrt(math.Log(float64(n))/float64(n))
 	g, _, err := graph.RandomGeometric(n, radius, seed)
 	if err != nil {
 		return err
 	}
-	a := metric.NewAPSP(g)
+	var a metric.Distancer
+	switch backend {
+	case "", "dense":
+		a = metric.NewAPSP(g)
+	case "lazy":
+		a = metric.NewLazyOracle(g)
+	default:
+		return fmt.Errorf("unknown backend %q (want dense or lazy)", backend)
+	}
 	fmt.Printf("network: n=%d m=%d, %d concurrent packets, scheme %s\n", g.N(), g.M(), packets, scheme)
 
 	pairs := core.SamplePairs(g.N(), packets, seed+1)

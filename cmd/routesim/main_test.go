@@ -38,8 +38,9 @@ func TestCheckStretchBoundWithinBoundPasses(t *testing.T) {
 }
 
 // TestRunEnforcesBoundEndToEnd drives the full pipeline on a small
-// network for every scheme: each run must deliver all packets, pass the
-// sequential cross-check, and satisfy its own analytical stretch bound.
+// network for every scheme and both distance backends: each run must
+// deliver all packets, pass the sequential cross-check, and satisfy
+// its own analytical stretch bound.
 func TestRunEnforcesBoundEndToEnd(t *testing.T) {
 	for _, scheme := range []string{
 		"simple-labeled",
@@ -49,11 +50,14 @@ func TestRunEnforcesBoundEndToEnd(t *testing.T) {
 		"full-table",
 		"single-tree",
 	} {
-		t.Run(scheme, func(t *testing.T) {
-			t.Parallel()
-			if err := run(64, 200, scheme, 3, 0.25); err != nil {
-				t.Fatalf("run(%s): %v", scheme, err)
-			}
-		})
+		for _, backend := range []string{"dense", "lazy"} {
+			scheme, backend := scheme, backend
+			t.Run(scheme+"/"+backend, func(t *testing.T) {
+				t.Parallel()
+				if err := run(64, 200, scheme, 3, 0.25, backend); err != nil {
+					t.Fatalf("run(%s, %s): %v", scheme, backend, err)
+				}
+			})
+		}
 	}
 }

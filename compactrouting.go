@@ -187,21 +187,21 @@ func (s *NameIndependent) Evaluate(pairs [][2]int) (Stats, error) {
 // NewSimpleLabeled compiles the simple (1+O(eps))-stretch labeled
 // scheme (the paper's Lemma 3.1 substrate). eps must be in (0, 0.5].
 func (nw *Network) NewSimpleLabeled(eps float64) (*Labeled, error) {
-	s, err := labeled.NewSimple(nw.g, nw.apsp, eps)
+	s, err := labeled.NewSimple(nw.g, nw.dist, eps)
 	if err != nil {
 		return nil, err
 	}
-	return &Labeled{s: s, n: nw.g.N(), d: nw.apsp}, nil
+	return &Labeled{s: s, n: nw.g.N(), d: nw.dist}, nil
 }
 
 // NewScaleFreeLabeled compiles the Theorem 1.2 scale-free labeled
 // scheme. eps must be in (0, 0.25].
 func (nw *Network) NewScaleFreeLabeled(eps float64) (*Labeled, error) {
-	s, err := labeled.NewScaleFree(nw.g, nw.apsp, eps)
+	s, err := labeled.NewScaleFree(nw.g, nw.dist, eps)
 	if err != nil {
 		return nil, err
 	}
-	return &Labeled{s: s, n: nw.g.N(), d: nw.apsp}, nil
+	return &Labeled{s: s, n: nw.g.N(), d: nw.dist}, nil
 }
 
 // NewSimpleNameIndependent compiles the Theorem 1.4 scheme. names
@@ -213,15 +213,15 @@ func (nw *Network) NewSimpleNameIndependent(eps float64, names []int) (*NameInde
 	if err != nil {
 		return nil, err
 	}
-	under, err := labeled.NewSimple(nw.g, nw.apsp, eps)
+	under, err := labeled.NewSimple(nw.g, nw.dist, eps)
 	if err != nil {
 		return nil, err
 	}
-	s, err := nameind.NewSimple(nw.g, nw.apsp, nm, under, eps)
+	s, err := nameind.NewSimple(nw.g, nw.dist, nm, under, eps)
 	if err != nil {
 		return nil, err
 	}
-	return &NameIndependent{s: s, n: nw.g.N(), d: nw.apsp}, nil
+	return &NameIndependent{s: s, n: nw.g.N(), d: nw.dist}, nil
 }
 
 // NewScaleFreeNameIndependent compiles the Theorem 1.1 scheme — the
@@ -231,15 +231,15 @@ func (nw *Network) NewScaleFreeNameIndependent(eps float64, names []int) (*NameI
 	if err != nil {
 		return nil, err
 	}
-	under, err := labeled.NewScaleFree(nw.g, nw.apsp, eps)
+	under, err := labeled.NewScaleFree(nw.g, nw.dist, eps)
 	if err != nil {
 		return nil, err
 	}
-	s, err := nameind.NewScaleFree(nw.g, nw.apsp, nm, under, eps)
+	s, err := nameind.NewScaleFree(nw.g, nw.dist, nm, under, eps)
 	if err != nil {
 		return nil, err
 	}
-	return &NameIndependent{s: s, n: nw.g.N(), d: nw.apsp}, nil
+	return &NameIndependent{s: s, n: nw.g.N(), d: nw.dist}, nil
 }
 
 func (nw *Network) naming(names []int) (*nameind.Naming, error) {
@@ -252,9 +252,9 @@ func (nw *Network) naming(names []int) (*nameind.Naming, error) {
 // NewFullTable compiles the stretch-1, Theta(n log n)-bits-per-node
 // baseline. It implements both models; the returned pair shares state.
 func (nw *Network) NewFullTable() (*Labeled, *NameIndependent) {
-	s := baseline.NewFullTable(nw.g, nw.apsp)
-	return &Labeled{s: s, n: nw.g.N(), d: nw.apsp},
-		&NameIndependent{s: s, n: nw.g.N(), d: nw.apsp}
+	s := baseline.NewFullTable(nw.g, nw.dist)
+	return &Labeled{s: s, n: nw.g.N(), d: nw.dist},
+		&NameIndependent{s: s, n: nw.g.N(), d: nw.dist}
 }
 
 // NewSingleTree compiles the single-spanning-tree baseline rooted at
@@ -267,7 +267,7 @@ func (nw *Network) NewSingleTree(root int) (*Labeled, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Labeled{s: s, n: nw.g.N(), d: nw.apsp}, nil
+	return &Labeled{s: s, n: nw.g.N(), d: nw.dist}, nil
 }
 
 // AllPairs enumerates every ordered pair of distinct nodes — the
@@ -299,11 +299,11 @@ func SparseNames(n int, space, seed int64) ([]int, error) {
 // general-graph comparator: stretch exactly 3 with ~O(sqrt(n log n))
 // tables, versus (1+eps) with polylog tables on doubling networks.
 func (nw *Network) NewThorupZwick(sampleFactor float64, seed int64) (*Labeled, error) {
-	s, err := tz.New(nw.g, nw.apsp, sampleFactor, seed)
+	s, err := tz.New(nw.g, nw.dist, sampleFactor, seed)
 	if err != nil {
 		return nil, err
 	}
-	return &Labeled{s: s, n: nw.g.N(), d: nw.apsp}, nil
+	return &Labeled{s: s, n: nw.g.N(), d: nw.dist}, nil
 }
 
 // DistanceOracle is a compiled Thorup–Zwick approximate distance
@@ -316,7 +316,7 @@ type DistanceOracle struct {
 // NewDistanceOracle builds a stretch-(2k-1) distance oracle — the
 // general-graph space/stretch reference the doubling schemes escape.
 func (nw *Network) NewDistanceOracle(k int, seed int64) (*DistanceOracle, error) {
-	o, err := oracle.New(nw.apsp, k, seed)
+	o, err := oracle.New(nw.dist, k, seed)
 	if err != nil {
 		return nil, err
 	}

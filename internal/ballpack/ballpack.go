@@ -35,7 +35,7 @@ type Ball struct {
 // Packing holds ℬ_j for every j ∈ [log n] together with each node's
 // covering witness.
 type Packing struct {
-	a *metric.APSP
+	a metric.Distancer
 	// Balls[j] is ℬ_j, in greedy selection order (increasing radius).
 	Balls [][]Ball
 	// witness[j][u] indexes into Balls[j]: the ball whose center c has
@@ -47,7 +47,7 @@ type Packing struct {
 // New builds the packing for all levels j = 0..ceil(log2 n). Level
 // sizes are min(2^j, n), so the top level is a single ball covering the
 // whole graph — the safety net the schemes' lookups bottom out in.
-func New(a *metric.APSP) *Packing {
+func New(a metric.Distancer) *Packing {
 	n := a.N()
 	maxJ := 0
 	for 1<<maxJ < n {
@@ -90,7 +90,7 @@ func (p *Packing) WitnessBall(j, u int) *Ball {
 	return &p.Balls[j][p.witness[j][u]]
 }
 
-func buildLevel(a *metric.APSP, size int) []Ball {
+func buildLevel(a metric.Distancer, size int) []Ball {
 	return BuildLevelOrdered(a, size, true)
 }
 
@@ -98,7 +98,7 @@ func buildLevel(a *metric.APSP, size int) []Ball {
 // selecting candidates either in increasing radius — the order Lemma
 // 2.3's Property 2 depends on — or in increasing center id (the
 // ablation baseline, which loses the witness guarantee).
-func BuildLevelOrdered(a *metric.APSP, size int, byRadius bool) []Ball {
+func BuildLevelOrdered(a metric.Distancer, size int, byRadius bool) []Ball {
 	n := a.N()
 	type cand struct {
 		center int
@@ -144,7 +144,7 @@ func BuildLevelOrdered(a *metric.APSP, size int, byRadius bool) []Ball {
 	return out
 }
 
-func buildWitnesses(a *metric.APSP, balls []Ball, size int) []int32 {
+func buildWitnesses(a metric.Distancer, balls []Ball, size int) []int32 {
 	n := a.N()
 	w := make([]int32, n)
 	for u := 0; u < n; u++ {
@@ -188,7 +188,7 @@ func (b *Ball) Contains(v int) bool {
 // witness distance d(u, c)/(2 r_u) among nodes that have one (nodes
 // with r_u = 0 count as satisfied at distance 0). Used by the packing-
 // order ablation: radius-order selection guarantees okFrac == 1.
-func WitnessQuality(a *metric.APSP, balls []Ball, size int) (okFrac, meanRatio, maxRatio float64) {
+func WitnessQuality(a metric.Distancer, balls []Ball, size int) (okFrac, meanRatio, maxRatio float64) {
 	n := a.N()
 	okCount := 0
 	for u := 0; u < n; u++ {

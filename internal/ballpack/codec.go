@@ -52,7 +52,7 @@ func (p *Packing) Bits() int {
 
 // Decode reads a packing written by Encode, rebinding it to the given
 // oracle. Malformed input is rejected with an error, never a panic.
-func Decode(r *bits.Reader, a *metric.APSP) (*Packing, error) {
+func Decode(r *bits.Reader, a metric.Distancer) (*Packing, error) {
 	n := a.N()
 	nj, err := r.ReadUvarint()
 	if err != nil {

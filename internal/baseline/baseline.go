@@ -27,7 +27,7 @@ import (
 // FullTable is the stretch-1 full-routing-table scheme.
 type FullTable struct {
 	g      *graph.Graph
-	a      *metric.APSP
+	a      metric.Distancer
 	idBits int
 }
 
@@ -37,7 +37,7 @@ var (
 )
 
 // NewFullTable compiles the scheme (the APSP matrix is its table).
-func NewFullTable(g *graph.Graph, a *metric.APSP) *FullTable {
+func NewFullTable(g *graph.Graph, a metric.Distancer) *FullTable {
 	core.NoteSchemeBuild()
 	return &FullTable{g: g, a: a, idBits: bits.UintBits(g.N())}
 }

@@ -16,7 +16,7 @@ import (
 func (s *FullTable) EncodeSnapshot(w *bits.Writer) {}
 
 // RestoreFullTable rebinds a FullTable to the given graph and oracle.
-func RestoreFullTable(g *graph.Graph, a *metric.APSP) *FullTable {
+func RestoreFullTable(g *graph.Graph, a metric.Distancer) *FullTable {
 	return &FullTable{g: g, a: a, idBits: bits.UintBits(g.N())}
 }
 

@@ -108,7 +108,7 @@ type simpleNode struct {
 //	0      distance-vector exchange: full distance/next-hop rows with
 //	       Dijkstra's exact tie-breaks.
 //	1      shortest-path-tree child announce toward node 0.
-//	2      aggregation convergecast: (min pair distance, diameter, n).
+//	2      aggregation convergecast: (min pair distance, ecc(root), n).
 //	3      parameter broadcast: (base, L, n) down the tree.
 //	4      the root announces itself as Y_L (scoped accept flood).
 //	5..4+L per-level net election, level i = L-(phase-4): the greedy
@@ -171,7 +171,11 @@ func (p *simpleProto) Begin(phase int, c *Ctx) {
 	case phase == 2:
 		sort.Slice(st.sptKids, func(a, b int) bool { return st.sptKids[a] < st.sptKids[b] })
 		st.aggMin = math.Inf(1)
-		st.aggMax = 0
+		// The max aggregate carries only this node's distance from the
+		// root: its convergecast max is the root's eccentricity, the
+		// quantity rnet.NewHierarchy sizes L with (the tight coverage
+		// requirement — the diameter would be a loose upper bound).
+		st.aggMax = st.distRow[0]
 		st.aggCnt = 1
 		for u := 0; u < p.n; u++ {
 			if u == v {
@@ -179,9 +183,6 @@ func (p *simpleProto) Begin(phase int, c *Ctx) {
 			}
 			if d := st.distRow[u]; d < st.aggMin {
 				st.aggMin = d
-			}
-			if d := st.distRow[u]; d > st.aggMax {
-				st.aggMax = d
 			}
 		}
 		if len(st.sptKids) == 0 {
@@ -219,7 +220,7 @@ func (p *simpleProto) Begin(phase int, c *Ctx) {
 // aggReady fires when v has folded all child aggregates: push the
 // partial aggregate up, or derive the hierarchy parameters at the root
 // exactly as rnet.NewHierarchy would (base = min pair distance,
-// L = ceil(log2(diameter/base))).
+// L = ceil(log2(ecc(root)/base))).
 func (p *simpleProto) aggReady(c *Ctx, st *simpleNode) {
 	if c.Node() != 0 {
 		c.Send(int(st.nhRow[0]), &Msg{Kind: KindAgg, Dist: st.aggMin, Aux: st.aggMax, Count: st.aggCnt})
@@ -229,10 +230,10 @@ func (p *simpleProto) aggReady(c *Ctx, st *simpleNode) {
 		c.Fail(fmt.Errorf("dist: aggregation counted %d of %d nodes", st.aggCnt, p.n))
 		return
 	}
-	base, diam := st.aggMin, st.aggMax
-	topL := int(math.Ceil(math.Log2(diam / base)))
+	base, ecc := st.aggMin, st.aggMax
+	topL := int(math.Ceil(math.Log2(ecc / base)))
 	if topL < 1 {
-		// L = 0 means diameter == min distance: the hierarchy would be a
+		// L = 0 means ecc(root) == min distance: the hierarchy would be a
 		// single level and only the root would carry a leaf label. The
 		// oracle scheme is equally degenerate there; reject explicitly.
 		c.Fail(fmt.Errorf("dist: degenerate hierarchy (L = %d) on %d nodes", topL, p.n))

@@ -101,7 +101,7 @@ func Ablation(w io.Writer, e *Env, pairCount int, seed int64) error {
 	fmt.Fprintln(w, "\n(4) search-tree eps (net radius shrink rate) on the diameter ball:")
 	tw = newTab(w)
 	fmt.Fprintln(tw, "eps\theight/(radius)\tmax degree\tlevels")
-	radius := e.A.Diameter()
+	radius := metric.DiameterOf(e.A)
 	for _, eps := range []float64{0.1, 0.25, 0.5, 0.9} {
 		t, err := searchtree.New[int](e.A, 0, radius, searchtree.Config{
 			Eps:          eps,

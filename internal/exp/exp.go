@@ -24,11 +24,78 @@ import (
 	"compactrouting/internal/nameind"
 )
 
-// Env is one benchmark network with its metric oracle.
+// Env is one benchmark network with its metric oracle. A holds
+// whichever distance backend the env was built on; the two backends
+// answer every Distancer query bit-identically, so experiment output
+// depends on the backend only through build cost.
 type Env struct {
 	Name string
 	G    *graph.Graph
-	A    *metric.APSP
+	A    metric.Distancer
+}
+
+// BuildOracle compiles the named distance backend for g: "dense" (the
+// up-front APSP matrix) or "lazy" (on-demand truncated Dijkstra rows).
+func BuildOracle(g *graph.Graph, backend string) (metric.Distancer, error) {
+	switch backend {
+	case "", "dense":
+		return metric.NewAPSP(g), nil
+	case "lazy":
+		return metric.NewLazyOracle(g), nil
+	default:
+		return nil, fmt.Errorf("exp: unknown backend %q (want dense|lazy)", backend)
+	}
+}
+
+// EnvOn builds a named workload family on an explicit distance backend
+// — the switchboard behind cmd/routebench's -backend flag and the
+// APSP-free experiment family. Kinds: geometric, grid-holes, exp-path,
+// unit-path, power-law.
+func EnvOn(kind string, n int, seed int64, backend string) (*Env, error) {
+	var (
+		g   *graph.Graph
+		err error
+	)
+	name := ""
+	switch kind {
+	case "geometric":
+		radius := 1.8 * math.Sqrt(math.Log(float64(n))/float64(n))
+		g, _, err = graph.RandomGeometric(n, radius, seed)
+		if g != nil {
+			name = fmt.Sprintf("geometric n=%d", g.N())
+		}
+	case "grid-holes":
+		side := int(math.Ceil(math.Sqrt(float64(n))))
+		g, _, err = graph.GridWithHoles(side, side, 0.25, seed)
+		name = fmt.Sprintf("grid-holes %dx%d", side, side)
+	case "exp-path":
+		g, err = graph.ExponentialPath(n, 4)
+		name = fmt.Sprintf("exp-path n=%d base=4", n)
+	case "unit-path":
+		g, err = graph.Path(n, 1)
+		name = fmt.Sprintf("unit-path n=%d", n)
+	case "power-law":
+		g, err = graph.PowerLaw(n, 2, 8, seed)
+		name = fmt.Sprintf("power-law n=%d", n)
+	default:
+		return nil, fmt.Errorf("exp: unknown graph kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	a, err := BuildOracle(g, backend)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Name: name + " (" + orName(backend) + ")", G: g, A: a}, nil
+}
+
+// orName normalizes the backend display name.
+func orName(backend string) string {
+	if backend == "" {
+		return "dense"
+	}
+	return backend
 }
 
 // GridHolesEnv returns a side x side grid with 25% holes.

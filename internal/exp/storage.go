@@ -7,6 +7,7 @@ import (
 
 	"compactrouting/internal/core"
 	"compactrouting/internal/labeled"
+	"compactrouting/internal/metric"
 )
 
 // Storage regenerates the space-scaling claim behind Lemmas 3.3, 3.8
@@ -33,8 +34,8 @@ func Storage(w io.Writer, sizes []int, base float64, seed int64) error {
 			return err
 		}
 		row := []float64{
-			math.Log2(unit.A.NormalizedDiameter()),
-			math.Log2(expo.A.NormalizedDiameter()),
+			math.Log2(metric.NormalizedDiameterOf(unit.A)),
+			math.Log2(metric.NormalizedDiameterOf(expo.A)),
 		}
 		for _, e := range []*Env{unit, expo} {
 			s, err := labeled.NewSimple(e.G, e.A, 0.25)

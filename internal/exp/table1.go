@@ -75,7 +75,7 @@ func Table1(w io.Writer, e *Env, eps float64, pairCount int, seed int64) error {
 	})
 
 	fmt.Fprintf(w, "Table 1 — name-independent schemes on %s (n=%d, eps=%v, %d pairs, Delta=%.3g, alpha~%.1f)\n",
-		e.Name, e.G.N(), eps, len(pairs), e.A.NormalizedDiameter(),
+		e.Name, e.G.N(), eps, len(pairs), metric.NormalizedDiameterOf(e.A),
 		metric.EstimateDoublingDimension(e.A, 100, seed))
 	tw := newTab(w)
 	fmt.Fprintln(tw, "scheme\tpaper stretch\tmeas max\tmeas mean\tpaper table (bits)\tmeas max (bits)\tmeas avg (bits)\tpaper hdr\tmeas hdr (bits)")

@@ -7,6 +7,7 @@ import (
 	"compactrouting/internal/baseline"
 	"compactrouting/internal/core"
 	"compactrouting/internal/labeled"
+	"compactrouting/internal/metric"
 	"compactrouting/internal/tz"
 )
 
@@ -123,7 +124,7 @@ func Table2(w io.Writer, e *Env, eps float64, pairCount int, seed int64) error {
 	})
 
 	fmt.Fprintf(w, "Table 2 — labeled schemes on %s (n=%d, eps=%v, %d pairs, Delta=%.3g)\n",
-		e.Name, e.G.N(), eps, len(pairs), e.A.NormalizedDiameter())
+		e.Name, e.G.N(), eps, len(pairs), metric.NormalizedDiameterOf(e.A))
 	tw := newTab(w)
 	fmt.Fprintln(tw, "scheme\tmeas max stretch\tmeas mean\tpaper table (bits)\tmeas max (bits)\tmeas avg (bits)\tpaper hdr\tmeas hdr (bits)\tlabel (bits)")
 	for _, r := range rows {

@@ -258,6 +258,79 @@ func RandomTree(n int, maxW float64, seed int64) (*Graph, error) {
 	return b.Build()
 }
 
+// PowerLaw returns a preferential-attachment graph on n nodes in the
+// style of Internet AS topologies: node i >= 1 attaches m edges (or i,
+// if fewer nodes exist yet) to distinct earlier nodes chosen with
+// probability proportional to degree, so the degree sequence follows a
+// power law. Edge weights are drawn log-uniform from [1, maxW), giving
+// the weight spread real inter-AS links have — with unit weights the
+// hop diameter is O(log n) and every level-0 routing ball would be the
+// whole graph. The graph is connected by construction.
+func PowerLaw(n, m int, maxW float64, seed int64) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: power law needs n >= 2, got %d", n)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("graph: power law needs m >= 1, got %d", m)
+	}
+	if maxW < 1 {
+		return nil, fmt.Errorf("graph: maxW %v must be >= 1", maxW)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	logW := math.Log(maxW)
+	// ends lists every edge endpoint; a uniform pick from it is a
+	// degree-proportional pick of a node.
+	ends := make([]int, 0, 2*m*n)
+	picked := make([]int, 0, m)
+	for i := 1; i < n; i++ {
+		k := m
+		if k > i {
+			k = i
+		}
+		picked = picked[:0]
+		for len(picked) < k {
+			var t int
+			if len(ends) == 0 {
+				t = 0
+			} else {
+				t = ends[rng.Intn(len(ends))]
+			}
+			dup := false
+			for _, p := range picked {
+				if p == t {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				// Duplicate target: fall back to a uniform pick so the
+				// loop terminates even when high-degree hubs dominate.
+				t = rng.Intn(i)
+				dup = false
+				for _, p := range picked {
+					if p == t {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+			}
+			picked = append(picked, t)
+		}
+		for _, t := range picked {
+			w := math.Exp(rng.Float64() * logW)
+			if err := b.AddEdge(t, i, w); err != nil {
+				return nil, err
+			}
+			ends = append(ends, t, i)
+		}
+	}
+	return b.Build()
+}
+
 // CaterpillarTree returns a path of length spine with leg leaves hanging
 // off every spine node; a high-degree tree useful for stressing
 // tree-routing port encodings.

@@ -40,7 +40,7 @@ type cell struct {
 // normalized diameter.
 type ScaleFree struct {
 	g   *graph.Graph
-	a   *metric.APSP
+	a   metric.Distancer
 	h   *rnet.Hierarchy
 	nt  *rnet.NettingTree
 	pk  *ballpack.Packing
@@ -63,7 +63,7 @@ var _ core.LabeledScheme = (*ScaleFree)(nil)
 // requires 1/eps >= 4 (routes that would escape it fall back to the
 // top-level packing ball and are flagged, so delivery is total for any
 // eps, but the analyzed path needs eps <= 1/4).
-func NewScaleFree(g *graph.Graph, a *metric.APSP, eps float64) (*ScaleFree, error) {
+func NewScaleFree(g *graph.Graph, a metric.Distancer, eps float64) (*ScaleFree, error) {
 	core.NoteSchemeBuild()
 	if eps <= 0 || eps > 0.25 {
 		return nil, fmt.Errorf("labeled: scale-free scheme needs eps in (0, 0.25], got %v", eps)

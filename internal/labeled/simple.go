@@ -65,7 +65,7 @@ func findEntry(entries []ringEntry, label int) *ringEntry {
 // Simple is the non-scale-free (1+O(eps))-stretch labeled scheme.
 type Simple struct {
 	g   *graph.Graph
-	a   *metric.APSP
+	a   metric.Distancer
 	h   *rnet.Hierarchy
 	nt  *rnet.NettingTree
 	eps float64
@@ -86,8 +86,9 @@ var _ core.LabeledScheme = (*Simple)(nil)
 // <= 1 + 4eps/(1-eps).
 const defaultRingFactor = 2.0
 
-// NewSimple compiles the scheme. Preprocessing is O(n^2 log Delta).
-func NewSimple(g *graph.Graph, a *metric.APSP, eps float64) (*Simple, error) {
+// NewSimple compiles the scheme. Preprocessing is O(n^2 log Delta) on
+// the dense backend and ball-local on the lazy one.
+func NewSimple(g *graph.Graph, a metric.Distancer, eps float64) (*Simple, error) {
 	return NewSimpleRingFactor(g, a, eps, defaultRingFactor)
 }
 
@@ -96,7 +97,15 @@ func NewSimple(g *graph.Graph, a *metric.APSP, eps float64) (*Simple, error) {
 // tables but weaken the stretch guarantee; it exists for the ablation
 // experiments. factor must be at least 1 (below that the zooming
 // ancestor may fall outside the ring and routing gets stuck).
-func NewSimpleRingFactor(g *graph.Graph, a *metric.APSP, eps, factor float64) (*Simple, error) {
+//
+// The ring build is center-first: instead of intersecting every node's
+// ball with Y_i, each net point x ∈ Y_i scatters itself into the ring
+// of every node of B_x(radius). Membership and next hops then read only
+// center rows — Dist(x, v), and NextHop(v, x) which is column v of x's
+// own tree — so the lazy backend builds |Y_i| truncated rows per level
+// (prefetched in parallel) instead of one full row per node. Sweeping
+// centers in ascending id appends each ring already sorted by x.
+func NewSimpleRingFactor(g *graph.Graph, a metric.Distancer, eps, factor float64) (*Simple, error) {
 	core.NoteSchemeBuild()
 	if eps <= 0 || eps > 0.5 {
 		return nil, fmt.Errorf("labeled: eps %v out of (0, 0.5]", eps)
@@ -114,49 +123,46 @@ func NewSimpleRingFactor(g *graph.Graph, a *metric.APSP, eps, factor float64) (*
 		tblBit:     make([]int, g.N()),
 		idBits:     bits.UintBits(g.N()),
 	}
-	// Per-node table compilation is embarrassingly parallel: iteration v
-	// writes only rings[v] and tblBit[v], so the tables are bit-identical
-	// to a serial build (see TestSimpleParallelEquivalence).
-	par.For(g.N(), func(v int) {
+	n := g.N()
+	for v := 0; v < n; v++ {
 		s.rings[v] = make([][]ringEntry, h.TopLevel()+1)
-		// Level count + own label (see EncodeTable for the layout this
-		// accounting mirrors bit for bit).
+	}
+	var scratch []int
+	centers := make([]int, 0, n)
+	for i := 0; i <= h.TopLevel(); i++ {
+		radius := s.ringFactor * h.Radius(i) / s.eps
+		centers = append(centers[:0], h.Levels[i]...)
+		sort.Ints(centers)
+		metric.PrefetchBalls(a, centers, radius)
+		for _, x := range centers {
+			rg, _ := nt.Range(x, i)
+			scratch = a.AppendBall(scratch[:0], x, radius)
+			for _, v := range scratch {
+				next := a.NextHop(v, x)
+				if next < 0 {
+					next = v // x == v: the entry's hop is never followed
+				}
+				s.rings[v][i] = append(s.rings[v][i], ringEntry{
+					x:    int32(x),
+					lo:   int32(rg.Lo),
+					hi:   int32(rg.Hi),
+					next: int32(next),
+				})
+			}
+		}
+	}
+	// The bit accounting is embarrassingly parallel: iteration v reads
+	// only rings[v] and writes only tblBit[v] (see EncodeTable for the
+	// layout it mirrors bit for bit).
+	par.For(n, func(v int) {
 		bitsHere := bits.UvarintLen(uint64(h.TopLevel()+1)) + s.idBits
-		var scratch []int // ball buffer reused across the node's levels
 		for i := 0; i <= h.TopLevel(); i++ {
-			ring := s.ringAt(v, i, &scratch)
-			s.rings[v][i] = ring
+			ring := s.rings[v][i]
 			bitsHere += bits.UvarintLen(uint64(len(ring))) + len(ring)*ringBits(s.idBits)
 		}
 		s.tblBit[v] = bitsHere
 	})
 	return s, nil
-}
-
-// ringAt builds node v's level-i ring entries. scratch is a reusable
-// ball buffer owned by the calling goroutine.
-func (s *Simple) ringAt(v, i int, scratch *[]int) []ringEntry {
-	radius := s.ringFactor * s.h.Radius(i) / s.eps
-	*scratch = s.a.AppendBall((*scratch)[:0], v, radius)
-	var out []ringEntry
-	for _, x := range *scratch {
-		if !s.h.InLevel(x, i) {
-			continue
-		}
-		rg, _ := s.nt.Range(x, i)
-		next := s.a.NextHop(v, x)
-		if next < 0 {
-			next = v // x == v: the entry's hop is never followed
-		}
-		out = append(out, ringEntry{
-			x:    int32(x),
-			lo:   int32(rg.Lo),
-			hi:   int32(rg.Hi),
-			next: int32(next),
-		})
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a].x < out[b].x })
-	return out
 }
 
 // SchemeName implements core.LabeledScheme.

@@ -40,7 +40,7 @@ func (s *Simple) EncodeSnapshot(w *bits.Writer) {
 // netting tree re-derived, and each node's rings parsed back from its
 // wire table. Table bit accounting is the blob length, exactly as the
 // constructor computes it.
-func RestoreSimple(r *bits.Reader, g *graph.Graph, a *metric.APSP) (*Simple, error) {
+func RestoreSimple(r *bits.Reader, g *graph.Graph, a metric.Distancer) (*Simple, error) {
 	eb, err := r.ReadBits(64)
 	if err != nil {
 		return nil, err
@@ -187,7 +187,7 @@ func (s *ScaleFree) EncodeSnapshot(w *bits.Writer) {
 // RestoreScaleFree rebuilds a ScaleFree scheme from an EncodeSnapshot
 // stream: hierarchy, packing, rings and cells are decoded, the netting
 // tree is re-derived, and the storage accounting is taken verbatim.
-func RestoreScaleFree(r *bits.Reader, g *graph.Graph, a *metric.APSP) (*ScaleFree, error) {
+func RestoreScaleFree(r *bits.Reader, g *graph.Graph, a metric.Distancer) (*ScaleFree, error) {
 	n := g.N()
 	eb, err := r.ReadBits(64)
 	if err != nil {

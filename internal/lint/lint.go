@@ -222,6 +222,7 @@ func (s *Suite) Timings() []RuleTiming { return s.timings }
 // of these packages also carries.
 var DeterministicPaths = map[string]bool{
 	"compactrouting/internal/dist":      true,
+	"compactrouting/internal/metric":    true,
 	"compactrouting/internal/labeled":   true,
 	"compactrouting/internal/nameind":   true,
 	"compactrouting/internal/rnet":      true,

@@ -14,12 +14,20 @@ import (
 // paper's ball machinery: the "ball of size k around u" is the first k
 // entries of u's order, and r_u(j) is the distance of entry 2^j - 1.
 //
+// Orientation: row u holds the source-rooted Dijkstra run from u, so
+// Dist(u, v) carries u's summation order — exactly the bytes one
+// truncated Dijkstra from u produces, which is what lets the dense and
+// lazy backends agree bit for bit (see Distancer). NextHop(u, v) stays
+// target-rooted: it is u's parent in the canonical tree rooted at v,
+// i.e. column u of v's run, so every node along a route agrees on one
+// tree toward the destination.
+//
 // APSP is the preprocessing oracle: schemes consult it while compiling
 // routing tables, never while routing.
 type APSP struct {
 	n       int
-	dist    []float64 // dist[u*n+v]
-	nextHop []int32   // nextHop[u*n+v] = neighbor of u on shortest path u->v; -1 if u==v
+	dist    []float64 // dist[u*n+v] = Dijkstra(g,u).Dist[v]
+	nextHop []int32   // nextHop[u*n+v] = Dijkstra(g,v).Parent[u]; -1 if u==v
 	order   []int32   // order[u*n+k] = k-th nearest node to u (order[u*n] == u)
 }
 
@@ -34,12 +42,14 @@ func NewAPSP(g *graph.Graph) *APSP {
 		nextHop: make([]int32, n*n),
 		order:   make([]int32, n*n),
 	}
-	par.For(n, func(t int) {
-		spt := Dijkstra(g, t)
-		// spt.Parent[v] is v's next hop toward t; transpose into rows.
+	par.For(n, func(u int) {
+		spt := Dijkstra(g, u)
+		// Iteration u owns dist row u and nextHop column u: spt.Dist is
+		// the distance row of source u, spt.Parent[v] is v's next hop
+		// toward u (column u of the next-hop matrix).
+		copy(a.dist[u*n:(u+1)*n], spt.Dist)
 		for v := 0; v < n; v++ {
-			a.dist[v*n+t] = spt.Dist[v]
-			a.nextHop[v*n+t] = int32(spt.Parent[v])
+			a.nextHop[v*n+u] = int32(spt.Parent[v])
 		}
 	})
 	par.For(n, func(u int) {
@@ -50,6 +60,7 @@ func NewAPSP(g *graph.Graph) *APSP {
 		row := a.dist[u*n : (u+1)*n]
 		sort.Slice(perm, func(i, j int) bool {
 			di, dj := row[perm[i]], row[perm[j]]
+			//determinlint:allow floateq deliberate exact tie-break: (distance, id) ordering must be bit-reproducible
 			if di != dj {
 				return di < dj
 			}
@@ -131,11 +142,15 @@ func (a *APSP) BallSize(u int, r float64) int {
 }
 
 // Nearest returns the node of set nearest to u, breaking ties by node
-// id, together with its distance. It returns (-1, +Inf) for an empty set.
+// id, together with its distance. The comparison reads Dist(v, u) for
+// each candidate v — candidate-rooted, so the bytes compared are the
+// candidates' own Dijkstra rows (the direction both backends share).
+// It returns (-1, +Inf) for an empty set.
 func (a *APSP) Nearest(u int, set []int) (int, float64) {
 	best, bd := -1, math.Inf(1)
 	for _, v := range set {
-		d := a.Dist(u, v)
+		d := a.Dist(v, u)
+		//determinlint:allow floateq deliberate exact tie-break: nearest-by-(distance, id) must be bit-reproducible
 		if d < bd || (d == bd && v < best) {
 			best, bd = v, d
 		}
@@ -143,13 +158,18 @@ func (a *APSP) Nearest(u int, set []int) (int, float64) {
 	return best, bd
 }
 
+// Eccentricity returns max_v d(u, v), the distance from u to the node
+// farthest from it.
+func (a *APSP) Eccentricity(u int) float64 {
+	// The farthest node from u is the last entry of u's order.
+	return a.dist[u*a.n+int(a.order[u*a.n+a.n-1])]
+}
+
 // Diameter returns the largest pairwise distance.
 func (a *APSP) Diameter() float64 {
 	max := 0.0
 	for u := 0; u < a.n; u++ {
-		// The farthest node from u is the last entry of u's order.
-		d := a.dist[u*a.n+int(a.order[u*a.n+a.n-1])]
-		if d > max {
+		if d := a.Eccentricity(u); d > max {
 			max = d
 		}
 	}

@@ -74,6 +74,7 @@ func (h *pq) pop() pqItem {
 }
 
 func less(a, b pqItem) bool {
+	//determinlint:allow floateq deliberate exact tie-break: heap order falls through to (owner, node) ids on equal distances
 	if a.dist != b.dist {
 		return a.dist < b.dist
 	}
@@ -106,6 +107,7 @@ func Dijkstra(g *graph.Graph, src int) *SPT {
 		for _, e := range g.Neighbors(v) {
 			nd := it.dist + e.Weight
 			w := e.To
+			//determinlint:allow floateq deliberate exact tie-break: equal-distance relaxations keep the min-id parent bit for bit
 			if nd < dist[w] || (nd == dist[w] && !done[w] && (parent[w] == -1 || v < parent[w])) {
 				dist[w] = nd
 				parent[w] = v
@@ -173,6 +175,7 @@ func Voronoi(g *graph.Graph, centers []int) (owner []int, dist []float64, parent
 			}
 			nd := it.dist + e.Weight
 			better := nd < dist[w]
+			//determinlint:allow floateq deliberate exact tie-break: equal-distance frontiers go to the smaller center id
 			if nd == dist[w] && owner[w] >= 0 {
 				// Tie: prefer the smaller center id.
 				better = centers[owner[v]] < centers[owner[w]]

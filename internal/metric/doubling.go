@@ -11,7 +11,7 @@ import (
 // more than r/2 apart, so the count is sandwiched between the true
 // covering number and the r/2-packing number of B_u(r); by Lemma 2.2
 // both are at most exponential in the doubling dimension.
-func GreedyCoverCount(a *APSP, u int, r float64) int {
+func GreedyCoverCount(a Distancer, u int, r float64) int {
 	ball := a.Ball(u, r)
 	covered := make(map[int]bool, len(ball))
 	count := 0
@@ -38,8 +38,8 @@ func GreedyCoverCount(a *APSP, u int, r float64) int {
 // samples limits the number of (center, radius) probes; pass 0 for a
 // deterministic full sweep over all centers at O(log Delta) radii (only
 // viable for small n).
-func EstimateDoublingDimension(a *APSP, samples int, seed int64) float64 {
-	if a.n < 2 {
+func EstimateDoublingDimension(a Distancer, samples int, seed int64) float64 {
+	if a.N() < 2 {
 		return 0
 	}
 	maxCount := 1
@@ -49,10 +49,10 @@ func EstimateDoublingDimension(a *APSP, samples int, seed int64) float64 {
 		}
 	}
 	minD := a.MinPairDistance()
-	maxD := a.Diameter()
+	maxD := DiameterOf(a)
 	levels := int(math.Ceil(math.Log2(maxD/minD))) + 1
 	if samples <= 0 {
-		for u := 0; u < a.n; u++ {
+		for u := 0; u < a.N(); u++ {
 			r := minD
 			for l := 0; l <= levels; l++ {
 				probe(u, r)
@@ -62,7 +62,7 @@ func EstimateDoublingDimension(a *APSP, samples int, seed int64) float64 {
 	} else {
 		rng := rand.New(rand.NewSource(seed))
 		for s := 0; s < samples; s++ {
-			u := rng.Intn(a.n)
+			u := rng.Intn(a.N())
 			l := rng.Intn(levels + 1)
 			probe(u, minD*math.Pow(2, float64(l)))
 		}

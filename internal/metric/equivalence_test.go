@@ -1,0 +1,148 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"compactrouting/internal/graph"
+)
+
+// equivGraphs builds the four-family test matrix the dense/lazy
+// equivalence suite sweeps: 10 seeds x 3 sizes x 4 graph families
+// (grids with holes, random geometric, random trees, power-law).
+// Scheme-level equivalence over the same matrix lives in
+// internal/exp's backend equivalence test (the schemes would be an
+// import cycle here).
+func equivGraphs(t *testing.T, size int, seed int64) map[string]*graph.Graph {
+	t.Helper()
+	out := make(map[string]*graph.Graph)
+	side := 1
+	for side*side < size {
+		side++
+	}
+	gh, _, err := graph.GridWithHoles(side, side, 0.25, seed)
+	if err != nil {
+		t.Fatalf("grid-holes: %v", err)
+	}
+	out["grid-holes"] = gh
+	radius := 1.8 * math.Sqrt(math.Log(float64(size))/float64(size))
+	geo, _, err := graph.RandomGeometric(size, radius, seed)
+	if err != nil {
+		t.Fatalf("geometric: %v", err)
+	}
+	out["geometric"] = geo
+	rt, err := graph.RandomTree(size, 4, seed)
+	if err != nil {
+		t.Fatalf("random-tree: %v", err)
+	}
+	out["random-tree"] = rt
+	pl, err := graph.PowerLaw(size, 2, 8, seed)
+	if err != nil {
+		t.Fatalf("power-law: %v", err)
+	}
+	out["power-law"] = pl
+	return out
+}
+
+// TestDenseLazyEquivalence sweeps every Distancer query over both
+// backends and requires bit-identical answers: distances and radii by
+// math.Float64bits, balls and orders element for element.
+func TestDenseLazyEquivalence(t *testing.T) {
+	for _, size := range []int{16, 33, 64} {
+		for seed := int64(1); seed <= 10; seed++ {
+			for fam, g := range equivGraphs(t, size, seed) {
+				t.Run(fmt.Sprintf("%s/n%d/seed%d", fam, size, seed), func(t *testing.T) {
+					dense := NewAPSP(g)
+					// A small cache forces eviction and re-derivation
+					// mid-sweep; answers must not notice.
+					lazy := NewLazyOracleOpts(g, LazyOpts{MaxEntries: 4 * g.N()})
+					checkBackendsAgree(t, g, dense, lazy, seed)
+				})
+			}
+		}
+	}
+}
+
+func checkBackendsAgree(t *testing.T, g *graph.Graph, dense *APSP, lazy *LazyOracle, seed int64) {
+	t.Helper()
+	n := g.N()
+	if lazy.N() != n {
+		t.Fatalf("lazy.N() = %d, want %d", lazy.N(), n)
+	}
+	if !eqBits(dense.MinPairDistance(), lazy.MinPairDistance()) {
+		t.Fatalf("MinPairDistance: dense %v lazy %v", dense.MinPairDistance(), lazy.MinPairDistance())
+	}
+	// Radii exercised by ball queries: the hierarchy's level radii.
+	base := dense.MinPairDistance()
+	var radii []float64
+	for r := base; r <= dense.Diameter()*2; r *= 2 {
+		radii = append(radii, r, r/0.25)
+	}
+	for u := 0; u < n; u++ {
+		if !eqBits(dense.Eccentricity(u), lazy.Eccentricity(u)) {
+			t.Fatalf("Eccentricity(%d): dense %v lazy %v", u, dense.Eccentricity(u), lazy.Eccentricity(u))
+		}
+		for v := 0; v < n; v++ {
+			if !eqBits(dense.Dist(u, v), lazy.Dist(u, v)) {
+				t.Fatalf("Dist(%d,%d): dense %v lazy %v", u, v, dense.Dist(u, v), lazy.Dist(u, v))
+			}
+			if dh, lh := dense.NextHop(u, v), lazy.NextHop(u, v); dh != lh {
+				t.Fatalf("NextHop(%d,%d): dense %d lazy %d", u, v, dh, lh)
+			}
+		}
+		for k := 0; k < n; k++ {
+			if dk, lk := dense.Kth(u, k), lazy.Kth(u, k); dk != lk {
+				t.Fatalf("Kth(%d,%d): dense %d lazy %d", u, k, dk, lk)
+			}
+		}
+		for _, size := range []int{1, 2, 3, n / 2, n} {
+			if size < 1 {
+				continue
+			}
+			if dr, lr := dense.RadiusOfSize(u, size), lazy.RadiusOfSize(u, size); !eqBits(dr, lr) {
+				t.Fatalf("RadiusOfSize(%d,%d): dense %v lazy %v", u, size, dr, lr)
+			}
+			if !intsEqual(dense.BallOfSize(u, size), lazy.BallOfSize(u, size)) {
+				t.Fatalf("BallOfSize(%d,%d) differs", u, size)
+			}
+		}
+		for _, r := range radii {
+			db, lb := dense.Ball(u, r), lazy.Ball(u, r)
+			if !intsEqual(db, lb) {
+				t.Fatalf("Ball(%d,%g): dense %v lazy %v", u, r, db, lb)
+			}
+			if ds, ls := dense.BallSize(u, r), lazy.BallSize(u, r); ds != ls {
+				t.Fatalf("BallSize(%d,%g): dense %d lazy %d", u, r, ds, ls)
+			}
+		}
+	}
+	// Nearest over a pseudo-random candidate set.
+	set := make([]int, 0, 8)
+	for i := 0; i < 8; i++ {
+		set = append(set, int((seed*2654435761+int64(i)*40503)%int64(n)))
+	}
+	for u := 0; u < n; u++ {
+		dn, dd := dense.Nearest(u, set)
+		ln, ld := lazy.Nearest(u, set)
+		if dn != ln || !eqBits(dd, ld) {
+			t.Fatalf("Nearest(%d): dense (%d,%v) lazy (%d,%v)", u, dn, dd, ln, ld)
+		}
+	}
+}
+
+func eqBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,654 @@
+package metric
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"compactrouting/internal/graph"
+	"compactrouting/internal/par"
+)
+
+// LazyOracle is the on-demand distance backend: instead of the dense
+// APSP matrix it computes truncated single-source Dijkstra rows per
+// query, exactly the prefix the full run from that source would settle,
+// and caches them in a bounded generation-keyed LRU. Because Dijkstra
+// settles nodes in nondecreasing distance, a truncated row is
+// byte-identical to the corresponding prefix of the dense backend's
+// row — every Distancer query therefore returns bit-identical results
+// on both backends (equivalence_test.go), while memory stays
+// proportional to the cached rows instead of n².
+//
+// Queries are deterministic regardless of cache state: an evicted row
+// is re-derived by re-running the same truncated Dijkstra, so answers
+// are a pure function of (graph, query), never of eviction history or
+// scheduling (lazy_property_test.go pins this).
+//
+// All methods are safe for concurrent use; a single mutex serializes
+// cache access and cold-miss construction. For sweep-shaped workloads,
+// PrefetchBalls shards cold rows over internal/par first.
+type LazyOracle struct {
+	g       *graph.Graph
+	n       int
+	minEdge float64
+
+	mu      sync.Mutex
+	gen     uint64
+	rows    map[rowKey]*lazyRow
+	head    *lazyRow // most recently used
+	tail    *lazyRow // least recently used
+	entries int      // total settled entries cached across rows
+	maxEnt  int
+	bld     *rowBuilder
+}
+
+// rowKey identifies a cached row: the oracle generation it was built
+// under plus the source node.
+type rowKey struct {
+	gen uint64
+	u   int32
+}
+
+// lazyRow is one source's truncated Dijkstra output.
+type lazyRow struct {
+	key rowKey
+	// Settle-order arrays: nodes[i] was the i-th node settled, at
+	// distance dist[i] (nondecreasing) with parent[i] its next hop
+	// toward the source (-1 at the source).
+	nodes  []int32
+	dist   []float64
+	parent []int32
+	idx    map[int32]int32 // node -> settle position
+	// ord lists settle positions re-sorted by (distance, node id) —
+	// the dense backend's order-row tie-break.
+	ord []int32
+	// safeDist is the proven completeness radius: every node at
+	// distance <= safeDist is settled, so ord entries up to it are an
+	// exact prefix of the full order row. complete means the whole
+	// graph is settled.
+	safeDist float64
+	complete bool
+
+	prev, next *lazyRow // LRU list
+}
+
+// LazyOpts parameterizes NewLazyOracleOpts.
+type LazyOpts struct {
+	// Generation keys cached rows; AdvanceGeneration bumps it at
+	// runtime (the serving plane's reload path).
+	Generation uint64
+	// MaxEntries bounds the total settled entries cached across rows
+	// (roughly 20 bytes each). <= 0 selects the default: enough for a
+	// handful of full rows plus the working set of a ball sweep.
+	MaxEntries int
+}
+
+// defaultLazyEntries sizes the row cache when LazyOpts.MaxEntries is
+// unset: 8 full rows' worth, but at least 1<<16 entries so small
+// graphs cache everything.
+func defaultLazyEntries(n int) int {
+	e := 8 * n
+	if e < 1<<16 {
+		e = 1 << 16
+	}
+	return e
+}
+
+// NewLazyOracle returns the on-demand backend for g with default
+// options. Construction is O(1): no Dijkstra runs until a query needs
+// one.
+func NewLazyOracle(g *graph.Graph) *LazyOracle {
+	return NewLazyOracleOpts(g, LazyOpts{})
+}
+
+// NewLazyOracleOpts is NewLazyOracle with explicit options.
+func NewLazyOracleOpts(g *graph.Graph, opts LazyOpts) *LazyOracle {
+	maxEnt := opts.MaxEntries
+	if maxEnt <= 0 {
+		maxEnt = defaultLazyEntries(g.N())
+	}
+	// A single full row must always fit, or expansion could thrash.
+	if maxEnt < g.N() {
+		maxEnt = g.N()
+	}
+	return &LazyOracle{
+		g:       g,
+		n:       g.N(),
+		minEdge: g.MinEdgeWeight(),
+		gen:     opts.Generation,
+		rows:    make(map[rowKey]*lazyRow),
+		maxEnt:  maxEnt,
+		bld:     newRowBuilder(g.N()),
+	}
+}
+
+// Generation returns the current cache generation.
+func (o *LazyOracle) Generation() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.gen
+}
+
+// AdvanceGeneration invalidates every cached row by moving to the next
+// generation (rows of older generations are dropped immediately).
+func (o *LazyOracle) AdvanceGeneration() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.gen++
+	o.rows = make(map[rowKey]*lazyRow)
+	o.head, o.tail, o.entries = nil, nil, 0
+}
+
+// CachedEntries reports the settled entries currently cached (test and
+// metrics hook).
+func (o *LazyOracle) CachedEntries() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.entries
+}
+
+// N returns the number of nodes.
+func (o *LazyOracle) N() int { return o.n }
+
+// MinPairDistance returns the smallest nonzero pairwise distance: on a
+// connected positively-weighted graph, exactly the minimum edge weight
+// (a multi-edge path sums at least two edges each >= it), so the bytes
+// match the dense backend's matrix scan.
+func (o *LazyOracle) MinPairDistance() float64 {
+	if o.n < 2 {
+		return math.Inf(1)
+	}
+	return o.minEdge
+}
+
+// distFast is the lazy backend's cache-hit query: a row lookup plus an
+// LRU touch, no allocation. Cold misses fall through to the builder.
+//
+//determinlint:hotpath
+func (o *LazyOracle) distFast(u, v int) (float64, bool) {
+	o.mu.Lock()
+	row := o.rows[rowKey{o.gen, int32(u)}]
+	if row != nil {
+		if p, ok := row.idx[int32(v)]; ok {
+			d := row.dist[p]
+			o.touch(row)
+			o.mu.Unlock()
+			return d, true
+		}
+	}
+	o.mu.Unlock()
+	return 0, false
+}
+
+// Dist returns d(u, v) with source-u summation order.
+func (o *LazyOracle) Dist(u, v int) float64 {
+	if d, ok := o.distFast(u, v); ok {
+		return d
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	row := o.ensureNode(u, v)
+	return row.dist[row.idx[int32(v)]]
+}
+
+// NextHop returns the neighbor of u on the canonical shortest path
+// from u to v — u's parent in the tree rooted at v — or -1 if u == v.
+// The row consulted is v's (target-rooted trees are column reads of
+// the source-rooted rows).
+func (o *LazyOracle) NextHop(u, v int) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	row := o.ensureNode(v, u)
+	return int(row.parent[row.idx[int32(u)]])
+}
+
+// Kth returns the k-th nearest node to u (k=0 is u itself).
+func (o *LazyOracle) Kth(u, k int) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	row := o.ensureCount(u, k+1)
+	return int(row.nodes[row.ord[k]])
+}
+
+// RadiusOfSize returns r_u(size), the distance from u to its size-th
+// nearest node.
+func (o *LazyOracle) RadiusOfSize(u, size int) float64 {
+	if size < 1 {
+		return 0
+	}
+	if size > o.n {
+		size = o.n
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	row := o.ensureCount(u, size)
+	return row.dist[row.ord[size-1]]
+}
+
+// BallOfSize returns the first size entries of u's distance order.
+func (o *LazyOracle) BallOfSize(u, size int) []int {
+	return o.AppendBallOfSize(nil, u, size)
+}
+
+// AppendBallOfSize is BallOfSize appending into dst.
+func (o *LazyOracle) AppendBallOfSize(dst []int, u, size int) []int {
+	if size > o.n {
+		size = o.n
+	}
+	if size < 1 {
+		return dst
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	row := o.ensureCount(u, size)
+	for i := 0; i < size; i++ {
+		dst = append(dst, int(row.nodes[row.ord[i]]))
+	}
+	return dst
+}
+
+// Ball returns all nodes within distance r of u (inclusive), in
+// increasing (distance, id) order.
+func (o *LazyOracle) Ball(u int, r float64) []int {
+	return o.AppendBall(nil, u, r)
+}
+
+// AppendBall is Ball appending into dst.
+func (o *LazyOracle) AppendBall(dst []int, u int, r float64) []int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	row := o.ensureRadius(u, r)
+	k := row.searchBeyond(r)
+	for i := 0; i < k; i++ {
+		dst = append(dst, int(row.nodes[row.ord[i]]))
+	}
+	return dst
+}
+
+// BallSize returns |B_u(r)|.
+func (o *LazyOracle) BallSize(u int, r float64) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ensureRadius(u, r).searchBeyond(r)
+}
+
+// Nearest returns the member of set nearest to u, comparing the
+// candidate-rooted distances Dist(v, u) with ties by least id.
+func (o *LazyOracle) Nearest(u int, set []int) (int, float64) {
+	best, bd := -1, math.Inf(1)
+	for _, v := range set {
+		d := o.Dist(v, u)
+		//determinlint:allow floateq deliberate exact tie-break: nearest-by-(distance, id) must be bit-reproducible
+		if d < bd || (d == bd && v < best) {
+			best, bd = v, d
+		}
+	}
+	return best, bd
+}
+
+// Eccentricity returns max_v d(u, v). It settles u's full row (one
+// complete Dijkstra) — the lazy backend's substitute for the dense
+// Diameter scan wherever a covering radius is needed.
+func (o *LazyOracle) Eccentricity(u int) float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	row := o.ensureRadius(u, math.Inf(1))
+	return row.dist[row.ord[len(row.ord)-1]]
+}
+
+// PrefetchBalls warms the rows of the given sources out to radius r.
+// Cold rows are built concurrently over internal/par — each worker
+// owns a stride of the source list and its own builder — and installed
+// into the cache serially in source order, so the cache transcript and
+// every later answer are identical at any GOMAXPROCS.
+func (o *LazyOracle) PrefetchBalls(sources []int, r float64) {
+	o.mu.Lock()
+	need := make([]int, 0, len(sources))
+	for _, u := range sources {
+		if row := o.rows[rowKey{o.gen, int32(u)}]; row == nil || !(row.complete || row.safeDist >= r) {
+			need = append(need, u)
+		}
+	}
+	gen := o.gen
+	o.mu.Unlock()
+	if len(need) == 0 {
+		return
+	}
+	built := make([]*lazyRow, len(need))
+	workers := par.SuggestedWorkers(len(need))
+	// Worker w owns the stride {w, w+workers, ...} of `need` — each
+	// built[i] is written by exactly one worker, and each row is a pure
+	// function of (graph, source, r), so the result is schedule-free.
+	par.For(workers, func(w int) {
+		bld := newRowBuilder(o.n)
+		for i := w; i < len(built); i += workers {
+			//determinlint:allow parbody worker w owns the stride {w, w+workers, ...}: each built[i] has exactly one writer and rows are pure functions of (graph, source, r)
+			built[i] = bld.run(o.g, need[i], gen, buildStop{radius: r, node: -1})
+		}
+	})
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.gen != gen {
+		return // invalidated mid-build; drop the stale rows
+	}
+	for _, row := range built {
+		old := o.rows[row.key]
+		// Keep whichever row knows more; queries cannot tell the
+		// difference, this only avoids discarding a wider row.
+		if old != nil && (old.complete || old.safeDist >= row.safeDist) {
+			continue
+		}
+		o.install(row, old)
+	}
+}
+
+// --- cache internals (all called with mu held) ---
+
+// touch moves row to the MRU end of the list.
+func (o *LazyOracle) touch(row *lazyRow) {
+	if o.head == row {
+		return
+	}
+	// unlink
+	if row.prev != nil {
+		row.prev.next = row.next
+	}
+	if row.next != nil {
+		row.next.prev = row.prev
+	}
+	if o.tail == row {
+		o.tail = row.prev
+	}
+	// push front
+	row.prev = nil
+	row.next = o.head
+	if o.head != nil {
+		o.head.prev = row
+	}
+	o.head = row
+	if o.tail == nil {
+		o.tail = row
+	}
+}
+
+// install replaces old (possibly nil) with row and evicts LRU rows
+// beyond the entry budget, never evicting row itself.
+func (o *LazyOracle) install(row *lazyRow, old *lazyRow) {
+	if old != nil {
+		o.remove(old)
+	}
+	o.rows[row.key] = row
+	o.entries += len(row.nodes)
+	row.prev, row.next = nil, o.head
+	if o.head != nil {
+		o.head.prev = row
+	}
+	o.head = row
+	if o.tail == nil {
+		o.tail = row
+	}
+	for o.entries > o.maxEnt && o.tail != nil && o.tail != row {
+		o.remove(o.tail)
+	}
+}
+
+// remove unlinks a row from the cache and the LRU list.
+func (o *LazyOracle) remove(row *lazyRow) {
+	delete(o.rows, row.key)
+	o.entries -= len(row.nodes)
+	if row.prev != nil {
+		row.prev.next = row.next
+	} else {
+		o.head = row.next
+	}
+	if row.next != nil {
+		row.next.prev = row.prev
+	} else {
+		o.tail = row.prev
+	}
+	row.prev, row.next = nil, nil
+}
+
+// row returns u's cached row or nil.
+func (o *LazyOracle) row(u int) *lazyRow {
+	row := o.rows[rowKey{o.gen, int32(u)}]
+	if row != nil {
+		o.touch(row)
+	}
+	return row
+}
+
+// rebuild replaces u's row with one built under the given stop
+// condition.
+func (o *LazyOracle) rebuild(u int, old *lazyRow, stop buildStop) *lazyRow {
+	row := o.bld.run(o.g, u, o.gen, stop)
+	o.install(row, old)
+	return row
+}
+
+// ensureRadius returns u's row, complete through radius r.
+func (o *LazyOracle) ensureRadius(u int, r float64) *lazyRow {
+	row := o.row(u)
+	if row != nil && (row.complete || row.safeDist >= r) {
+		return row
+	}
+	want := r
+	if row != nil && 2*row.safeDist > want {
+		// Geometric growth: expanding a row re-runs its Dijkstra, so
+		// at least double the known radius to amortize ladders of
+		// slightly-growing queries.
+		want = 2 * row.safeDist
+	}
+	return o.rebuild(u, row, buildStop{radius: want, node: -1})
+}
+
+// ensureCount returns u's row with its first k order entries exact
+// (settled through distance ties at the k-th distance).
+func (o *LazyOracle) ensureCount(u, k int) *lazyRow {
+	if k > o.n {
+		k = o.n
+	}
+	row := o.row(u)
+	if row != nil && row.orderedPrefix(k) {
+		return row
+	}
+	want := k
+	if row != nil && 2*len(row.nodes) > want {
+		want = 2 * len(row.nodes)
+	}
+	if want > o.n {
+		want = o.n
+	}
+	return o.rebuild(u, row, buildStop{radius: math.Inf(1), count: want, node: -1})
+}
+
+// ensureNode returns u's row with v settled.
+func (o *LazyOracle) ensureNode(u, v int) *lazyRow {
+	row := o.row(u)
+	if row != nil {
+		if _, ok := row.idx[int32(v)]; ok {
+			return row
+		}
+		if row.complete {
+			// Connected graph: a complete row holds every node.
+			return row
+		}
+	}
+	return o.rebuild(u, row, buildStop{radius: math.Inf(1), node: v})
+}
+
+// orderedPrefix reports whether the first k order entries are exact:
+// k settled entries exist and the k-th lies within the proven
+// completeness radius (so no unsettled node could sort before or tie
+// into the prefix).
+func (r *lazyRow) orderedPrefix(k int) bool {
+	if k > len(r.nodes) {
+		return false
+	}
+	return r.complete || r.dist[r.ord[k-1]] <= r.safeDist
+}
+
+// searchBeyond returns the number of order entries at distance <= rad
+// (callers guarantee completeness through rad).
+func (r *lazyRow) searchBeyond(rad float64) int {
+	return sort.Search(len(r.ord), func(i int) bool { return r.dist[r.ord[i]] > rad })
+}
+
+// --- truncated Dijkstra ---
+
+// buildStop tells the row builder when it may stop settling:
+//   - radius: settle every node at distance <= radius
+//   - count (0 = none): settle at least count nodes, then flush
+//     distance ties so the (distance, id) order prefix is exact
+//   - node (-1 = none): settle through this node
+//
+// The builder may settle more than asked (it stops after the first
+// pop that proves the conditions); the extra entries are identical to
+// what any wider run would produce, so answers never depend on which
+// query shaped the row.
+type buildStop struct {
+	radius float64
+	count  int
+	node   int
+}
+
+// rowBuilder holds the reusable single-source state for truncated
+// Dijkstra runs. Epoch stamping makes resets O(touched), not O(n), so
+// building a small ball costs ball-sized work.
+type rowBuilder struct {
+	dist   []float64
+	parent []int32
+	done   []bool
+	stamp  []uint32
+	epoch  uint32
+	heap   pq
+}
+
+func newRowBuilder(n int) *rowBuilder {
+	return &rowBuilder{
+		dist:   make([]float64, n),
+		parent: make([]int32, n),
+		done:   make([]bool, n),
+		stamp:  make([]uint32, n),
+	}
+}
+
+// seen reports whether v has state in the current epoch, stamping it
+// fresh (dist=+Inf, parent=-1, not done) if not.
+func (b *rowBuilder) seen(v int) bool {
+	if b.stamp[v] == b.epoch {
+		return true
+	}
+	b.stamp[v] = b.epoch
+	b.dist[v] = math.Inf(1)
+	b.parent[v] = -1
+	b.done[v] = false
+	return false
+}
+
+// run executes one truncated Dijkstra from src. The relaxation —
+// including the equal-distance min-id parent tie-break and the heap's
+// (dist, owner, node) ordering — is exactly metric.Dijkstra's, so the
+// settled prefix is byte-identical to the full run's: settled
+// distances and parents are final the moment a node pops, and pops
+// come off in nondecreasing distance, so any two runs from the same
+// source agree on every node both settled.
+//
+// Each buildStop field is an independent stop requirement; the run
+// settles until all requested requirements hold (a stop with no
+// requirement — infinite radius, no count, no node — settles the
+// whole graph).
+func (b *rowBuilder) run(g *graph.Graph, src int, gen uint64, stop buildStop) *lazyRow {
+	b.epoch++
+	b.heap = b.heap[:0]
+	b.seen(src)
+	b.dist[src] = 0
+	b.heap.push(pqItem{node: src, dist: 0, owner: -1})
+
+	row := &lazyRow{key: rowKey{gen, int32(src)}}
+	n := g.N()
+	wantRadius := !math.IsInf(stop.radius, 1)
+	lastDist := 0.0
+	for len(b.heap) > 0 {
+		it := b.heap.pop()
+		v := it.node
+		if b.done[v] {
+			continue
+		}
+		b.done[v] = true
+		lastDist = it.dist
+		row.nodes = append(row.nodes, int32(v))
+		row.dist = append(row.dist, it.dist)
+		row.parent = append(row.parent, b.parent[v])
+		for _, e := range g.Neighbors(v) {
+			w := e.To
+			nd := it.dist + e.Weight
+			b.seen(w)
+			//determinlint:allow floateq deliberate exact tie-break: must match Dijkstra's equal-distance min-id parent rule bit for bit
+			if nd < b.dist[w] || (nd == b.dist[w] && !b.done[w] && (b.parent[w] == -1 || int32(v) < b.parent[w])) {
+				b.dist[w] = nd
+				b.parent[w] = int32(v)
+				b.heap.push(pqItem{node: w, dist: nd, owner: v})
+			}
+		}
+		if len(row.nodes) == n {
+			break
+		}
+		if !wantRadius && stop.count <= 0 && stop.node < 0 {
+			continue // no early-stop requirement: settle everything
+		}
+		if (!wantRadius || it.dist > stop.radius) &&
+			(stop.count <= 0 || len(row.nodes) >= stop.count) &&
+			(stop.node < 0 || b.settledNode(stop.node)) &&
+			b.nextLiveDist() > lastDist {
+			// The tie-flush gate (nextLiveDist > lastDist) makes the
+			// settled set closed under distance equality, so the
+			// (distance, id) re-sort below is an exact prefix of the
+			// full order row through safeDist inclusive.
+			break
+		}
+	}
+	if len(row.nodes) == n {
+		row.complete = true
+		row.safeDist = lastDist
+	} else {
+		// All nodes at distance <= lastDist settled (the loop only
+		// breaks after flushing distance ties at lastDist).
+		row.safeDist = lastDist
+	}
+	row.idx = make(map[int32]int32, len(row.nodes))
+	for i, v := range row.nodes {
+		row.idx[v] = int32(i)
+	}
+	row.ord = make([]int32, len(row.nodes))
+	for i := range row.ord {
+		row.ord[i] = int32(i)
+	}
+	sort.Slice(row.ord, func(i, j int) bool {
+		di, dj := row.dist[row.ord[i]], row.dist[row.ord[j]]
+		//determinlint:allow floateq deliberate exact tie-break: (distance, id) ordering must be bit-reproducible
+		if di != dj {
+			return di < dj
+		}
+		return row.nodes[row.ord[i]] < row.nodes[row.ord[j]]
+	})
+	return row
+}
+
+// nextLiveDist returns the distance of the nearest unsettled heap
+// entry (+Inf when none), discarding dead entries on the way.
+func (b *rowBuilder) nextLiveDist() float64 {
+	for len(b.heap) > 0 {
+		if b.done[b.heap[0].node] {
+			b.heap.pop()
+			continue
+		}
+		return b.heap[0].dist
+	}
+	return math.Inf(1)
+}
+
+// settledNode reports whether v has been settled this run.
+func (b *rowBuilder) settledNode(v int) bool {
+	return b.stamp[v] == b.epoch && b.done[v]
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package metric
+
+// raceEnabled scales down the Internet-size peak-allocation test under
+// the race detector, whose ~10× instrumentation cost would dominate
+// the make-race gate at n=100,000. The shrunken size keeps the n×n
+// assertion crisp: the dense matrix it guards against is still 16×
+// the allowed heap growth.
+const raceEnabled = true

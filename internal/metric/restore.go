@@ -35,6 +35,7 @@ func RestoreAPSP(n int, dist []float64, nextHop []int32) (*APSP, error) {
 		row := a.dist[u*n : (u+1)*n]
 		sort.Slice(perm, func(i, j int) bool {
 			di, dj := row[perm[i]], row[perm[j]]
+			//determinlint:allow floateq deliberate exact tie-break: (distance, id) ordering must be bit-reproducible
 			if di != dj {
 				return di < dj
 			}

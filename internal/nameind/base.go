@@ -25,7 +25,7 @@ type Underlying interface {
 // edge/search plumbing over it.
 type base struct {
 	g      *graph.Graph
-	a      *metric.APSP
+	a      metric.Distancer
 	nm     *Naming
 	under  Underlying
 	h      *rnet.Hierarchy
@@ -39,7 +39,7 @@ type base struct {
 	tblBits []int
 }
 
-func newBase(g *graph.Graph, a *metric.APSP, nm *Naming, under Underlying, eps float64) (*base, error) {
+func newBase(g *graph.Graph, a metric.Distancer, nm *Naming, under Underlying, eps float64) (*base, error) {
 	if nm.N() != g.N() {
 		return nil, fmt.Errorf("nameind: naming covers %d nodes, graph has %d", nm.N(), g.N())
 	}

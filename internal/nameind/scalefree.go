@@ -51,7 +51,7 @@ var _ core.NameIndependentScheme = (*ScaleFree)(nil)
 // NewScaleFree compiles the Theorem 1.1 scheme. The underlying labeled
 // scheme must also provide the shared ball packing (labeled.ScaleFree
 // does). eps must be in (0, 1/4] (the underlying scheme's constraint).
-func NewScaleFree(g *graph.Graph, a *metric.APSP, nm *Naming, under Underlying, eps float64) (*ScaleFree, error) {
+func NewScaleFree(g *graph.Graph, a metric.Distancer, nm *Naming, under Underlying, eps float64) (*ScaleFree, error) {
 	core.NoteSchemeBuild()
 	if eps <= 0 || eps > 0.25 {
 		return nil, fmt.Errorf("nameind: eps %v out of (0, 0.25]", eps)

@@ -24,7 +24,7 @@ var _ core.NameIndependentScheme = (*Simple)(nil)
 // scheme (which must have been built on the same graph; its hierarchy
 // is shared). eps must be in (0, 1/3]: Lemma 3.4's stretch bound needs
 // 1/eps > 2 with slack.
-func NewSimple(g *graph.Graph, a *metric.APSP, nm *Naming, under Underlying, eps float64) (*Simple, error) {
+func NewSimple(g *graph.Graph, a metric.Distancer, nm *Naming, under Underlying, eps float64) (*Simple, error) {
 	core.NoteSchemeBuild()
 	if eps <= 0 || eps > 1.0/3 {
 		return nil, fmt.Errorf("nameind: eps %v out of (0, 1/3]", eps)

@@ -82,7 +82,7 @@ func (s *Simple) EncodeSnapshot(w *bits.Writer) {
 // on top of an already-restored underlying labeled scheme. The tree
 // grid shape comes from the shared hierarchy; each decoded tree must be
 // centered on its net point.
-func RestoreSimple(r *bits.Reader, g *graph.Graph, a *metric.APSP, under Underlying) (*Simple, error) {
+func RestoreSimple(r *bits.Reader, g *graph.Graph, a metric.Distancer, under Underlying) (*Simple, error) {
 	eb, err := r.ReadBits(64)
 	if err != nil {
 		return nil, err
@@ -154,7 +154,7 @@ func (s *ScaleFree) EncodeSnapshot(w *bits.Writer) {
 // RestoreScaleFree rebuilds a ScaleFree scheme from an EncodeSnapshot
 // stream on top of an already-restored underlying scheme (which must
 // share its ball packing, exactly as NewScaleFree requires).
-func RestoreScaleFree(r *bits.Reader, g *graph.Graph, a *metric.APSP, under Underlying) (*ScaleFree, error) {
+func RestoreScaleFree(r *bits.Reader, g *graph.Graph, a metric.Distancer, under Underlying) (*ScaleFree, error) {
 	eb, err := r.ReadBits(64)
 	if err != nil {
 		return nil, err

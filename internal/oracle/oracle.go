@@ -34,7 +34,7 @@ type Oracle struct {
 
 // New builds the oracle for stretch 2k-1. Levels are sampled with
 // probability n^{-1/k} per the classic construction.
-func New(a *metric.APSP, k int, seed int64) (*Oracle, error) {
+func New(a metric.Distancer, k int, seed int64) (*Oracle, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("oracle: k must be >= 1, got %d", k)
 	}

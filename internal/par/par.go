@@ -30,6 +30,21 @@ func For(n int, body func(i int)) {
 	Workers(runtime.GOMAXPROCS(0), n, body)
 }
 
+// SuggestedWorkers returns the worker count For would schedule for n
+// iterations: min(GOMAXPROCS, n), at least 1. Callers that shard
+// worker-local scratch (one buffer per worker rather than per index)
+// use it to size their shards.
+func SuggestedWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Workers is For with an explicit worker bound. workers <= 1 runs the
 // plain serial loop, which is the reference schedule the equivalence
 // tests compare against.

@@ -28,7 +28,7 @@ func EncodeHierarchy(w *bits.Writer, h *Hierarchy) {
 // re-derives the lookup structures over the given oracle. Malformed
 // input (out-of-range members, empty levels, a non-singleton top) is
 // rejected with an error, never a panic.
-func DecodeHierarchy(r *bits.Reader, a *metric.APSP) (*Hierarchy, error) {
+func DecodeHierarchy(r *bits.Reader, a metric.Distancer) (*Hierarchy, error) {
 	bb, err := r.ReadBits(64)
 	if err != nil {
 		return nil, err

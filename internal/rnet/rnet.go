@@ -20,7 +20,6 @@ import (
 	"math"
 
 	"compactrouting/internal/metric"
-	"compactrouting/internal/par"
 )
 
 // Net greedily computes an r-net of candidates (all nodes if nil) seeded
@@ -29,46 +28,45 @@ import (
 // apart (seeds are trusted to satisfy the separation already, which
 // holds when they form a net of a coarser level). Candidates are
 // examined in increasing node id, making the construction deterministic.
-func Net(a *metric.APSP, r float64, seed, candidates []int) []int {
+//
+// The scan is center-first: a candidate is rejected iff some member y
+// holds Dist(y, v) < r, so instead of probing every candidate against
+// every member, each member marks its own ball once. Ball(y, r) is
+// inclusive, so the strict boundary is re-checked with Dist(y, m) < r —
+// a cache hit on the lazy backend, whose row is already built past m.
+// Seed balls commute with the greedy (a candidate near a seed is
+// rejected no matter what was accepted before it) and are prefetched in
+// parallel; each acceptance then marks its own ball before the scan
+// moves on, reproducing the serial greedy bit for bit while touching
+// only ball-local state.
+func Net(a metric.Distancer, r float64, seed, candidates []int) []int {
+	n := a.N()
 	out := make([]int, 0, len(seed)+8)
 	out = append(out, seed...)
 	if candidates == nil {
-		candidates = make([]int, a.N())
+		candidates = make([]int, n)
 		for i := range candidates {
 			candidates[i] = i
 		}
 	}
-	// Rejection against the fixed seed set commutes with the greedy
-	// scan (a candidate within r of a seed is rejected no matter what
-	// was accepted before it), so that part of the work parallelizes;
-	// the order-dependent greedy over the survivors stays serial and
-	// only needs to check the members it accepted itself.
-	nearSeed := make([]bool, len(candidates))
-	if len(seed) > 0 {
-		par.For(len(candidates), func(i int) {
-			for _, y := range seed {
-				if a.Dist(candidates[i], y) < r {
-					nearSeed[i] = true
-					return
-				}
+	covered := make([]bool, n)
+	var scratch []int
+	mark := func(y int) {
+		scratch = a.AppendBall(scratch[:0], y, r)
+		for _, m := range scratch {
+			if !covered[m] && a.Dist(y, m) < r {
+				covered[m] = true
 			}
-		})
+		}
 	}
-	accepted := out[len(seed):]
-	for i, v := range candidates {
-		if nearSeed[i] {
-			continue
-		}
-		ok := true
-		for _, y := range accepted {
-			if a.Dist(v, y) < r {
-				ok = false
-				break
-			}
-		}
-		if ok {
+	metric.PrefetchBalls(a, seed, r)
+	for _, y := range seed {
+		mark(y)
+	}
+	for _, v := range candidates {
+		if !covered[v] {
 			out = append(out, v)
-			accepted = out[len(seed):]
+			mark(v)
 		}
 	}
 	return out
@@ -78,7 +76,7 @@ func Net(a *metric.APSP, r float64, seed, candidates []int) []int {
 // 2^i-nets, built top-down per Section 2: Y_L is a singleton and each
 // Y_i greedily extends Y_{i+1}.
 type Hierarchy struct {
-	a    *metric.APSP
+	a    metric.Distancer
 	base float64 // radius of level 0; Radius(i) = base * 2^i
 	L    int     // top level; Levels[L] is a singleton
 	// Levels[i] lists Y_i members in the order the greedy construction
@@ -97,14 +95,16 @@ type Hierarchy struct {
 
 // NewHierarchy builds the net hierarchy for the metric, rooting Y_L at
 // the given node (the paper allows an arbitrary root).
-func NewHierarchy(a *metric.APSP, root int) *Hierarchy {
+func NewHierarchy(a metric.Distancer, root int) *Hierarchy {
 	n := a.N()
 	base := a.MinPairDistance()
 	L := 0
 	if n > 1 {
 		// Need base*2^L >= eccentricity(root) so the singleton Y_L
-		// covers everything; Diameter is a safe upper bound.
-		L = int(math.Ceil(math.Log2(a.Diameter() / base)))
+		// covers everything. The eccentricity is the tight requirement
+		// and costs one Dijkstra row on the lazy backend, where the
+		// diameter would cost all n of them.
+		L = int(math.Ceil(math.Log2(a.Eccentricity(root) / base)))
 		if L < 0 {
 			L = 0
 		}
@@ -135,7 +135,7 @@ func NewHierarchy(a *metric.APSP, root int) *Hierarchy {
 // the level-0 net radius (Radius(i) = base * 2^i). The caller vouches
 // for the net properties; a hierarchy wrapped around the output of a
 // correct election is indistinguishable from a NewHierarchy build.
-func NewHierarchyFromLevels(a *metric.APSP, base float64, levels [][]int) *Hierarchy {
+func NewHierarchyFromLevels(a metric.Distancer, base float64, levels [][]int) *Hierarchy {
 	h := &Hierarchy{
 		a:        a,
 		base:     base,
@@ -166,19 +166,53 @@ func (h *Hierarchy) finish() {
 		}
 	}
 	h.zoomParent = make([][]int32, h.L)
+	// Nearest minimizes (Dist(y, v), y) over coarse members y, and the
+	// net coverage property puts the winner within Radius(i+1), so a
+	// sweep of each coarse member's ball of that radius sees every
+	// winner (and every tie — those sit strictly inside the inclusive
+	// ball too). Minimizing (dist, id) per member over the sweep is
+	// therefore bit-identical to the full scan, but touches only
+	// ball-local state: the lazy backend builds |Y_{i+1}| truncated rows
+	// (prefetched in parallel) instead of extending every member's row.
+	bestD := make([]float64, n)
+	best := make([]int32, n)
+	var scratch []int
 	for i := 0; i < h.L; i++ {
 		h.zoomParent[i] = make([]int32, n)
 		for v := range h.zoomParent[i] {
 			h.zoomParent[i][v] = -1
 		}
-		// Each member's nearest coarser-level node is independent of the
-		// others (Nearest breaks ties by least id), so the dominant
-		// O(|Y_i| * |Y_{i+1}|) scan parallelizes per member.
 		lv := h.Levels[i]
-		par.For(len(lv), func(k int) {
-			p, _ := h.a.Nearest(lv[k], h.Levels[i+1])
-			h.zoomParent[i][lv[k]] = int32(p)
-		})
+		coarse := h.Levels[i+1]
+		r := h.Radius(i + 1)
+		for v := range best {
+			best[v] = -1
+			bestD[v] = math.Inf(1)
+		}
+		metric.PrefetchBalls(h.a, coarse, r)
+		for _, y := range coarse {
+			scratch = h.a.AppendBall(scratch[:0], y, r)
+			for _, m := range scratch {
+				if h.pos[i][m] < 0 {
+					continue
+				}
+				d := h.a.Dist(y, m)
+				//determinlint:allow floateq deliberate exact tie-break: must reproduce Nearest's (distance, id) minimization bit for bit
+				if d < bestD[m] || (d == bestD[m] && int32(y) < best[m]) {
+					bestD[m], best[m] = d, int32(y)
+				}
+			}
+		}
+		for _, v := range lv {
+			if best[v] < 0 {
+				// Externally elected levels (NewHierarchyFromLevels) may
+				// be looser than the greedy's coverage radius; fall back
+				// to the full scan for any member the sweep missed.
+				p, _ := h.a.Nearest(v, coarse)
+				best[v] = int32(p)
+			}
+			h.zoomParent[i][v] = best[v]
+		}
 	}
 }
 

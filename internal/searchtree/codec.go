@@ -314,7 +314,7 @@ func EncodeRealizer[D any](w *bits.Writer, r *PathRealizer, t *Tree[D], n int) {
 // DecodeRealizer reads a realizer written by EncodeRealizer, rebinding
 // it to the oracle and re-deriving the tail-site index from the
 // companion tree.
-func DecodeRealizer[D any](r *bits.Reader, a *metric.APSP, t *Tree[D]) (*PathRealizer, error) {
+func DecodeRealizer[D any](r *bits.Reader, a metric.Distancer, t *Tree[D]) (*PathRealizer, error) {
 	n := a.N()
 	rz := &PathRealizer{
 		a:          a,

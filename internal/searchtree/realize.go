@@ -23,7 +23,7 @@ import (
 // following the stored entries); StorageBits reports what the stored
 // entries would cost per node.
 type PathRealizer struct {
-	a *metric.APSP
+	a metric.Distancer
 	// tailScheme[s] is the tree-routing scheme on site s's Voronoi
 	// region (nil when the tree has no tails).
 	tailScheme map[int]*treeroute.Scheme
@@ -38,7 +38,7 @@ type PathRealizer struct {
 // node's owning site index and its parent edge in the per-site
 // shortest-path forest (metric.Voronoi has exactly this shape); it is
 // only invoked when the tree has tails.
-func NewRealizer[D any](a *metric.APSP, t *Tree[D], voronoiParent func(sites []int) ([]int, []int)) (*PathRealizer, error) {
+func NewRealizer[D any](a metric.Distancer, t *Tree[D], voronoiParent func(sites []int) ([]int, []int)) (*PathRealizer, error) {
 	r := &PathRealizer{
 		a:          a,
 		tailScheme: map[int]*treeroute.Scheme{},
@@ -124,7 +124,7 @@ func (r *PathRealizer) StorageBits(x int) int { return r.storage[x] }
 
 // pathBetween returns the canonical shortest path from u to v using
 // APSP next hops.
-func pathBetween(a *metric.APSP, u, v int) []int {
+func pathBetween(a metric.Distancer, u, v int) []int {
 	path := []int{u}
 	for u != v {
 		u = a.NextHop(u, v)

@@ -88,7 +88,7 @@ type Config struct {
 
 // New builds the search tree on B_center(radius). The APSP oracle is
 // used only at construction time (the preprocessing phase).
-func New[D any](a *metric.APSP, center int, radius float64, cfg Config) (*Tree[D], error) {
+func New[D any](a metric.Distancer, center int, radius float64, cfg Config) (*Tree[D], error) {
 	if cfg.Eps <= 0 || cfg.Eps >= 1 {
 		return nil, fmt.Errorf("searchtree: eps %v out of (0,1)", cfg.Eps)
 	}
@@ -163,7 +163,7 @@ func New[D any](a *metric.APSP, center int, radius float64, cfg Config) (*Tree[D
 // to the Voronoi region of its nearest top-net site and hang the
 // region's nodes as a path under the site with virtual edge weight
 // 2*eps*r/n.
-func (t *Tree[D]) buildTails(a *metric.APSP, remaining []int) {
+func (t *Tree[D]) buildTails(a metric.Distancer, remaining []int) {
 	sites := t.Levels[len(t.Levels)-1]
 	t.TailEdgeW = 2 * t.Eps * t.Radius / float64(a.N())
 	byleSite := make(map[int][]int)

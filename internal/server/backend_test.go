@@ -1,0 +1,132 @@
+package server
+
+import (
+	"testing"
+
+	"compactrouting"
+	"compactrouting/internal/core"
+	"compactrouting/internal/snapshot"
+)
+
+// backendEngine builds a test engine whose network is preprocessed on
+// the given distance backend.
+func backendEngine(t *testing.T, backend compactrouting.Backend, schemes ...string) *Engine {
+	t.Helper()
+	eng, err := New(Config{
+		Build: func(seed int64) (*compactrouting.Network, error) {
+			return compactrouting.GenerateNetwork("grid-holes", 36, seed, backend)
+		},
+		Seed:    5,
+		Eps:     0.25,
+		Schemes: schemes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestServeBackendEquivalence pins the serving-plane half of the
+// dense/lazy equivalence contract: two engines over the same graph,
+// one per backend, must serve identical routes — path, cost, optimal
+// distance, header bits — for every pair and scheme.
+func TestServeBackendEquivalence(t *testing.T) {
+	schemes := []string{"simple-labeled", "scale-free-labeled", "name-independent", "full-table"}
+	dense := backendEngine(t, compactrouting.BackendDense, schemes...)
+	lazy := backendEngine(t, compactrouting.BackendLazy, schemes...)
+	n := dense.Graph().Nodes
+	if ln := lazy.Graph().Nodes; ln != n {
+		t.Fatalf("backends built different graphs: %d vs %d nodes", n, ln)
+	}
+	for _, name := range schemes {
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst += 5 {
+				dr, err := dense.Route(name, src, dst)
+				if err != nil {
+					t.Fatalf("dense %s %d->%d: %v", name, src, dst, err)
+				}
+				lr, err := lazy.Route(name, src, dst)
+				if err != nil {
+					t.Fatalf("lazy %s %d->%d: %v", name, src, dst, err)
+				}
+				if dr.Cost != lr.Cost || dr.Optimal != lr.Optimal || dr.Hops != lr.Hops ||
+					dr.MaxHeaderBits != lr.MaxHeaderBits || len(dr.Path) != len(lr.Path) {
+					t.Fatalf("%s %d->%d diverged: dense %+v, lazy %+v", name, src, dst, dr, lr)
+				}
+				for i := range dr.Path {
+					if dr.Path[i] != lr.Path[i] {
+						t.Fatalf("%s %d->%d path diverged at hop %d: dense %v, lazy %v",
+							name, src, dst, i, dr.Path, lr.Path)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotRoundTripBothBackends is the regression test for the
+// snapshot/Distancer round trip: on either backend, Snapshot →
+// Encode → Decode → NewFromSnapshot must restore an engine that (a)
+// runs zero scheme constructors (routed -snapshot's load-and-serve
+// guarantee), and (b) serves routes identical to the engine it was
+// taken from. Lazy snapshots additionally must not carry the n×n
+// matrices.
+func TestSnapshotRoundTripBothBackends(t *testing.T) {
+	schemes := []string{"simple-labeled", "name-independent", "full-table"}
+	for _, backend := range []compactrouting.Backend{compactrouting.BackendDense, compactrouting.BackendLazy} {
+		t.Run(string(backend), func(t *testing.T) {
+			eng := backendEngine(t, backend, schemes...)
+			f, err := eng.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Backend != string(backend) {
+				t.Fatalf("snapshot backend = %q, want %q", f.Backend, backend)
+			}
+			n := eng.Graph().Nodes
+			wantMat := 0
+			if backend == compactrouting.BackendDense {
+				wantMat = n * n
+			}
+			if len(f.Dist) != wantMat || len(f.NextHop) != wantMat {
+				t.Fatalf("%s snapshot carries %d/%d matrix entries, want %d", backend, len(f.Dist), len(f.NextHop), wantMat)
+			}
+			data, err := f.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			f2, err := snapshot.Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := core.SchemeBuilds()
+			eng2, err := NewFromSnapshot(Config{}, f2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restored := eng2.Graph(); restored.Nodes != n {
+				t.Fatalf("restored %d nodes, want %d", restored.Nodes, n)
+			}
+			for _, name := range schemes {
+				for src := 0; src < n; src += 3 {
+					for dst := 0; dst < n; dst += 7 {
+						orig, err := eng.Route(name, src, dst)
+						if err != nil {
+							t.Fatalf("original %s %d->%d: %v", name, src, dst, err)
+						}
+						got, err := eng2.Route(name, src, dst)
+						if err != nil {
+							t.Fatalf("restored %s %d->%d: %v", name, src, dst, err)
+						}
+						if orig.Cost != got.Cost || orig.Optimal != got.Optimal || orig.Hops != got.Hops {
+							t.Fatalf("%s %d->%d: restored route diverged: %+v vs %+v", name, src, dst, orig, got)
+						}
+					}
+				}
+			}
+			if after := core.SchemeBuilds(); after != before {
+				t.Fatalf("%s cold start ran %d scheme constructors", backend, after-before)
+			}
+		})
+	}
+}

@@ -278,7 +278,7 @@ func (e *Engine) build(seed int64, gen uint64) (*state, error) {
 	// the serial loop it replaced.
 	compiled, err := par.MapErr(len(e.cfg.Schemes), func(i int) (*scheme, error) {
 		name := e.cfg.Schemes[i]
-		s, err := compileScheme(name, nw.Graph(), nw.APSP(), e.cfg.Eps, seed, e.chaos)
+		s, err := compileScheme(name, nw.Graph(), nw.Distancer(), e.cfg.Eps, seed, e.chaos)
 		if err != nil {
 			return nil, fmt.Errorf("server: compile %s: %w", name, err)
 		}
@@ -343,7 +343,7 @@ func clamp(eps, hi float64) float64 {
 }
 
 // compileScheme builds one scheme and its adapter-backed runners.
-func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, seed int64, ch *chaosRuntime) (*scheme, error) {
+func compileScheme(name string, g *graph.Graph, a metric.Distancer, eps float64, seed int64, ch *chaosRuntime) (*scheme, error) {
 	start := time.Now()
 	impl, err := buildScheme(name, g, a, eps, seed)
 	if err != nil {
@@ -356,7 +356,7 @@ func compileScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, see
 // only place in the serving layer that invokes the (counted) scheme
 // constructors. The snapshot path replaces this call with
 // snapshot.DecodeScheme and shares everything after it.
-func buildScheme(name string, g *graph.Graph, a *metric.APSP, eps float64, seed int64) (any, error) {
+func buildScheme(name string, g *graph.Graph, a metric.Distancer, eps float64, seed int64) (any, error) {
 	n := g.N()
 	switch name {
 	case "simple-labeled":

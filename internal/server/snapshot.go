@@ -5,23 +5,31 @@ import (
 	"runtime"
 
 	"compactrouting/internal/bits"
+	"compactrouting/internal/metric"
 	"compactrouting/internal/snapshot"
 )
 
 // Snapshot serializes the engine's current serving state — graph,
 // oracle, and every compiled scheme's tables — into a snapshot.File.
 // The write is taken against one atomic state load, so a concurrent
-// reload cannot tear it.
+// reload cannot tear it. On the dense backend the APSP matrices ride
+// along so the restore skips every Dijkstra; on the lazy backend the
+// snapshot records only the backend name — its oracle is an on-demand
+// cache with nothing durable to store, and the restore rebinds an
+// empty one (the scheme tables, the expensive part, are in the blobs).
 func (e *Engine) Snapshot() (*snapshot.File, error) {
 	st := e.st.Load()
 	f := &snapshot.File{
 		Seed:       st.seed,
 		Eps:        e.cfg.Eps,
+		Backend:    string(st.nw.Backend()),
 		Generation: st.gen,
 		N:          st.nw.N(),
 		Edges:      st.nw.Edges(),
 	}
-	f.Dist, f.NextHop = st.nw.APSP().Matrices()
+	if a, ok := st.nw.Distancer().(*metric.APSP); ok {
+		f.Dist, f.NextHop = a.Matrices()
+	}
 	for i, name := range st.order {
 		w := &bits.Writer{}
 		if err := snapshot.EncodeScheme(w, name, st.list[i].impl); err != nil {
@@ -68,7 +76,7 @@ func NewFromSnapshot(cfg Config, f *snapshot.File) (*Engine, error) {
 	st := &state{nw: nw, seed: f.Seed, gen: f.Generation, schemes: make(map[string]*scheme)}
 	for _, sb := range f.Schemes {
 		r := bits.NewReader(sb.Data, sb.Bits)
-		impl, err := snapshot.DecodeScheme(r, sb.Name, nw.Graph(), nw.APSP())
+		impl, err := snapshot.DecodeScheme(r, sb.Name, nw.Graph(), nw.Distancer())
 		if err != nil {
 			return nil, fmt.Errorf("server: restore %s: %w", sb.Name, err)
 		}

@@ -34,7 +34,15 @@ func corpusSnapshots(t testing.TB) [][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return [][]byte{full, sd, pd}
+	lazy := &snapshot.File{
+		Seed: 2, Eps: 0.5, Backend: "lazy", Generation: 3, N: 2,
+		Edges: []compactrouting.EdgeSpec{{U: 0, V: 1, Weight: 1.5}},
+	}
+	ld, err := lazy.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return [][]byte{full, sd, pd, ld}
 }
 
 // TestRegenFuzzCorpus rewrites the checked-in seed corpus. Regenerate:
@@ -82,7 +90,7 @@ func FuzzDecodeSnapshot(f *testing.F) {
 		}
 		for _, sb := range file.Schemes {
 			r := bits.NewReader(sb.Data, sb.Bits)
-			if _, err := snapshot.DecodeScheme(r, sb.Name, nw.Graph(), nw.APSP()); err != nil {
+			if _, err := snapshot.DecodeScheme(r, sb.Name, nw.Graph(), nw.Distancer()); err != nil {
 				continue
 			}
 		}

@@ -76,7 +76,7 @@ func badImpl(name string, impl any) error {
 // DecodeScheme restores one scheme from its blob stream against an
 // already-rebuilt graph and oracle. No counted scheme constructor runs:
 // every path goes through the Restore* codecs.
-func DecodeScheme(r *bits.Reader, name string, g *graph.Graph, a *metric.APSP) (any, error) {
+func DecodeScheme(r *bits.Reader, name string, g *graph.Graph, a metric.Distancer) (any, error) {
 	switch name {
 	case "simple-labeled":
 		return labeled.RestoreSimple(r, g, a)

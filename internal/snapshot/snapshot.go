@@ -11,12 +11,17 @@
 //	6       ...   payload (one internal/bits stream, below)
 //	end-4   4     CRC32-IEEE over everything before it, big endian
 //
-// Payload stream: seed (64b) · eps (float64 bits) · generation
-// (uvarint) · n (uvarint) · edge count + (u, v, weight) triples · the
-// APSP dist matrix (n² float64s) and next-hop matrix (n² uvarints,
-// -1 stored as 0) · scheme count + per scheme its name and one
+// Payload stream: seed (64b) · eps (float64 bits) · backend byte
+// (0 = dense, 1 = lazy) · generation (uvarint) · n (uvarint) · edge
+// count + (u, v, weight) triples · on the dense backend only, the APSP
+// dist matrix (n² float64s) and next-hop matrix (n² uvarints, -1
+// stored as 0) · scheme count + per scheme its name and one
 // length-prefixed blob holding the scheme codec output (the labeled /
-// nameind / baseline EncodeSnapshot wire formats).
+// nameind / baseline EncodeSnapshot wire formats). Lazy-backend
+// snapshots carry no matrices: the oracle is rebuilt as an empty
+// bounded row cache over the decoded graph, so the scheme tables still
+// restore without a single constructor run (the tables are in the
+// blobs, not the oracle).
 //
 // Loads reject version skew at the 2-byte version field (never by
 // misparsing), corruption at the checksum, and truncation at every
@@ -47,7 +52,9 @@ import (
 const (
 	// Version is the snapshot format version this build reads and
 	// writes. Any other on-disk version is rejected with ErrVersionSkew.
-	Version = 1
+	// Version 2 added the backend byte and made the matrices
+	// dense-backend-only.
+	Version = 2
 	// maxN bounds the decoded network size (the payload length checks
 	// below square it, so the bound also keeps the arithmetic far from
 	// overflow).
@@ -71,14 +78,19 @@ type SchemeBlob struct {
 
 // File is a decoded snapshot.
 type File struct {
-	Seed       int64
-	Eps        float64
+	Seed int64
+	Eps  float64
+	// Backend is the distance backend the engine was serving on:
+	// "dense" (matrices present) or "lazy" (no matrices; the oracle is
+	// rebuilt as an empty row cache). Empty encodes as dense.
+	Backend    string
 	Generation uint64
 	N          int
 	Edges      []compactrouting.EdgeSpec
-	Dist       []float64
-	NextHop    []int32
-	Schemes    []SchemeBlob
+	// Dist and NextHop are the dense backend's matrices; nil on lazy.
+	Dist    []float64
+	NextHop []int32
+	Schemes []SchemeBlob
 }
 
 // Encode serializes the snapshot to its on-disk byte form, checksum
@@ -87,8 +99,19 @@ func (f *File) Encode() ([]byte, error) {
 	if f.N < 1 || f.N > maxN {
 		return nil, fmt.Errorf("snapshot: n=%d out of [1, %d]", f.N, maxN)
 	}
-	if len(f.Dist) != f.N*f.N || len(f.NextHop) != f.N*f.N {
-		return nil, fmt.Errorf("snapshot: matrices sized %d/%d, want %d", len(f.Dist), len(f.NextHop), f.N*f.N)
+	var backend byte
+	switch f.Backend {
+	case "", "dense":
+		if len(f.Dist) != f.N*f.N || len(f.NextHop) != f.N*f.N {
+			return nil, fmt.Errorf("snapshot: matrices sized %d/%d, want %d", len(f.Dist), len(f.NextHop), f.N*f.N)
+		}
+	case "lazy":
+		backend = 1
+		if len(f.Dist) != 0 || len(f.NextHop) != 0 {
+			return nil, fmt.Errorf("snapshot: lazy backend carries no matrices (got %d/%d entries)", len(f.Dist), len(f.NextHop))
+		}
+	default:
+		return nil, fmt.Errorf("snapshot: unknown backend %q", f.Backend)
 	}
 	if len(f.Schemes) > maxSchemes {
 		return nil, fmt.Errorf("snapshot: %d schemes exceed cap %d", len(f.Schemes), maxSchemes)
@@ -96,6 +119,7 @@ func (f *File) Encode() ([]byte, error) {
 	w := &bits.Writer{}
 	w.WriteBits(uint64(f.Seed), 64)
 	w.WriteBits(math.Float64bits(f.Eps), 64)
+	w.WriteBits(uint64(backend), 8)
 	w.WriteUvarint(f.Generation)
 	w.WriteUvarint(uint64(f.N))
 	w.WriteUvarint(uint64(len(f.Edges)))
@@ -104,11 +128,13 @@ func (f *File) Encode() ([]byte, error) {
 		w.WriteUvarint(uint64(e.V))
 		w.WriteBits(math.Float64bits(e.Weight), 64)
 	}
-	for _, d := range f.Dist {
-		w.WriteBits(math.Float64bits(d), 64)
-	}
-	for _, h := range f.NextHop {
-		w.WriteUvarint(uint64(h + 1))
+	if backend == 0 {
+		for _, d := range f.Dist {
+			w.WriteBits(math.Float64bits(d), 64)
+		}
+		for _, h := range f.NextHop {
+			w.WriteUvarint(uint64(h + 1))
+		}
 	}
 	w.WriteUvarint(uint64(len(f.Schemes)))
 	for _, sb := range f.Schemes {
@@ -158,6 +184,18 @@ func Decode(data []byte) (*File, error) {
 		return nil, err
 	}
 	f.Eps = math.Float64frombits(eb)
+	bk, err := r.ReadBits(8)
+	if err != nil {
+		return nil, err
+	}
+	switch bk {
+	case 0:
+		f.Backend = "dense"
+	case 1:
+		f.Backend = "lazy"
+	default:
+		return nil, fmt.Errorf("snapshot: unknown backend byte %d", bk)
+	}
 	if f.Generation, err = r.ReadUvarint(); err != nil {
 		return nil, err
 	}
@@ -197,27 +235,29 @@ func Decode(data []byte) (*File, error) {
 		}
 		f.Edges[i] = compactrouting.EdgeSpec{U: int(u), V: int(v), Weight: math.Float64frombits(wb)}
 	}
-	if n*n*64 > uint64(r.Remaining()) {
-		return nil, fmt.Errorf("snapshot: dist matrix exceeds payload")
-	}
-	f.Dist = make([]float64, n*n)
-	for i := range f.Dist {
-		db, err := r.ReadBits(64)
-		if err != nil {
-			return nil, err
+	if bk == 0 {
+		if n*n*64 > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("snapshot: dist matrix exceeds payload")
 		}
-		f.Dist[i] = math.Float64frombits(db)
-	}
-	f.NextHop = make([]int32, n*n)
-	for i := range f.NextHop {
-		h, err := r.ReadUvarint()
-		if err != nil {
-			return nil, err
+		f.Dist = make([]float64, n*n)
+		for i := range f.Dist {
+			db, err := r.ReadBits(64)
+			if err != nil {
+				return nil, err
+			}
+			f.Dist[i] = math.Float64frombits(db)
 		}
-		if h > n {
-			return nil, fmt.Errorf("snapshot: next hop %d out of range", h)
+		f.NextHop = make([]int32, n*n)
+		for i := range f.NextHop {
+			h, err := r.ReadUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if h > n {
+				return nil, fmt.Errorf("snapshot: next hop %d out of range", h)
+			}
+			f.NextHop[i] = int32(h) - 1
 		}
-		f.NextHop[i] = int32(h) - 1
 	}
 	sc, err := r.ReadUvarint()
 	if err != nil {
@@ -298,8 +338,10 @@ func Load(path string) (*File, error) {
 }
 
 // Network rebuilds the served network from the snapshot: the graph via
-// the validating Builder and the metric oracle via RestoreAPSP — no
-// Dijkstra re-run.
+// the validating Builder, and the metric oracle without a Dijkstra
+// re-run — RestoreAPSP over the stored matrices on the dense backend,
+// or a fresh empty row cache on the lazy backend (whose whole point is
+// that the oracle holds no precomputed state worth serializing).
 func (f *File) Network() (*compactrouting.Network, error) {
 	b := graph.NewBuilder(f.N)
 	for _, e := range f.Edges {
@@ -311,9 +353,14 @@ func (f *File) Network() (*compactrouting.Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
-	a, err := metric.RestoreAPSP(f.N, f.Dist, f.NextHop)
-	if err != nil {
-		return nil, fmt.Errorf("snapshot: %w", err)
+	var a metric.Distancer
+	if f.Backend == "lazy" {
+		a = metric.NewLazyOracle(g)
+	} else {
+		a, err = metric.RestoreAPSP(f.N, f.Dist, f.NextHop)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
 	}
 	return compactrouting.RestoreNetwork(g, a), nil
 }

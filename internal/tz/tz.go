@@ -37,7 +37,7 @@ import (
 // Scheme is a compiled stretch-3 TZ routing scheme.
 type Scheme struct {
 	g *graph.Graph
-	a *metric.APSP
+	a metric.Distancer
 	// landmarks, ascending id; landmarkIdx inverts it.
 	landmarks   []int
 	landmarkIdx map[int]int
@@ -60,7 +60,7 @@ var _ core.LabeledScheme = (*Scheme)(nil)
 // New compiles the scheme. sampleFactor scales the landmark count
 // |A| = ceil(sampleFactor * sqrt(n * ln n)) (1 is the classic choice;
 // it balances the landmark table against the expected cluster size).
-func New(g *graph.Graph, a *metric.APSP, sampleFactor float64, seed int64) (*Scheme, error) {
+func New(g *graph.Graph, a metric.Distancer, sampleFactor float64, seed int64) (*Scheme, error) {
 	n := g.N()
 	if n < 2 {
 		return nil, fmt.Errorf("tz: need at least 2 nodes")

@@ -7,9 +7,11 @@ import (
 
 // RestoreNetwork rebinds a Network from an already-built graph and
 // metric oracle — the snapshot load path (internal/snapshot), which
-// decodes both from disk instead of re-running the O(n² log n) APSP.
-func RestoreNetwork(g *graph.Graph, apsp *metric.APSP) *Network {
-	return &Network{g: g, apsp: apsp}
+// restores the oracle (dense matrices decoded from disk, or a fresh
+// lazy cache over the decoded graph) instead of re-running the
+// O(n² log n) APSP.
+func RestoreNetwork(g *graph.Graph, a metric.Distancer) *Network {
+	return &Network{g: g, dist: a}
 }
 
 // Edges returns the network's undirected edge list in canonical order
